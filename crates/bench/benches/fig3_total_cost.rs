@@ -1,0 +1,22 @@
+//! Figure 3 benchmark: the full cost-benefit evaluation (all eight policies, nested
+//! cross-validation) at one mitigation cost, on the small smoke-scale context.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use uerl_eval::experiments::fig3;
+
+fn bench_fig3(c: &mut Criterion) {
+    let ctx = uerl_bench::bench_context(101);
+    let mut group = c.benchmark_group("fig3_total_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("all_policies_2_node_minutes", |b| {
+        b.iter(|| {
+            let result = fig3::run(&ctx, &[2.0]);
+            std::hint::black_box(result.rows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

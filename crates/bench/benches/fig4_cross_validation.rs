@@ -1,0 +1,22 @@
+//! Figure 4 benchmark: the per-split time-series nested cross-validation at the default
+//! 2 node-minute mitigation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use uerl_eval::experiments::fig4;
+
+fn bench_fig4(c: &mut Criterion) {
+    let ctx = uerl_bench::bench_context(102);
+    let mut group = c.benchmark_group("fig4_cross_validation");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("nested_cv_all_splits", |b| {
+        b.iter(|| {
+            let result = fig4::run(&ctx);
+            std::hint::black_box(result.cells.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

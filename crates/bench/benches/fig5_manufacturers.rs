@@ -1,0 +1,22 @@
+//! Figure 5 benchmark: the per-DRAM-manufacturer evaluation (MN/All, MN/A, MN/B, MN/C
+//! and the MN/ABC sum).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use uerl_eval::experiments::fig5;
+
+fn bench_fig5(c: &mut Criterion) {
+    let ctx = uerl_bench::bench_context(103);
+    let mut group = c.benchmark_group("fig5_manufacturers");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("all_manufacturer_scenarios", |b| {
+        b.iter(|| {
+            let result = fig5::run(&ctx);
+            std::hint::black_box(result.rows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

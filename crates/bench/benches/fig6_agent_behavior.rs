@@ -1,0 +1,22 @@
+//! Figure 6 benchmark: training the agent and the RF probability proxy, collecting
+//! held-out states and building the mitigation-fraction map.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use uerl_eval::experiments::fig6;
+
+fn bench_fig6(c: &mut Criterion) {
+    let ctx = uerl_bench::bench_context(104);
+    let mut group = c.benchmark_group("fig6_agent_behavior");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("behaviour_map_7x5", |b| {
+        b.iter(|| {
+            let result = fig6::run(&ctx, 7, 5);
+            std::hint::black_box(result.states_observed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 7 benchmark: the job-size sensitivity sweep (one scaling factor per iteration
+//! to keep the benchmark granular).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use uerl_eval::experiments::fig7;
+
+fn bench_fig7(c: &mut Criterion) {
+    let ctx = uerl_bench::bench_context(106);
+    let mut group = c.benchmark_group("fig7_job_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for &scaling in &[0.1, 10.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scaling),
+            &scaling,
+            |b, &scaling| {
+                b.iter(|| {
+                    let result = fig7::run(&ctx, &[scaling]);
+                    std::hint::black_box(result.points.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table 2 benchmark: the classical machine-learning metrics for every approach,
+//! including the three cost-conditioned RL rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use uerl_eval::experiments::table2;
+
+fn bench_table2(c: &mut Criterion) {
+    let ctx = uerl_bench::bench_context(105);
+    let mut group = c.benchmark_group("table2_ml_metrics");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("all_approaches", |b| {
+        b.iter(|| {
+            let result = table2::run(&ctx);
+            std::hint::black_box(result.rows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

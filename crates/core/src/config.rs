@@ -1,0 +1,90 @@
+//! The user-defined parameters of the mitigation method.
+//!
+//! The paper stresses that the method needs no per-system tuning: the only user-supplied
+//! parameters are the total cost of one mitigation action and whether the job can restart
+//! from the mitigation point (e.g. checkpointing) or not.
+
+use serde::{Deserialize, Serialize};
+
+/// The mitigation-related parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationConfig {
+    /// Cost of one mitigation action in node-minutes. The paper's primary evaluation uses
+    /// 2 node-minutes (following Das et al.'s estimate for live migration / node cloning /
+    /// checkpointing) and also reports 5 and 10 node-minutes.
+    pub mitigation_cost_node_minutes: f64,
+    /// Whether a job can be restarted from the mitigation point. When `true`
+    /// (checkpoint-like mitigation), a mitigation resets the potential UE cost; when
+    /// `false`, the potential UE cost always accrues from the job start.
+    pub restartable: bool,
+}
+
+impl MitigationConfig {
+    /// Create a configuration.
+    ///
+    /// # Panics
+    /// Panics if the mitigation cost is negative or non-finite.
+    pub fn new(mitigation_cost_node_minutes: f64, restartable: bool) -> Self {
+        assert!(
+            mitigation_cost_node_minutes.is_finite() && mitigation_cost_node_minutes >= 0.0,
+            "mitigation cost must be non-negative"
+        );
+        Self {
+            mitigation_cost_node_minutes,
+            restartable,
+        }
+    }
+
+    /// The paper's default: 2 node-minutes, restartable.
+    pub fn paper_default() -> Self {
+        Self::new(2.0, true)
+    }
+
+    /// A configuration with a different mitigation cost (used for the 5 / 10 node-minute
+    /// scenarios of Figure 3).
+    pub fn with_cost_minutes(self, minutes: f64) -> Self {
+        Self::new(minutes, self.restartable)
+    }
+
+    /// Mitigation cost expressed in node-hours (the unit of the cost-benefit analysis).
+    pub fn mitigation_cost_node_hours(&self) -> f64 {
+        self.mitigation_cost_node_minutes / 60.0
+    }
+}
+
+impl Default for MitigationConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_two_node_minutes_restartable() {
+        let c = MitigationConfig::paper_default();
+        assert_eq!(c.mitigation_cost_node_minutes, 2.0);
+        assert!(c.restartable);
+        assert!((c.mitigation_cost_node_hours() - 2.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_override() {
+        let c = MitigationConfig::paper_default().with_cost_minutes(10.0);
+        assert_eq!(c.mitigation_cost_node_minutes, 10.0);
+        assert!(c.restartable, "restartability is preserved");
+    }
+
+    #[test]
+    fn default_trait_matches_paper_default() {
+        assert_eq!(MitigationConfig::default(), MitigationConfig::paper_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_rejected() {
+        MitigationConfig::new(-1.0, true);
+    }
+}

@@ -1,0 +1,292 @@
+//! The per-node feature extractor: Table 1 features and the Equation 2 variation.
+
+use crate::state::StateFeatures;
+use std::collections::HashSet;
+use uerl_trace::log::MergedEvent;
+use uerl_trace::types::{DimmId, NodeId, SimTime};
+
+/// Incrementally extracts the Table 1 state features from a node's event stream.
+///
+/// The extractor is fed the node's per-minute merged events in time order; after each
+/// event, [`FeatureExtractor::snapshot`] produces the [`StateFeatures`] the policy acts
+/// on (the potential UE cost is supplied by the environment, which owns the workload
+/// bookkeeping).
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    node: NodeId,
+    window_start: SimTime,
+
+    ce_last_event: u64,
+    ce_total: u64,
+    ranks: HashSet<(DimmId, u8)>,
+    banks: HashSet<(DimmId, u8, u8)>,
+    rows: HashSet<(DimmId, u8, u8, u32)>,
+    columns: HashSet<(DimmId, u8, u8, u32)>,
+    dimms: HashSet<DimmId>,
+    ue_warnings: u64,
+    last_boot: Option<SimTime>,
+    boots: u64,
+    last_event_time: Option<SimTime>,
+
+    /// History of `(time, ce_total, boots)` snapshots after each event, used to evaluate
+    /// the Equation 2 variation at `t − 1 min` and `t − 1 h`.
+    history: Vec<(SimTime, u64, u64)>,
+}
+
+impl FeatureExtractor {
+    /// Create an extractor for one node. `window_start` anchors "time since last boot"
+    /// before the first boot event is seen.
+    pub fn new(node: NodeId, window_start: SimTime) -> Self {
+        Self {
+            node,
+            window_start,
+            ce_last_event: 0,
+            ce_total: 0,
+            ranks: HashSet::new(),
+            banks: HashSet::new(),
+            rows: HashSet::new(),
+            columns: HashSet::new(),
+            dimms: HashSet::new(),
+            ue_warnings: 0,
+            last_boot: None,
+            boots: 0,
+            last_event_time: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// The node this extractor tracks.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total corrected errors absorbed so far.
+    pub fn ce_total(&self) -> u64 {
+        self.ce_total
+    }
+
+    /// Number of events absorbed so far.
+    pub fn events_seen(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Fold one merged event into the counters.
+    ///
+    /// # Panics
+    /// Panics if the event belongs to a different node or goes backwards in time.
+    pub fn update(&mut self, event: &MergedEvent) {
+        assert_eq!(event.node, self.node, "event from the wrong node");
+        if let Some(prev) = self.last_event_time {
+            assert!(event.time >= prev, "events must be processed in time order");
+        }
+        self.ce_last_event = u64::from(event.ce_count);
+        self.ce_total += u64::from(event.ce_count);
+        for detail in &event.ce_details {
+            let d = detail.dimm;
+            let loc = detail.location;
+            self.dimms.insert(d);
+            self.ranks.insert((d, loc.rank));
+            self.banks.insert((d, loc.rank, loc.bank));
+            self.rows.insert((d, loc.rank, loc.bank, loc.row));
+            self.columns.insert((d, loc.rank, loc.bank, loc.column));
+        }
+        self.ue_warnings += u64::from(event.ue_warnings);
+        if event.boots > 0 {
+            self.boots += u64::from(event.boots);
+            self.last_boot = Some(event.time);
+        }
+        self.last_event_time = Some(event.time);
+        self.history.push((event.time, self.ce_total, self.boots));
+    }
+
+    /// Equation 2: `value(now) / value(now − Δt)`, or 0 when the denominator is 0.
+    fn variation(&self, now: SimTime, delta_secs: i64, select: impl Fn(&(SimTime, u64, u64)) -> u64) -> f64 {
+        let cutoff = now.plus_secs(-delta_secs);
+        let past = self
+            .history
+            .iter()
+            .rev()
+            .find(|(t, _, _)| *t <= cutoff)
+            .map(&select)
+            .unwrap_or(0);
+        if past == 0 {
+            return 0.0;
+        }
+        let current = self.history.last().map(&select).unwrap_or(0);
+        current as f64 / past as f64
+    }
+
+    /// Produce the state at the last absorbed event, with the potential UE cost supplied
+    /// by the caller (the environment owns the workload bookkeeping).
+    pub fn snapshot(&self, potential_ue_cost: f64, job_nodes: u32) -> StateFeatures {
+        let now = self.last_event_time.unwrap_or(self.window_start);
+        let boot_anchor = self.last_boot.unwrap_or(self.window_start);
+        StateFeatures {
+            node: self.node,
+            time: now,
+            job_nodes,
+            ce_since_last_event: self.ce_last_event,
+            ce_since_start: self.ce_total,
+            ce_var_1min: self.variation(now, SimTime::MINUTE, |h| h.1),
+            ce_var_1hour: self.variation(now, SimTime::HOUR, |h| h.1),
+            ranks_with_ce: self.ranks.len() as u32,
+            banks_with_ce: self.banks.len() as u32,
+            rows_with_ce: self.rows.len() as u32,
+            columns_with_ce: self.columns.len() as u32,
+            dimms_with_ce: self.dimms.len() as u32,
+            ue_warnings: self.ue_warnings,
+            hours_since_boot: now.delta_hours(boot_anchor).max(0.0),
+            node_boots: self.boots,
+            boots_var_1min: self.variation(now, SimTime::MINUTE, |h| h.2),
+            boots_var_1hour: self.variation(now, SimTime::HOUR, |h| h.2),
+            potential_ue_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uerl_trace::events::{CeDetail, Detector};
+    use uerl_trace::types::CellLocation;
+
+    fn merged(node: u32, minute: i64) -> MergedEvent {
+        MergedEvent {
+            time: SimTime::from_minutes(minute),
+            node: NodeId(node),
+            ce_count: 0,
+            ce_details: Vec::new(),
+            ue_warnings: 0,
+            boots: 0,
+            retired_slots: Vec::new(),
+            fatal: false,
+            ue_detector: None,
+        }
+    }
+
+    fn ce_event(node: u32, minute: i64, count: u32, slot: u8, rank: u8, row: u32, col: u32) -> MergedEvent {
+        let mut e = merged(node, minute);
+        e.ce_count = count;
+        e.ce_details.push(CeDetail {
+            dimm: DimmId::new(NodeId(node), slot),
+            location: CellLocation::new(rank, 0, row, col),
+            detector: Detector::DemandRead,
+        });
+        e
+    }
+
+    fn extractor() -> FeatureExtractor {
+        FeatureExtractor::new(NodeId(1), SimTime::ZERO)
+    }
+
+    #[test]
+    fn counts_accumulate_across_events() {
+        let mut fx = extractor();
+        fx.update(&ce_event(1, 10, 5, 0, 0, 1, 1));
+        fx.update(&ce_event(1, 20, 7, 1, 1, 2, 3));
+        let s = fx.snapshot(0.0, 1);
+        assert_eq!(s.ce_since_last_event, 7);
+        assert_eq!(s.ce_since_start, 12);
+        assert_eq!(s.dimms_with_ce, 2);
+        assert_eq!(s.ranks_with_ce, 2);
+        assert_eq!(s.rows_with_ce, 2);
+        assert_eq!(s.columns_with_ce, 2);
+        assert_eq!(fx.events_seen(), 2);
+    }
+
+    #[test]
+    fn distinct_location_counting_deduplicates() {
+        let mut fx = extractor();
+        // Same cell hit twice on the same DIMM.
+        fx.update(&ce_event(1, 1, 3, 0, 0, 42, 7));
+        fx.update(&ce_event(1, 2, 4, 0, 0, 42, 7));
+        let s = fx.snapshot(0.0, 1);
+        assert_eq!(s.dimms_with_ce, 1);
+        assert_eq!(s.ranks_with_ce, 1);
+        assert_eq!(s.rows_with_ce, 1);
+        assert_eq!(s.columns_with_ce, 1);
+    }
+
+    #[test]
+    fn boots_and_time_since_boot() {
+        let mut fx = extractor();
+        let mut boot = merged(1, 0);
+        boot.boots = 1;
+        fx.update(&boot);
+        fx.update(&ce_event(1, 120, 1, 0, 0, 1, 1));
+        let s = fx.snapshot(0.0, 1);
+        assert_eq!(s.node_boots, 1);
+        assert!((s.hours_since_boot - 2.0).abs() < 1e-9);
+
+        // A new boot resets the clock.
+        let mut boot2 = merged(1, 180);
+        boot2.boots = 1;
+        fx.update(&boot2);
+        let s = fx.snapshot(0.0, 1);
+        assert_eq!(s.node_boots, 2);
+        assert_eq!(s.hours_since_boot, 0.0);
+    }
+
+    #[test]
+    fn warnings_accumulate() {
+        let mut fx = extractor();
+        let mut w = merged(1, 5);
+        w.ue_warnings = 2;
+        fx.update(&w);
+        let mut w2 = merged(1, 6);
+        w2.ue_warnings = 1;
+        fx.update(&w2);
+        assert_eq!(fx.snapshot(0.0, 1).ue_warnings, 3);
+    }
+
+    #[test]
+    fn variation_follows_equation_2() {
+        let mut fx = extractor();
+        // 10 CEs at t = 0 min, 30 CEs total at t = 30 min, 90 total at t = 65 min.
+        fx.update(&ce_event(1, 0, 10, 0, 0, 1, 1));
+        fx.update(&ce_event(1, 30, 20, 0, 0, 1, 2));
+        fx.update(&ce_event(1, 65, 60, 0, 0, 1, 3));
+        let s = fx.snapshot(0.0, 1);
+        // One hour before t=65min is t=5min: the latest snapshot at or before that is the
+        // one at t=0 with 10 CEs -> variation = 90 / 10 = 9.
+        assert!((s.ce_var_1hour - 9.0).abs() < 1e-12);
+        // One minute before t=65min is t=64min: latest snapshot is t=30min with 30 CEs.
+        assert!((s.ce_var_1min - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variation_is_zero_when_denominator_is_zero() {
+        let mut fx = extractor();
+        fx.update(&ce_event(1, 100, 50, 0, 0, 1, 1));
+        let s = fx.snapshot(0.0, 1);
+        // No history at t-1min / t-1h with non-zero CEs.
+        assert_eq!(s.ce_var_1min, 0.0);
+        assert_eq!(s.ce_var_1hour, 0.0);
+    }
+
+    #[test]
+    fn snapshot_carries_cost_and_job_metadata() {
+        let mut fx = extractor();
+        fx.update(&ce_event(1, 10, 1, 0, 0, 1, 1));
+        let s = fx.snapshot(123.5, 16);
+        assert_eq!(s.potential_ue_cost, 123.5);
+        assert_eq!(s.job_nodes, 16);
+        assert_eq!(s.node, NodeId(1));
+        assert_eq!(s.time, SimTime::from_minutes(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong node")]
+    fn wrong_node_rejected() {
+        let mut fx = extractor();
+        fx.update(&merged(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_events_rejected() {
+        let mut fx = extractor();
+        fx.update(&merged(1, 10));
+        fx.update(&merged(1, 5));
+    }
+}

@@ -1,0 +1,55 @@
+//! The mitigation-policy interface.
+
+use crate::state::StateFeatures;
+
+/// A policy that decides, at every error-related event, whether to trigger a UE
+/// mitigation action.
+///
+/// All eight approaches evaluated in the paper (Never/Always-mitigate, SC20-RF with
+/// optimal and perturbed thresholds, Myopic-RF, the RL agent and the Oracle) implement
+/// this trait, which is what lets the cost-benefit harness treat them uniformly.
+pub trait MitigationPolicy {
+    /// Human-readable policy name (used in reports, tables and figures).
+    fn name(&self) -> &str;
+
+    /// Decide whether to mitigate given the current state.
+    fn decide(&mut self, state: &StateFeatures) -> bool;
+
+    /// Node-hours spent training and validating this policy's model (added to the
+    /// mitigation cost in the cost-benefit analysis). Zero for model-free policies.
+    fn training_cost_node_hours(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uerl_trace::types::{NodeId, SimTime};
+
+    /// A minimal policy used to exercise the trait's default method.
+    struct Threshold(f64);
+
+    impl MitigationPolicy for Threshold {
+        fn name(&self) -> &str {
+            "threshold"
+        }
+
+        fn decide(&mut self, state: &StateFeatures) -> bool {
+            state.potential_ue_cost > self.0
+        }
+    }
+
+    #[test]
+    fn trait_objects_work_and_default_training_cost_is_zero() {
+        let mut policy: Box<dyn MitigationPolicy> = Box::new(Threshold(10.0));
+        let mut cheap = StateFeatures::empty(NodeId(0), SimTime::ZERO);
+        cheap.potential_ue_cost = 1.0;
+        let mut expensive = cheap.clone();
+        expensive.potential_ue_cost = 100.0;
+        assert!(!policy.decide(&cheap));
+        assert!(policy.decide(&expensive));
+        assert_eq!(policy.name(), "threshold");
+        assert_eq!(policy.training_cost_node_hours(), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The MDP state: the Table 1 features plus the bookkeeping metadata the evaluation
+//! harness needs (node, timestamp, job size).
+
+use serde::{Deserialize, Serialize};
+use uerl_trace::types::{NodeId, SimTime};
+
+/// Number of numeric features fed to the Q-network.
+pub const STATE_DIM: usize = 15;
+
+/// Names of the numeric features, in the order produced by [`StateFeatures::to_vector`].
+pub const FEATURE_NAMES: [&str; STATE_DIM] = [
+    "ce_since_last_event",
+    "ce_since_start",
+    "ce_since_start_var_1min",
+    "ce_since_start_var_1hour",
+    "ranks_with_ce",
+    "banks_with_ce",
+    "rows_with_ce",
+    "columns_with_ce",
+    "dimms_with_ce",
+    "ue_warnings_since_start",
+    "hours_since_last_boot",
+    "node_boots",
+    "node_boots_var_1min",
+    "node_boots_var_1hour",
+    "potential_ue_cost_node_hours",
+];
+
+/// The state observed by the mitigation policy at one event (Table 1 of the paper).
+///
+/// The corrected-error, uncorrected-error and system-state features are derived from the
+/// error log of the node; the potential UE cost comes from the workload (Equation 3). The
+/// `node`, `time` and `job_nodes` fields are metadata used by the environment, the Oracle
+/// policy and the evaluation metrics; they are *not* part of the numeric feature vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateFeatures {
+    /// Node this state belongs to.
+    pub node: NodeId,
+    /// Timestamp of the event that produced this state.
+    pub time: SimTime,
+    /// Number of nodes of the currently running job (used by the reward bookkeeping).
+    pub job_nodes: u32,
+
+    /// Corrected errors reported by the current (per-minute merged) event.
+    pub ce_since_last_event: u64,
+    /// Corrected errors since the beginning of operation.
+    pub ce_since_start: u64,
+    /// Equation 2 variation of `ce_since_start` over 1 minute.
+    pub ce_var_1min: f64,
+    /// Equation 2 variation of `ce_since_start` over 1 hour.
+    pub ce_var_1hour: f64,
+    /// Number of distinct DIMM ranks with at least one detailed CE.
+    pub ranks_with_ce: u32,
+    /// Number of distinct banks with at least one detailed CE.
+    pub banks_with_ce: u32,
+    /// Number of distinct rows with at least one detailed CE.
+    pub rows_with_ce: u32,
+    /// Number of distinct columns with at least one detailed CE.
+    pub columns_with_ce: u32,
+    /// Number of distinct DIMMs with at least one detailed CE.
+    pub dimms_with_ce: u32,
+    /// Firmware UE warnings since the beginning of operation.
+    pub ue_warnings: u64,
+    /// Hours since the last node boot.
+    pub hours_since_boot: f64,
+    /// Number of node boots since the beginning of operation.
+    pub node_boots: u64,
+    /// Equation 2 variation of `node_boots` over 1 minute.
+    pub boots_var_1min: f64,
+    /// Equation 2 variation of `node_boots` over 1 hour.
+    pub boots_var_1hour: f64,
+    /// Potential UE cost (Equation 3) in node-hours.
+    pub potential_ue_cost: f64,
+}
+
+impl StateFeatures {
+    /// The numeric feature vector fed to the Q-network (and the random-forest baseline).
+    ///
+    /// Counts and the potential cost are compressed with `ln(1 + x)`: the raw values span
+    /// five or more orders of magnitude (single CEs to multi-million-CE storms, node-hour
+    /// costs from minutes to tens of thousands), and a bounded, smooth input scale is
+    /// what lets one network generalise across them — the paper's Figure 6 shows the
+    /// agent extrapolating to UE costs one to two orders of magnitude beyond training.
+    pub fn to_vector(&self) -> Vec<f64> {
+        vec![
+            (self.ce_since_last_event as f64).ln_1p(),
+            (self.ce_since_start as f64).ln_1p(),
+            self.ce_var_1min.max(0.0).ln_1p(),
+            self.ce_var_1hour.max(0.0).ln_1p(),
+            f64::from(self.ranks_with_ce).ln_1p(),
+            f64::from(self.banks_with_ce).ln_1p(),
+            f64::from(self.rows_with_ce).ln_1p(),
+            f64::from(self.columns_with_ce).ln_1p(),
+            f64::from(self.dimms_with_ce).ln_1p(),
+            (self.ue_warnings as f64).ln_1p(),
+            self.hours_since_boot.max(0.0).ln_1p(),
+            (self.node_boots as f64).ln_1p(),
+            self.boots_var_1min.max(0.0).ln_1p(),
+            self.boots_var_1hour.max(0.0).ln_1p(),
+            self.potential_ue_cost.max(0.0).ln_1p(),
+        ]
+    }
+
+    /// The feature vector *without* the potential UE cost, which is what the SC20-RF
+    /// baseline sees (it is a pure error predictor, blind to the workload).
+    pub fn to_error_vector(&self) -> Vec<f64> {
+        let mut v = self.to_vector();
+        v.truncate(STATE_DIM - 1);
+        v
+    }
+
+    /// An all-zero state for a node (used as the neutral starting point of an episode).
+    pub fn empty(node: NodeId, time: SimTime) -> Self {
+        Self {
+            node,
+            time,
+            job_nodes: 1,
+            ce_since_last_event: 0,
+            ce_since_start: 0,
+            ce_var_1min: 0.0,
+            ce_var_1hour: 0.0,
+            ranks_with_ce: 0,
+            banks_with_ce: 0,
+            rows_with_ce: 0,
+            columns_with_ce: 0,
+            dimms_with_ce: 0,
+            ue_warnings: 0,
+            hours_since_boot: 0.0,
+            node_boots: 0,
+            boots_var_1min: 0.0,
+            boots_var_1hour: 0.0,
+            potential_ue_cost: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_has_declared_dimension_and_names() {
+        let s = StateFeatures::empty(NodeId(3), SimTime::from_hours(1));
+        assert_eq!(s.to_vector().len(), STATE_DIM);
+        assert_eq!(FEATURE_NAMES.len(), STATE_DIM);
+        assert_eq!(s.to_error_vector().len(), STATE_DIM - 1);
+    }
+
+    #[test]
+    fn empty_state_is_all_zeros() {
+        let s = StateFeatures::empty(NodeId(0), SimTime::ZERO);
+        assert!(s.to_vector().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn log_compression_is_monotonic_and_bounded() {
+        let mut small = StateFeatures::empty(NodeId(0), SimTime::ZERO);
+        small.ce_since_start = 10;
+        small.potential_ue_cost = 1.0;
+        let mut large = small.clone();
+        large.ce_since_start = 1_000_000;
+        large.potential_ue_cost = 32_000.0;
+        let sv = small.to_vector();
+        let lv = large.to_vector();
+        assert!(lv[1] > sv[1]);
+        assert!(lv[14] > sv[14]);
+        // Even a million CEs stays within a numerically comfortable range.
+        assert!(lv[1] < 20.0);
+        assert!(lv[14] < 20.0);
+    }
+
+    #[test]
+    fn error_vector_drops_only_the_cost() {
+        let mut s = StateFeatures::empty(NodeId(1), SimTime::ZERO);
+        s.ce_since_start = 5;
+        s.potential_ue_cost = 100.0;
+        let full = s.to_vector();
+        let err = s.to_error_vector();
+        assert_eq!(&full[..STATE_DIM - 1], &err[..]);
+    }
+
+    #[test]
+    fn metadata_does_not_enter_the_vector() {
+        let a = StateFeatures::empty(NodeId(1), SimTime::from_hours(5));
+        let b = StateFeatures::empty(NodeId(99), SimTime::from_hours(50));
+        assert_eq!(a.to_vector(), b.to_vector());
+    }
+}

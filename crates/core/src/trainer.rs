@@ -1,0 +1,251 @@
+//! The RL training loop (Section 3.3.3).
+//!
+//! Training is divided into episodes: each episode picks one node at random from the
+//! training timelines, assigns it a random job sequence sampled from the job log
+//! (weighted by node count), and replays the node's events. The agent acts ε-greedily at
+//! every event, receives the Equation 4 reward at the next event, and the transition is
+//! pushed to (prioritized) replay memory, from which the dueling double DQN trains.
+
+use crate::config::MitigationConfig;
+use crate::env::MitigationEnv;
+use crate::event_stream::TimelineSet;
+use crate::policies::RlPolicy;
+use crate::state::STATE_DIM;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use uerl_jobs::schedule::NodeJobSampler;
+use uerl_rl::{AgentConfig, DqnAgent, Transition};
+
+/// Configuration of the training loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Number of training episodes (the paper uses 20,000 per agent).
+    pub episodes: usize,
+    /// Agent configuration (architecture, learning hyperparameters).
+    pub agent: AgentConfig,
+    /// Mitigation cost / restartability.
+    pub mitigation: MitigationConfig,
+    /// Seed for episode sampling (node choice and job sequences).
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// The paper's budget: 20,000 episodes with the full DDDQN + PER agent.
+    pub fn paper() -> Self {
+        Self {
+            episodes: 20_000,
+            agent: AgentConfig::paper(STATE_DIM),
+            mitigation: MitigationConfig::paper_default(),
+            seed: 0,
+        }
+    }
+
+    /// A reduced budget for tests, examples and laptop-scale experiment runs.
+    pub fn reduced(episodes: usize) -> Self {
+        Self {
+            episodes,
+            agent: AgentConfig::small(STATE_DIM),
+            mitigation: MitigationConfig::paper_default(),
+            seed: 0,
+        }
+    }
+
+    /// A copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.agent = self.agent.clone().with_seed(seed.wrapping_add(1));
+        self
+    }
+}
+
+/// What a training run produced.
+#[derive(Debug, Clone)]
+pub struct TrainingOutcome {
+    /// The trained agent.
+    pub agent: DqnAgent,
+    /// Episodes actually run.
+    pub episodes: usize,
+    /// Total environment steps (decisions) observed.
+    pub total_steps: u64,
+    /// Mean undiscounted episode return (negative node-hours).
+    pub mean_episode_return: f64,
+    /// Wall-clock training time in seconds.
+    pub wall_time_secs: f64,
+}
+
+impl TrainingOutcome {
+    /// Training cost in node-hours, assuming training runs on a single node (as in the
+    /// paper, where the total is below twenty node-hours per year of data).
+    pub fn training_cost_node_hours(&self) -> f64 {
+        self.wall_time_secs / 3600.0
+    }
+
+    /// Wrap the trained agent as an evaluation policy, carrying the training cost into
+    /// the cost-benefit accounting.
+    pub fn into_policy(self) -> RlPolicy {
+        let cost = self.training_cost_node_hours();
+        RlPolicy::new(self.agent).with_training_cost(cost)
+    }
+}
+
+/// The episode-based RL trainer.
+#[derive(Debug, Clone)]
+pub struct RlTrainer {
+    config: TrainerConfig,
+}
+
+impl RlTrainer {
+    /// Create a trainer.
+    ///
+    /// # Panics
+    /// Panics if the agent's state dimension does not match [`STATE_DIM`].
+    pub fn new(config: TrainerConfig) -> Self {
+        assert_eq!(
+            config.agent.state_dim, STATE_DIM,
+            "agent state dimension must match the Table 1 feature vector"
+        );
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Train an agent on the given timelines and job sampler.
+    pub fn train(&self, timelines: &TimelineSet, jobs: &NodeJobSampler) -> TrainingOutcome {
+        let start = Instant::now();
+        let mut agent = DqnAgent::new(self.config.agent.clone());
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut total_steps = 0u64;
+        let mut total_return = 0.0;
+        let mut episodes_run = 0usize;
+
+        for _ in 0..self.config.episodes {
+            let Some(timeline) = timelines.random_timeline(&mut rng) else {
+                break;
+            };
+            let sequence =
+                jobs.sample_sequence(timeline.window_start(), timeline.window_end(), &mut rng);
+            let mut env = MitigationEnv::new(
+                timeline.clone(),
+                sequence,
+                self.config.mitigation,
+                true,
+            );
+            episodes_run += 1;
+            let Some(first) = env.reset() else {
+                continue;
+            };
+            let mut state_vec = first.to_vector();
+            let mut episode_return = 0.0;
+            loop {
+                let action = agent.act(&state_vec);
+                let outcome = env.step(action == 1);
+                episode_return += outcome.reward;
+                total_steps += 1;
+                match outcome.next_state {
+                    Some(next) => {
+                        let next_vec = next.to_vector();
+                        agent.observe(Transition::new(
+                            state_vec,
+                            action,
+                            outcome.reward,
+                            next_vec.clone(),
+                        ));
+                        state_vec = next_vec;
+                    }
+                    None => {
+                        agent.observe(Transition::terminal(state_vec, action, outcome.reward));
+                        break;
+                    }
+                }
+            }
+            total_return += episode_return;
+        }
+
+        TrainingOutcome {
+            agent,
+            episodes: episodes_run,
+            total_steps,
+            mean_episode_return: if episodes_run > 0 {
+                total_return / episodes_run as f64
+            } else {
+                0.0
+            },
+            wall_time_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uerl_jobs::{JobLogConfig, JobTraceGenerator};
+    use uerl_trace::generator::{SyntheticLogConfig, TraceGenerator};
+    use uerl_trace::reduction::preprocess;
+
+    fn training_inputs(seed: u64) -> (TimelineSet, NodeJobSampler) {
+        let log = TraceGenerator::new(SyntheticLogConfig::small(30, 60, seed)).generate();
+        let timelines = TimelineSet::from_log(&preprocess(&log));
+        let jobs = JobTraceGenerator::new(JobLogConfig::small(64, 30, seed)).generate();
+        (timelines, NodeJobSampler::from_log(&jobs))
+    }
+
+    #[test]
+    fn training_runs_and_produces_a_usable_policy() {
+        let (timelines, sampler) = training_inputs(3);
+        let trainer = RlTrainer::new(TrainerConfig::reduced(40).with_seed(5));
+        let outcome = trainer.train(&timelines, &sampler);
+        assert_eq!(outcome.episodes, 40);
+        assert!(outcome.total_steps > 0);
+        assert!(outcome.mean_episode_return <= 0.0, "returns are negative costs");
+        assert!(outcome.wall_time_secs > 0.0);
+        assert!(outcome.training_cost_node_hours() < 1.0);
+        let mut policy = outcome.into_policy();
+        use crate::policy::MitigationPolicy;
+        let s = crate::state::StateFeatures::empty(
+            uerl_trace::types::NodeId(0),
+            uerl_trace::types::SimTime::ZERO,
+        );
+        let _ = policy.decide(&s);
+        assert!(policy.training_cost_node_hours() > 0.0);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let (timelines, sampler) = training_inputs(7);
+        let a = RlTrainer::new(TrainerConfig::reduced(15).with_seed(9)).train(&timelines, &sampler);
+        let b = RlTrainer::new(TrainerConfig::reduced(15).with_seed(9)).train(&timelines, &sampler);
+        assert_eq!(a.total_steps, b.total_steps);
+        assert!((a.mean_episode_return - b.mean_episode_return).abs() < 1e-9);
+        let probe = vec![0.1; STATE_DIM];
+        assert_eq!(a.agent.q_values(&probe), b.agent.q_values(&probe));
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let (timelines, sampler) = training_inputs(7);
+        let a = RlTrainer::new(TrainerConfig::reduced(15).with_seed(1)).train(&timelines, &sampler);
+        let b = RlTrainer::new(TrainerConfig::reduced(15).with_seed(2)).train(&timelines, &sampler);
+        let probe = vec![0.1; STATE_DIM];
+        assert_ne!(a.agent.q_values(&probe), b.agent.q_values(&probe));
+    }
+
+    #[test]
+    fn paper_budget_is_twenty_thousand_episodes() {
+        let cfg = TrainerConfig::paper();
+        assert_eq!(cfg.episodes, 20_000);
+        assert_eq!(cfg.agent.hidden, vec![256, 256, 128, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension")]
+    fn wrong_state_dimension_rejected() {
+        let mut cfg = TrainerConfig::reduced(1);
+        cfg.agent.state_dim = 3;
+        RlTrainer::new(cfg);
+    }
+}

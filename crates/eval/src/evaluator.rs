@@ -1,0 +1,447 @@
+//! The full evaluation protocol: per cross-validation split, train the baselines and the
+//! RL agent on the data preceding the test part, then evaluate every policy on the test
+//! part and accumulate the cost-benefit results.
+
+use crate::metrics::ClassificationMetrics;
+use crate::run::{run_policy, PolicyRun};
+use crate::scenario::ExperimentContext;
+use crate::splits::{nested_splits, SplitSpec};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::time::Instant;
+use uerl_core::event_stream::TimelineSet;
+use uerl_core::policies::{
+    AlwaysMitigate, MyopicRfPolicy, NeverMitigate, OraclePolicy, RlPolicy, ThresholdRfPolicy,
+};
+use uerl_core::rf_dataset::build_rf_dataset_1day;
+use uerl_core::state::STATE_DIM;
+use uerl_core::trainer::{RlTrainer, TrainerConfig};
+use uerl_core::MitigationConfig;
+use uerl_forest::{perturb_threshold, RandomForest, RandomForestConfig};
+use uerl_jobs::schedule::NodeJobSampler;
+use uerl_rl::{AgentConfig, HyperParams};
+
+/// The canonical policy ordering used in every figure and table.
+pub const POLICY_ORDER: [&str; 8] = [
+    "Never-mitigate",
+    "Always-mitigate",
+    "SC20-RF",
+    "SC20-RF-2%",
+    "SC20-RF-5%",
+    "Myopic-RF",
+    "RL",
+    "Oracle",
+];
+
+/// A policy's accumulated run plus its classical ML metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyTotals {
+    /// Accumulated cost-benefit run.
+    pub run: PolicyRun,
+    /// Classification metrics over the accumulated decisions.
+    pub metrics: ClassificationMetrics,
+}
+
+/// The per-split outcome: one [`PolicyRun`] per policy, in [`POLICY_ORDER`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitOutcome {
+    /// The split that was evaluated.
+    pub split: SplitSpec,
+    /// One run per policy, in [`POLICY_ORDER`].
+    pub runs: Vec<PolicyRun>,
+}
+
+/// The complete evaluation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationResult {
+    /// Scenario label (e.g. "MN/All").
+    pub label: String,
+    /// Per-split outcomes in split order.
+    pub per_split: Vec<SplitOutcome>,
+    /// Per-policy runs merged across all splits, in [`POLICY_ORDER`].
+    pub totals: Vec<PolicyRun>,
+}
+
+impl EvaluationResult {
+    /// The accumulated run of a policy.
+    pub fn total_for(&self, policy: &str) -> Option<&PolicyRun> {
+        self.totals.iter().find(|r| r.policy == policy)
+    }
+
+    /// The accumulated run plus metrics of a policy.
+    pub fn totals_for(&self, policy: &str) -> Option<PolicyTotals> {
+        self.total_for(policy).map(|run| PolicyTotals {
+            run: run.clone(),
+            metrics: ClassificationMetrics::from_run_1day(run),
+        })
+    }
+
+    /// Total cost (node-hours) of a policy, or infinity if it was not evaluated.
+    pub fn total_cost_of(&self, policy: &str) -> f64 {
+        self.total_for(policy).map_or(f64::INFINITY, PolicyRun::total_cost)
+    }
+}
+
+/// The evaluation driver.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator {
+    /// Job-size scaling factor applied to the workload (Figure 7). 1.0 = as logged.
+    pub job_scaling: f64,
+    /// Run the cross-validation splits on parallel threads.
+    pub parallel_splits: bool,
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Self {
+            job_scaling: 1.0,
+            parallel_splits: true,
+        }
+    }
+}
+
+impl Evaluator {
+    /// An evaluator with the default (unscaled, parallel) settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the job-size scaling factor.
+    ///
+    /// # Panics
+    /// Panics if the factor is not strictly positive and finite.
+    pub fn with_job_scaling(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scaling factor must be positive");
+        self.job_scaling = factor;
+        self
+    }
+
+    /// Disable split-level parallelism (useful for debugging and deterministic profiling).
+    pub fn sequential(mut self) -> Self {
+        self.parallel_splits = false;
+        self
+    }
+
+    /// Run the full protocol on a context.
+    pub fn evaluate(&self, ctx: &ExperimentContext) -> EvaluationResult {
+        let sampler = ctx.job_sampler(self.job_scaling);
+        let splits = nested_splits(
+            ctx.timelines.window_start(),
+            ctx.timelines.window_end(),
+            ctx.budget.cv_parts,
+        );
+
+        let outcomes: Vec<SplitOutcome> = if self.parallel_splits {
+            // Each split is independent; fan them out over scoped threads and collect the
+            // results through a channel so panics in workers surface as missing results.
+            let (tx, rx) = crossbeam::channel::unbounded();
+            std::thread::scope(|scope| {
+                for spec in &splits {
+                    let tx = tx.clone();
+                    let sampler = &sampler;
+                    scope.spawn(move || {
+                        let outcome = evaluate_split(ctx, sampler, *spec);
+                        tx.send((spec.index, outcome)).expect("collector alive");
+                    });
+                }
+                drop(tx);
+                let mut collected: Vec<(usize, SplitOutcome)> = rx.iter().collect();
+                collected.sort_by_key(|(idx, _)| *idx);
+                collected.into_iter().map(|(_, o)| o).collect()
+            })
+        } else {
+            splits
+                .iter()
+                .map(|spec| evaluate_split(ctx, &sampler, *spec))
+                .collect()
+        };
+
+        // Merge per-policy totals across splits.
+        let mut totals: Vec<PolicyRun> = POLICY_ORDER.iter().map(|&p| PolicyRun::empty(p)).collect();
+        for outcome in &outcomes {
+            for (total, run) in totals.iter_mut().zip(&outcome.runs) {
+                total.merge(run);
+            }
+        }
+
+        EvaluationResult {
+            label: ctx.label.clone(),
+            per_split: outcomes,
+            totals,
+        }
+    }
+}
+
+/// Evaluate every policy on one cross-validation split.
+fn evaluate_split(
+    ctx: &ExperimentContext,
+    sampler: &NodeJobSampler,
+    spec: SplitSpec,
+) -> SplitOutcome {
+    let config = ctx.mitigation;
+    let seed = ctx.seed ^ (spec.index as u64).wrapping_mul(0xA5A5_5A5A);
+    let train_tl = ctx.timelines.slice(spec.train.0, spec.train.1);
+    let validate_tl = ctx.timelines.slice(spec.validate.0, spec.validate.1);
+    let test_tl = ctx.timelines.slice(spec.test.0, spec.test.1);
+    let train_val_tl = ctx.timelines.slice(spec.train.0, spec.validate.1);
+
+    if test_tl.is_empty() {
+        return SplitOutcome {
+            split: spec,
+            runs: POLICY_ORDER.iter().map(|&p| PolicyRun::empty(p)).collect(),
+        };
+    }
+
+    // --- Baselines -----------------------------------------------------------------
+    let forest = train_forest(ctx, &train_val_tl, seed);
+
+    // SC20-RF with its cost-optimal threshold ("maximum advantage"; the cost of finding
+    // this threshold is not charged, exactly as in the paper).
+    let (best_threshold, sc20_run) =
+        select_optimal_threshold(ctx, &forest, &test_tl, sampler, config, seed);
+
+    let run_threshold_variant = |threshold: f64, name: &str| -> PolicyRun {
+        let mut policy = ThresholdRfPolicy::new(forest.clone(), threshold, name);
+        let mut run = run_policy(&mut policy, &test_tl, sampler, config, seed);
+        run.policy = name.to_string();
+        run
+    };
+    let sc20_2 = run_threshold_variant(perturb_threshold(best_threshold, 0.02), "SC20-RF-2%");
+    let sc20_5 = run_threshold_variant(perturb_threshold(best_threshold, 0.05), "SC20-RF-5%");
+
+    let mut myopic = MyopicRfPolicy::new(forest.clone(), config.mitigation_cost_node_hours());
+    let myopic_run = run_policy(&mut myopic, &test_tl, sampler, config, seed);
+
+    // --- The RL agent ----------------------------------------------------------------
+    let mut rl_policy = train_rl_agent(ctx, &train_tl, &validate_tl, sampler, config, seed);
+    let rl_run = run_policy(&mut rl_policy, &test_tl, sampler, config, seed);
+
+    // --- Static baselines and the Oracle ----------------------------------------------
+    let never_run = run_policy(&mut NeverMitigate, &test_tl, sampler, config, seed);
+    let always_run = run_policy(&mut AlwaysMitigate, &test_tl, sampler, config, seed);
+    let mut oracle = OraclePolicy::from_timelines(&test_tl);
+    let oracle_run = run_policy(&mut oracle, &test_tl, sampler, config, seed);
+
+    SplitOutcome {
+        split: spec,
+        runs: vec![
+            never_run, always_run, sc20_run, sc20_2, sc20_5, myopic_run, rl_run, oracle_run,
+        ],
+    }
+}
+
+/// Train the SC20-RF random forest on the training + validation data of a split.
+fn train_forest(ctx: &ExperimentContext, train_val: &TimelineSet, seed: u64) -> RandomForest {
+    let (mut dataset, _) = build_rf_dataset_1day(train_val);
+    if dataset.is_empty() {
+        // Degenerate split (no events before the test part): a forest that always
+        // predicts "no UE".
+        dataset.push(vec![0.0; STATE_DIM - 1], false);
+    }
+    let mut rf_config = RandomForestConfig::sc20(STATE_DIM - 1, seed);
+    rf_config.n_trees = ctx.budget.rf_trees.max(1);
+    if dataset.positives() == 0 {
+        // Under-sampling needs at least one positive; fall back to plain bagging.
+        rf_config.undersample_ratio = None;
+    }
+    RandomForest::fit(&dataset, &rf_config)
+}
+
+/// Scan a threshold grid and return the cost-optimal threshold together with its run.
+fn select_optimal_threshold(
+    ctx: &ExperimentContext,
+    forest: &RandomForest,
+    test_tl: &TimelineSet,
+    sampler: &NodeJobSampler,
+    config: MitigationConfig,
+    seed: u64,
+) -> (f64, PolicyRun) {
+    let grid = ctx.budget.threshold_grid.max(2);
+    let mut best: Option<(f64, PolicyRun)> = None;
+    for i in 0..grid {
+        let threshold = i as f64 / (grid - 1) as f64;
+        let mut policy = ThresholdRfPolicy::new(forest.clone(), threshold, "SC20-RF");
+        let run = run_policy(&mut policy, test_tl, sampler, config, seed);
+        let better = best
+            .as_ref()
+            .map(|(_, b)| run.total_cost() < b.total_cost())
+            .unwrap_or(true);
+        if better {
+            best = Some((threshold, run));
+        }
+    }
+    best.expect("grid has at least two thresholds")
+}
+
+/// Train the RL agent for one split: random hyperparameter search on the training data,
+/// model selection on the validation data (or the training data if the validation range
+/// has no UEs, as in the paper), best agent kept. The wall-clock of the whole search is
+/// charged as the policy's training cost.
+fn train_rl_agent(
+    ctx: &ExperimentContext,
+    train_tl: &TimelineSet,
+    validate_tl: &TimelineSet,
+    sampler: &NodeJobSampler,
+    config: MitigationConfig,
+    seed: u64,
+) -> RlPolicy {
+    let start = Instant::now();
+    let budget = ctx.budget;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+    let base_agent = AgentConfig::small(STATE_DIM);
+
+    // Model selection set: validation if it contains UEs, training otherwise.
+    let selection_tl = if validate_tl.total_fatal() > 0 {
+        validate_tl
+    } else {
+        train_tl
+    };
+
+    let mut candidates = vec![HyperParams::default_point()];
+    for _ in 1..budget.hyper_initial.max(1) {
+        candidates.push(HyperParams::sample(&mut rng));
+    }
+
+    let mut best: Option<(HyperParams, RlPolicy, f64)> = None;
+    let evaluate_candidate = |params: HyperParams,
+                                  rng: &mut StdRng,
+                                  best: &mut Option<(HyperParams, RlPolicy, f64)>| {
+        let agent_config = params.apply_to(&base_agent).with_seed(seed);
+        let trainer_config = TrainerConfig {
+            episodes: budget.rl_episodes.max(1),
+            agent: agent_config,
+            mitigation: config,
+            seed: seed ^ u64::from(rng.next_u32()),
+        };
+        let outcome = RlTrainer::new(trainer_config).train(train_tl, sampler);
+        let mut policy = RlPolicy::new(outcome.agent.clone());
+        let score = if selection_tl.is_empty() {
+            0.0
+        } else {
+            -run_policy(&mut policy, selection_tl, sampler, config, seed).total_cost()
+        };
+        let better = best.as_ref().map(|(_, _, s)| score > *s).unwrap_or(true);
+        if better {
+            *best = Some((params, RlPolicy::new(outcome.agent), score));
+        }
+    };
+
+    for params in candidates {
+        evaluate_candidate(params, &mut rng, &mut best);
+    }
+    if let Some((anchor, _, _)) = best.clone() {
+        for _ in 0..budget.hyper_refined {
+            let params = anchor.narrowed(&mut rng);
+            evaluate_candidate(params, &mut rng, &mut best);
+        }
+    }
+
+    let training_cost = start.elapsed().as_secs_f64() / 3600.0;
+    let (_, policy, _) = best.expect("at least one candidate was evaluated");
+    policy.with_training_cost(training_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::EvalBudget;
+
+    fn small_result() -> EvaluationResult {
+        let ctx = ExperimentContext::synthetic_small(35, 90, EvalBudget::tiny(), 41);
+        Evaluator::new().evaluate(&ctx)
+    }
+
+    #[test]
+    fn full_protocol_produces_all_policies_and_splits() {
+        let result = small_result();
+        assert_eq!(result.per_split.len(), EvalBudget::tiny().cv_parts);
+        assert_eq!(result.totals.len(), POLICY_ORDER.len());
+        for (run, &name) in result.totals.iter().zip(POLICY_ORDER.iter()) {
+            assert_eq!(run.policy, name);
+        }
+        // Every policy saw the same UEs (workload and log are policy-independent).
+        let never = result.total_for("Never-mitigate").unwrap();
+        let always = result.total_for("Always-mitigate").unwrap();
+        assert_eq!(never.ue_count, always.ue_count);
+        assert!(never.ue_count > 0, "the synthetic test data must contain UEs");
+    }
+
+    #[test]
+    fn cost_orderings_match_the_paper_shape() {
+        let result = small_result();
+        let never = result.total_cost_of("Never-mitigate");
+        let always = result.total_cost_of("Always-mitigate");
+        let oracle = result.total_cost_of("Oracle");
+        let sc20 = result.total_cost_of("SC20-RF");
+        // The Oracle is the cheapest policy; Never-mitigate pays the full UE bill.
+        assert!(oracle <= always + 1e-9);
+        assert!(oracle <= never + 1e-9);
+        assert!(oracle <= sc20 + 1e-9);
+        // SC20-RF with the cost-optimal threshold can never lose to both static policies
+        // simultaneously (the grid contains threshold 0 ≈ Always and 1 ≈ Never).
+        assert!(sc20 <= never.max(always) + 1e-9);
+        // Perturbed thresholds are at best as good as the optimal one.
+        assert!(result.total_cost_of("SC20-RF-2%") + 1e-9 >= sc20);
+        assert!(result.total_cost_of("SC20-RF-5%") + 1e-9 >= sc20);
+    }
+
+    #[test]
+    fn metrics_are_available_for_every_policy() {
+        let result = small_result();
+        for &name in POLICY_ORDER.iter() {
+            let totals = result.totals_for(name).unwrap();
+            let m = totals.metrics;
+            assert_eq!(
+                m.true_positives + m.false_negatives,
+                result.total_for(name).unwrap().ue_count,
+                "TP+FN must equal the number of UEs for {name}"
+            );
+        }
+        // The Oracle performs the fewest mitigations needed to cover the predictable UEs,
+        // so its precision is the best among all policies that mitigate at all. (It can
+        // fall short of 100% only when the last event before a UE lies outside the 1-day
+        // classification window, which the cost-benefit analysis does not penalise.)
+        let oracle = result.totals_for("Oracle").unwrap().metrics;
+        if let Some(oracle_precision) = oracle.precision() {
+            for &name in POLICY_ORDER.iter() {
+                if let Some(p) = result.totals_for(name).unwrap().metrics.precision() {
+                    assert!(
+                        oracle_precision + 1e-9 >= p,
+                        "oracle precision {oracle_precision} below {name}'s {p}"
+                    );
+                }
+            }
+        }
+        // Never-mitigate has undefined precision.
+        assert!(result.totals_for("Never-mitigate").unwrap().metrics.precision().is_none());
+    }
+
+    #[test]
+    fn sequential_and_parallel_evaluation_agree() {
+        let ctx = ExperimentContext::synthetic_small(25, 60, EvalBudget::tiny(), 43);
+        let par = Evaluator::new().evaluate(&ctx);
+        let seq = Evaluator::new().sequential().evaluate(&ctx);
+        for (a, b) in par.totals.iter().zip(&seq.totals) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.ue_count, b.ue_count);
+            assert_eq!(a.mitigations, b.mitigations);
+            assert!((a.ue_cost - b.ue_cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn job_scaling_raises_unmitigated_costs() {
+        let ctx = ExperimentContext::synthetic_small(25, 60, EvalBudget::tiny(), 47);
+        let base = Evaluator::new().sequential().evaluate(&ctx);
+        let scaled = Evaluator::new()
+            .sequential()
+            .with_job_scaling(10.0)
+            .evaluate(&ctx);
+        let never_base = base.total_cost_of("Never-mitigate");
+        let never_scaled = scaled.total_cost_of("Never-mitigate");
+        assert!(
+            never_scaled > 3.0 * never_base,
+            "10x larger jobs must cost much more ({never_base} -> {never_scaled})"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Shared helpers for the experiment drivers that need a trained agent outside the
+//! cross-validation loop (Figure 6's behaviour map and Table 2's cost-conditioned rows).
+
+use crate::run::run_policy;
+use crate::scenario::ExperimentContext;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uerl_core::env::MitigationEnv;
+use uerl_core::event_stream::TimelineSet;
+use uerl_core::policies::{RlPolicy, ThresholdRfPolicy};
+use uerl_core::rf_dataset::build_rf_dataset_1day;
+use uerl_core::state::{StateFeatures, STATE_DIM};
+use uerl_core::trainer::{RlTrainer, TrainerConfig};
+use uerl_core::MitigationConfig;
+use uerl_forest::{RandomForest, RandomForestConfig};
+use uerl_jobs::schedule::NodeJobSampler;
+use uerl_rl::AgentConfig;
+use uerl_trace::types::SimTime;
+
+/// Models trained on the leading fraction of the observation window, plus the boundary.
+pub struct TrainedModels {
+    /// The SC20-style random forest (the Figure 6 y-axis probability proxy).
+    pub forest: RandomForest,
+    /// The trained RL policy.
+    pub rl: RlPolicy,
+    /// End of the training range; the remainder of the window is held out.
+    pub train_end: SimTime,
+}
+
+impl TrainedModels {
+    /// A threshold-free view of the forest for probability queries.
+    pub fn rf_probe(&self) -> ThresholdRfPolicy {
+        ThresholdRfPolicy::new(self.forest.clone(), 0.5, "RF-probe")
+    }
+}
+
+/// Train the forest and the RL agent on the first `train_fraction` of the window.
+pub fn train_models_on_prefix(ctx: &ExperimentContext, train_fraction: f64) -> TrainedModels {
+    let window = ctx.timelines.window_end() - ctx.timelines.window_start();
+    let train_end = ctx
+        .timelines
+        .window_start()
+        .plus_secs((window as f64 * train_fraction.clamp(0.1, 0.95)) as i64);
+    let train_tl = ctx.timelines.slice(ctx.timelines.window_start(), train_end);
+    let sampler = ctx.job_sampler(1.0);
+
+    // Random forest on the training prefix.
+    let (mut dataset, _) = build_rf_dataset_1day(&train_tl);
+    if dataset.is_empty() {
+        dataset.push(vec![0.0; STATE_DIM - 1], false);
+    }
+    let mut rf_config = RandomForestConfig::sc20(STATE_DIM - 1, ctx.seed);
+    rf_config.n_trees = ctx.budget.rf_trees.max(1);
+    if dataset.positives() == 0 {
+        rf_config.undersample_ratio = None;
+    }
+    let forest = RandomForest::fit(&dataset, &rf_config);
+
+    // RL agent on the same prefix.
+    let trainer_config = TrainerConfig {
+        episodes: ctx.budget.rl_episodes.max(1),
+        agent: AgentConfig::small(STATE_DIM).with_seed(ctx.seed),
+        mitigation: ctx.mitigation,
+        seed: ctx.seed,
+    };
+    let outcome = RlTrainer::new(trainer_config).train(&train_tl, &sampler);
+    TrainedModels {
+        forest,
+        rl: outcome.into_policy(),
+        train_end,
+    }
+}
+
+/// The held-out timelines (after [`TrainedModels::train_end`]).
+pub fn holdout(ctx: &ExperimentContext, models: &TrainedModels) -> TimelineSet {
+    ctx.timelines.slice(models.train_end, ctx.timelines.window_end())
+}
+
+/// Replay the held-out timelines without mitigating and collect every observed state.
+pub fn collect_states(
+    timelines: &TimelineSet,
+    sampler: &NodeJobSampler,
+    config: MitigationConfig,
+    seed: u64,
+) -> Vec<StateFeatures> {
+    let mut states = Vec::new();
+    for timeline in timelines.timelines() {
+        let mut rng = StdRng::seed_from_u64(seed ^ u64::from(timeline.node().0));
+        let sequence =
+            sampler.sample_sequence(timeline.window_start(), timeline.window_end(), &mut rng);
+        let mut env = MitigationEnv::new(timeline.clone(), sequence, config, false);
+        let mut state = env.reset();
+        while let Some(s) = state {
+            states.push(s.clone());
+            state = env.step(false).next_state;
+        }
+    }
+    states
+}
+
+/// Convenience: the total cost a trained RL policy achieves on the held-out data (used by
+/// tests to sanity-check the helpers).
+pub fn holdout_cost(ctx: &ExperimentContext, models: &mut TrainedModels) -> f64 {
+    let holdout_tl = holdout(ctx, models);
+    let sampler = ctx.job_sampler(1.0);
+    run_policy(&mut models.rl, &holdout_tl, &sampler, ctx.mitigation, ctx.seed).total_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::EvalBudget;
+    use uerl_core::policy::MitigationPolicy;
+
+    #[test]
+    fn prefix_training_and_state_collection_work_together() {
+        let ctx = ExperimentContext::synthetic_small(30, 75, EvalBudget::tiny(), 61);
+        let mut models = train_models_on_prefix(&ctx, 0.5);
+        assert!(models.train_end > ctx.timelines.window_start());
+        assert!(models.train_end < ctx.timelines.window_end());
+        assert!(models.rl.training_cost_node_hours() > 0.0);
+
+        let holdout_tl = holdout(&ctx, &models);
+        let sampler = ctx.job_sampler(1.0);
+        let states = collect_states(&holdout_tl, &sampler, ctx.mitigation, ctx.seed);
+        assert!(!states.is_empty());
+        assert!(states.iter().all(|s| s.time >= models.train_end));
+
+        // The probe and the policy can both evaluate collected states.
+        let probe = models.rf_probe();
+        let p = probe.probability(&states[0]);
+        assert!((0.0..=1.0).contains(&p));
+        let cost = holdout_cost(&ctx, &mut models);
+        assert!(cost >= 0.0);
+        let _ = models.rl.decide(&states[0]);
+    }
+}

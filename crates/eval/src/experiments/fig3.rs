@@ -1,0 +1,133 @@
+//! Figure 3: total cost (UE cost + mitigation cost) for the whole system, for mitigation
+//! costs of 2, 5 and 10 node-minutes, across all eight policies. Also derives the
+//! Section 5.1 headline numbers (reduction vs Never-mitigate, distance to the Oracle).
+
+use crate::evaluator::{EvaluationResult, Evaluator, POLICY_ORDER};
+use crate::report::{format_table, node_hours, percent};
+use crate::scenario::ExperimentContext;
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Mitigation cost in node-minutes (2, 5 or 10).
+    pub mitigation_cost_minutes: f64,
+    /// Policy name.
+    pub policy: String,
+    /// UE cost in node-hours (the solid part of the bar).
+    pub ue_cost: f64,
+    /// Mitigation cost in node-hours, including model training (the dashed part).
+    pub mitigation_cost: f64,
+}
+
+impl Fig3Row {
+    /// Total cost (bar height).
+    pub fn total_cost(&self) -> f64 {
+        self.ue_cost + self.mitigation_cost
+    }
+}
+
+/// The Figure 3 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// Scenario label.
+    pub label: String,
+    /// All bars, grouped by mitigation cost then by policy (in [`POLICY_ORDER`]).
+    pub rows: Vec<Fig3Row>,
+}
+
+impl Fig3Result {
+    /// The row for a policy at a mitigation cost, if present.
+    pub fn row(&self, policy: &str, mitigation_cost_minutes: f64) -> Option<&Fig3Row> {
+        self.rows.iter().find(|r| {
+            r.policy == policy && (r.mitigation_cost_minutes - mitigation_cost_minutes).abs() < 1e-9
+        })
+    }
+
+    /// Section 5.1 headline: `(reduction of RL vs Never-mitigate, RL excess over Oracle)`
+    /// at the given mitigation cost, both as fractions.
+    pub fn headline(&self, mitigation_cost_minutes: f64) -> Option<(f64, f64)> {
+        let never = self.row("Never-mitigate", mitigation_cost_minutes)?.total_cost();
+        let rl = self.row("RL", mitigation_cost_minutes)?.total_cost();
+        let oracle = self.row("Oracle", mitigation_cost_minutes)?.total_cost();
+        if never <= 0.0 || oracle <= 0.0 {
+            return None;
+        }
+        Some(((never - rl) / never, (rl - oracle) / oracle))
+    }
+
+    /// Render the figure as a text table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}", r.mitigation_cost_minutes),
+                    r.policy.clone(),
+                    node_hours(r.ue_cost),
+                    node_hours(r.mitigation_cost),
+                    node_hours(r.total_cost()),
+                ]
+            })
+            .collect();
+        let mut out = format!("Figure 3 — total cost ({})\n", self.label);
+        out.push_str(&format_table(
+            &["mit. cost (node-min)", "policy", "UE cost (nh)", "mitigation (nh)", "total (nh)"],
+            &rows,
+        ));
+        if let Some((reduction, gap)) = self.headline(2.0) {
+            out.push_str(&format!(
+                "headline @2 node-min: RL reduces lost compute by {} vs Never-mitigate, {} above Oracle\n",
+                percent(reduction),
+                percent(gap)
+            ));
+        }
+        out
+    }
+}
+
+/// Run Figure 3: evaluate the context at each mitigation cost.
+pub fn run(ctx: &ExperimentContext, mitigation_costs_minutes: &[f64]) -> Fig3Result {
+    let mut rows = Vec::new();
+    for &cost in mitigation_costs_minutes {
+        let scenario = ctx.with_mitigation_cost_minutes(cost);
+        let result: EvaluationResult = Evaluator::new().evaluate(&scenario);
+        for &policy in POLICY_ORDER.iter() {
+            let run = result.total_for(policy).expect("every policy is evaluated");
+            rows.push(Fig3Row {
+                mitigation_cost_minutes: cost,
+                policy: policy.to_string(),
+                ue_cost: run.ue_cost,
+                mitigation_cost: run.mitigation_cost,
+            });
+        }
+    }
+    Fig3Result {
+        label: ctx.label.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::EvalBudget;
+
+    #[test]
+    fn figure3_smoke_test_reproduces_the_shape() {
+        let ctx = ExperimentContext::synthetic_small(30, 75, EvalBudget::tiny(), 51);
+        let result = run(&ctx, &[2.0]);
+        assert_eq!(result.rows.len(), POLICY_ORDER.len());
+        let never = result.row("Never-mitigate", 2.0).unwrap();
+        let oracle = result.row("Oracle", 2.0).unwrap();
+        assert_eq!(never.mitigation_cost, 0.0);
+        assert!(never.total_cost() > 0.0);
+        assert!(oracle.total_cost() <= never.total_cost() + 1e-9);
+        let rendered = result.render();
+        assert!(rendered.contains("Figure 3"));
+        assert!(rendered.contains("Never-mitigate"));
+        let (reduction, _gap) = result.headline(2.0).unwrap();
+        assert!(reduction >= -1.0 && reduction <= 1.0);
+    }
+}

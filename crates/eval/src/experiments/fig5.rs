@@ -1,0 +1,142 @@
+//! Figure 5: total cost per DRAM manufacturer — the whole system (MN/All), each
+//! anonymised manufacturer evaluated separately (MN/A, MN/B, MN/C), and the sum of the
+//! three separately-trained subsystems (MN/ABC).
+
+use crate::evaluator::{Evaluator, POLICY_ORDER};
+use crate::report::{format_table, node_hours};
+use crate::scenario::ExperimentContext;
+use serde::{Deserialize, Serialize};
+use uerl_trace::types::Manufacturer;
+
+/// One bar of Figure 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Scenario label ("MN/All", "MN/A", "MN/B", "MN/C", "MN/ABC").
+    pub scenario: String,
+    /// Policy name.
+    pub policy: String,
+    /// UE cost in node-hours.
+    pub ue_cost: f64,
+    /// Mitigation cost in node-hours.
+    pub mitigation_cost: f64,
+}
+
+impl Fig5Row {
+    /// Total cost (bar height).
+    pub fn total_cost(&self) -> f64 {
+        self.ue_cost + self.mitigation_cost
+    }
+}
+
+/// The Figure 5 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// All bars, grouped by scenario then policy.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5Result {
+    /// The row for a scenario and policy.
+    pub fn row(&self, scenario: &str, policy: &str) -> Option<&Fig5Row> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.policy == policy)
+    }
+
+    /// Render the figure as a text table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    r.policy.clone(),
+                    node_hours(r.ue_cost),
+                    node_hours(r.mitigation_cost),
+                    node_hours(r.total_cost()),
+                ]
+            })
+            .collect();
+        format!(
+            "Figure 5 — total cost per DRAM manufacturer\n{}",
+            format_table(
+                &["scenario", "policy", "UE cost (nh)", "mitigation (nh)", "total (nh)"],
+                &rows
+            )
+        )
+    }
+}
+
+/// Run Figure 5: evaluate MN/All plus one scenario per manufacturer, and synthesise
+/// MN/ABC as the sum of the three per-manufacturer scenarios.
+pub fn run(ctx: &ExperimentContext) -> Fig5Result {
+    let mut rows = Vec::new();
+    let mut push_result = |scenario: &str, result: &crate::evaluator::EvaluationResult| {
+        for &policy in POLICY_ORDER.iter() {
+            let run = result.total_for(policy).expect("every policy is evaluated");
+            rows.push(Fig5Row {
+                scenario: scenario.to_string(),
+                policy: policy.to_string(),
+                ue_cost: run.ue_cost,
+                mitigation_cost: run.mitigation_cost,
+            });
+        }
+    };
+
+    let all = Evaluator::new().evaluate(ctx);
+    push_result("MN/All", &all);
+
+    let mut abc_totals: Vec<(f64, f64)> = vec![(0.0, 0.0); POLICY_ORDER.len()];
+    for manufacturer in Manufacturer::ALL {
+        let sub_ctx = ctx.restricted_to_manufacturer(manufacturer);
+        if sub_ctx.timelines.is_empty() {
+            continue;
+        }
+        let result = Evaluator::new().evaluate(&sub_ctx);
+        push_result(&sub_ctx.label, &result);
+        for (i, &policy) in POLICY_ORDER.iter().enumerate() {
+            if let Some(run) = result.total_for(policy) {
+                abc_totals[i].0 += run.ue_cost;
+                abc_totals[i].1 += run.mitigation_cost;
+            }
+        }
+    }
+    for (i, &policy) in POLICY_ORDER.iter().enumerate() {
+        rows.push(Fig5Row {
+            scenario: "MN/ABC".to_string(),
+            policy: policy.to_string(),
+            ue_cost: abc_totals[i].0,
+            mitigation_cost: abc_totals[i].1,
+        });
+    }
+
+    Fig5Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::EvalBudget;
+
+    #[test]
+    fn figure5_produces_all_scenarios_and_sums_abc() {
+        let ctx = ExperimentContext::synthetic_small(36, 75, EvalBudget::tiny(), 57);
+        let result = run(&ctx);
+        for scenario in ["MN/All", "MN/ABC"] {
+            assert!(
+                result.row(scenario, "Never-mitigate").is_some(),
+                "missing scenario {scenario}"
+            );
+        }
+        // MN/ABC is the sum of the per-manufacturer rows.
+        let abc = result.row("MN/ABC", "Never-mitigate").unwrap().total_cost();
+        let parts: f64 = ["MN/A", "MN/B", "MN/C"]
+            .iter()
+            .filter_map(|s| result.row(s, "Never-mitigate"))
+            .map(Fig5Row::total_cost)
+            .sum();
+        assert!((abc - parts).abs() < 1e-6);
+        assert!(result.render().contains("Figure 5"));
+    }
+}

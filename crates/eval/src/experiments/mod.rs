@@ -1,0 +1,18 @@
+//! One driver per paper artefact.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`fig3`] | Figure 3 — total cost for MN/All at 2 / 5 / 10 node-minute mitigation cost |
+//! | [`fig4`] | Figure 4 — per-split time-series cross-validation at 2 node-minutes |
+//! | [`fig5`] | Figure 5 — per-DRAM-manufacturer total cost (MN/All, MN/A, MN/B, MN/C, MN/ABC) |
+//! | [`fig6`] | Figure 6 — RL agent behaviour vs potential UE cost × UE likelihood |
+//! | [`table2`] | Table 2 — classical ML metrics for every approach |
+//! | [`fig7`] | Figure 7a/7b — job-size scaling sensitivity (total and mitigation cost) |
+
+pub mod common;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table2;

@@ -1,0 +1,246 @@
+//! Classical machine-learning metrics (Section 4.4).
+//!
+//! A UE counts as mitigated (true positive) if at least one mitigation action *completed*
+//! within the preceding 24 hours, i.e. was initiated at least the mitigation overhead
+//! before the UE and at most one day before it. UEs with no event in the preceding day
+//! cannot be mitigated by any event-triggered policy; they are counted as implicit
+//! "no-mitigate" false negatives so that the hardest UEs are not silently dropped.
+
+use crate::run::PolicyRun;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use uerl_trace::types::{NodeId, SimTime};
+
+/// Confusion-matrix counts and the derived recall / precision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationMetrics {
+    /// UEs with a qualifying mitigation in the prediction window.
+    pub true_positives: u64,
+    /// UEs without one.
+    pub false_negatives: u64,
+    /// Mitigations that did not correspond to a UE (redundant or spurious).
+    pub false_positives: u64,
+    /// Non-mitigations that were not false negatives.
+    pub true_negatives: u64,
+    /// Total mitigation actions.
+    pub mitigations: u64,
+    /// Total non-mitigation decisions (including the implicit ones for unpredictable UEs).
+    pub non_mitigations: u64,
+}
+
+impl ClassificationMetrics {
+    /// Recall: fraction of UEs that were mitigated.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Precision: fraction of mitigations that mitigated a UE. `None` when no mitigation
+    /// was performed (undefined, as for Never-mitigate in Table 2).
+    pub fn precision(&self) -> Option<f64> {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            None
+        } else {
+            Some(self.true_positives as f64 / denom as f64)
+        }
+    }
+
+    /// Compute the metrics of a policy run.
+    ///
+    /// `prediction_window` is the look-back window in seconds (one day in the paper) and
+    /// `mitigation_overhead` the time a mitigation needs to complete (the mitigation cost
+    /// in wallclock seconds; 2 minutes in the default configuration).
+    pub fn from_run(run: &PolicyRun, prediction_window: i64, mitigation_overhead: i64) -> Self {
+        // Index mitigation times and all decision times per node.
+        let mut mitigation_times: HashMap<NodeId, Vec<SimTime>> = HashMap::new();
+        let mut event_times: HashMap<NodeId, Vec<SimTime>> = HashMap::new();
+        for d in &run.decisions {
+            event_times.entry(d.node).or_default().push(d.time);
+            if d.mitigated {
+                mitigation_times.entry(d.node).or_default().push(d.time);
+            }
+        }
+
+        let mut true_positives = 0u64;
+        let mut false_negatives = 0u64;
+        let mut implicit_non_mitigations = 0u64;
+        for ue in &run.ue_events {
+            let mitigated = mitigation_times
+                .get(&ue.node)
+                .map(|times| {
+                    times.iter().any(|&m| {
+                        m < ue.time
+                            && ue.time.delta_secs(m) <= prediction_window
+                            && ue.time.delta_secs(m) >= mitigation_overhead
+                    })
+                })
+                .unwrap_or(false);
+            if mitigated {
+                true_positives += 1;
+            } else {
+                false_negatives += 1;
+            }
+            // A UE with no event at all in the preceding day is unmitigable; the policy
+            // makes an implicit "no-mitigate" decision for it.
+            let any_event = event_times
+                .get(&ue.node)
+                .map(|times| {
+                    times
+                        .iter()
+                        .any(|&t| t < ue.time && ue.time.delta_secs(t) <= prediction_window)
+                })
+                .unwrap_or(false);
+            if !any_event {
+                implicit_non_mitigations += 1;
+            }
+        }
+
+        let mitigations = run.mitigations;
+        let non_mitigations = run.non_mitigations + implicit_non_mitigations;
+        let false_positives = mitigations.saturating_sub(true_positives);
+        let true_negatives = non_mitigations.saturating_sub(false_negatives);
+        Self {
+            true_positives,
+            false_negatives,
+            false_positives,
+            true_negatives,
+            mitigations,
+            non_mitigations,
+        }
+    }
+
+    /// [`ClassificationMetrics::from_run`] with the paper's defaults: a 1-day window and
+    /// a 2-minute mitigation overhead.
+    pub fn from_run_1day(run: &PolicyRun) -> Self {
+        Self::from_run(run, SimTime::DAY, 2 * SimTime::MINUTE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{Decision, UeEvent};
+
+    fn decision(node: u32, minute: i64, mitigated: bool) -> Decision {
+        Decision {
+            node: NodeId(node),
+            time: SimTime::from_minutes(minute),
+            mitigated,
+        }
+    }
+
+    fn ue(node: u32, minute: i64) -> UeEvent {
+        UeEvent {
+            node: NodeId(node),
+            time: SimTime::from_minutes(minute),
+            cost: 100.0,
+        }
+    }
+
+    fn run(decisions: Vec<Decision>, ues: Vec<UeEvent>) -> PolicyRun {
+        let mitigations = decisions.iter().filter(|d| d.mitigated).count() as u64;
+        let non_mitigations = decisions.len() as u64 - mitigations;
+        PolicyRun {
+            policy: "test".into(),
+            mitigations,
+            non_mitigations,
+            mitigation_cost: 0.0,
+            ue_count: ues.len() as u64,
+            ue_cost: 0.0,
+            decisions,
+            ue_events: ues,
+        }
+    }
+
+    #[test]
+    fn mitigation_within_window_is_a_true_positive() {
+        // Mitigation 3 hours before the UE on the same node.
+        let r = run(vec![decision(1, 60, true)], vec![ue(1, 240)]);
+        let m = ClassificationMetrics::from_run_1day(&r);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_negatives, 0);
+        assert_eq!(m.false_positives, 0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.precision(), Some(1.0));
+    }
+
+    #[test]
+    fn mitigation_on_another_node_does_not_count() {
+        let r = run(vec![decision(2, 60, true)], vec![ue(1, 240)]);
+        let m = ClassificationMetrics::from_run_1day(&r);
+        assert_eq!(m.true_positives, 0);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.false_positives, 1);
+    }
+
+    #[test]
+    fn stale_mitigation_outside_the_window_is_a_false_positive() {
+        // Mitigation 30 hours before the UE: outside the 24-hour window.
+        let r = run(vec![decision(1, 0, true)], vec![ue(1, 30 * 60)]);
+        let m = ClassificationMetrics::from_run_1day(&r);
+        assert_eq!(m.true_positives, 0);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.false_positives, 1);
+    }
+
+    #[test]
+    fn mitigation_that_cannot_complete_in_time_does_not_count() {
+        // Mitigation one minute before the UE: the 2-minute action has not completed.
+        let r = run(vec![decision(1, 239, true)], vec![ue(1, 240)]);
+        let m = ClassificationMetrics::from_run_1day(&r);
+        assert_eq!(m.true_positives, 0);
+        assert_eq!(m.false_negatives, 1);
+    }
+
+    #[test]
+    fn unpredictable_ue_is_an_implicit_non_mitigation_false_negative() {
+        // A UE with no decision/event anywhere near it.
+        let r = run(vec![decision(1, 10, false)], vec![ue(2, 5000)]);
+        let m = ClassificationMetrics::from_run_1day(&r);
+        assert_eq!(m.false_negatives, 1);
+        // One explicit non-mitigation plus one implicit one.
+        assert_eq!(m.non_mitigations, 2);
+        assert_eq!(m.true_negatives, 1);
+    }
+
+    #[test]
+    fn redundant_mitigations_count_once_as_tp_rest_as_fp() {
+        // Three mitigations before the same UE: one TP, two FP.
+        let r = run(
+            vec![
+                decision(1, 100, true),
+                decision(1, 150, true),
+                decision(1, 200, true),
+            ],
+            vec![ue(1, 300)],
+        );
+        let m = ClassificationMetrics::from_run_1day(&r);
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_positives, 2);
+        assert_eq!(m.mitigations, 3);
+        assert!((m.precision().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_mitigate_has_undefined_precision_and_zero_recall() {
+        let r = run(vec![decision(1, 10, false)], vec![ue(1, 240)]);
+        let m = ClassificationMetrics::from_run_1day(&r);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), None);
+        assert_eq!(m.mitigations, 0);
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let r = run(vec![], vec![]);
+        let m = ClassificationMetrics::from_run_1day(&r);
+        assert_eq!(m.true_positives + m.false_negatives + m.false_positives, 0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), None);
+    }
+}

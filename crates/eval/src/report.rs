@@ -1,0 +1,101 @@
+//! Plain-text rendering of experiment results.
+
+/// Render a simple fixed-width text table.
+///
+/// # Panics
+/// Panics if any row has a different number of cells than the header.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width must match the header");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:>w$} |", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Format a node-hours quantity with a sensible precision.
+pub fn node_hours(value: f64) -> String {
+    if value.abs() >= 1000.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 10.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+/// Format a ratio as a percentage.
+pub fn percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+/// Format an optional ratio (e.g. precision, which is undefined for Never-mitigate).
+pub fn percent_or_na(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{:.2}%", v * 100.0),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = format_table(
+            &["policy", "cost"],
+            &[
+                vec!["Never".into(), "74035".into()],
+                vec!["RL".into(), "33843".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("policy"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("Never"));
+        // All lines have equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(node_hours(74035.4), "74035");
+        assert_eq!(node_hours(33.333), "33.3");
+        assert_eq!(node_hours(0.0333), "0.033");
+        assert_eq!(percent(0.54321), "54.3%");
+        assert_eq!(percent_or_na(None), "n/a");
+        assert_eq!(percent_or_na(Some(0.0002)), "0.02%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_rejected() {
+        format_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Time-series nested cross-validation (Figure 2 of the paper).
+//!
+//! The observation window is divided into `parts` equal parts (six in the paper, each
+//! roughly four months). Each part `k` yields one *split* whose test range is part `k`;
+//! the data strictly before part `k` is divided 75% / 25% into training and validation
+//! (used for hyperparameter selection). The first split has no preceding part, so it
+//! trains and validates on the first two weeks of part 1 and tests on the remainder.
+
+use serde::{Deserialize, Serialize};
+use uerl_trace::types::SimTime;
+
+/// One cross-validation split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitSpec {
+    /// 1-based split index.
+    pub index: usize,
+    /// Training range `[start, end)`.
+    pub train: (SimTime, SimTime),
+    /// Validation range `[start, end)`.
+    pub validate: (SimTime, SimTime),
+    /// Test range `[start, end)`.
+    pub test: (SimTime, SimTime),
+}
+
+impl SplitSpec {
+    /// Length of the test range in days.
+    pub fn test_days(&self) -> f64 {
+        (self.test.1 - self.test.0) as f64 / SimTime::DAY as f64
+    }
+}
+
+/// Build the nested cross-validation splits for a window divided into `parts` parts.
+///
+/// # Panics
+/// Panics if the window is empty or `parts < 2`.
+pub fn nested_splits(window_start: SimTime, window_end: SimTime, parts: usize) -> Vec<SplitSpec> {
+    assert!(window_end > window_start, "window must be non-empty");
+    assert!(parts >= 2, "need at least two parts");
+    let total = window_end - window_start;
+    let part_len = total / parts as i64;
+    let part_bound = |i: usize| -> SimTime {
+        if i == parts {
+            window_end
+        } else {
+            window_start.plus_secs(part_len * i as i64)
+        }
+    };
+
+    let mut splits = Vec::with_capacity(parts);
+    for k in 1..=parts {
+        let test_start = part_bound(k - 1);
+        let test_end = part_bound(k);
+        let (train, validate, test) = if k == 1 {
+            // First split: first two weeks of part 1 are used for training and
+            // validation (75/25), the rest of the part is tested.
+            let two_weeks = (2 * SimTime::WEEK).min(part_len / 2);
+            let tv_end = window_start.plus_secs(two_weeks);
+            let train_end = window_start.plus_secs(two_weeks * 3 / 4);
+            (
+                (window_start, train_end),
+                (train_end, tv_end),
+                (tv_end, test_end),
+            )
+        } else {
+            let available = test_start - window_start;
+            let train_end = window_start.plus_secs(available * 3 / 4);
+            (
+                (window_start, train_end),
+                (train_end, test_start),
+                (test_start, test_end),
+            )
+        };
+        splits.push(SplitSpec {
+            index: k,
+            train,
+            validate,
+            test,
+        });
+    }
+    splits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_year_splits() -> Vec<SplitSpec> {
+        nested_splits(SimTime::ZERO, SimTime::from_days(730), 6)
+    }
+
+    #[test]
+    fn produces_one_split_per_part() {
+        let splits = two_year_splits();
+        assert_eq!(splits.len(), 6);
+        for (i, s) in splits.iter().enumerate() {
+            assert_eq!(s.index, i + 1);
+        }
+    }
+
+    #[test]
+    fn test_ranges_tile_the_window() {
+        let splits = two_year_splits();
+        assert_eq!(splits[0].test.1, splits[1].test.0);
+        assert_eq!(splits.last().unwrap().test.1, SimTime::from_days(730));
+        // Each test part is roughly four months.
+        for s in &splits[1..] {
+            assert!((s.test_days() - 121.0).abs() < 2.0, "part length {}", s.test_days());
+        }
+    }
+
+    #[test]
+    fn first_split_trains_on_two_weeks_and_tests_the_rest_of_part_one() {
+        let splits = two_year_splits();
+        let first = &splits[0];
+        assert_eq!(first.train.0, SimTime::ZERO);
+        assert_eq!(first.validate.1, SimTime::from_days(14));
+        assert_eq!(first.test.0, SimTime::from_days(14));
+        assert!(first.test.1 > first.test.0);
+    }
+
+    #[test]
+    fn later_splits_use_everything_before_the_test_part() {
+        let splits = two_year_splits();
+        for s in &splits[1..] {
+            assert_eq!(s.train.0, SimTime::ZERO);
+            assert_eq!(s.validate.1, s.test.0, "validation ends where the test part begins");
+            // 75/25 division of the available history.
+            let available = (s.test.0 - SimTime::ZERO) as f64;
+            let train_len = (s.train.1 - s.train.0) as f64;
+            assert!((train_len / available - 0.75).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn ranges_never_overlap_test_data_with_training() {
+        for s in two_year_splits() {
+            assert!(s.train.1 <= s.test.0);
+            assert!(s.validate.1 <= s.test.0);
+            assert!(s.train.1 <= s.validate.0 || s.index == 1);
+        }
+    }
+
+    #[test]
+    fn works_for_other_part_counts() {
+        let splits = nested_splits(SimTime::ZERO, SimTime::from_days(100), 4);
+        assert_eq!(splits.len(), 4);
+        assert_eq!(splits.last().unwrap().test.1, SimTime::from_days(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two parts")]
+    fn one_part_rejected() {
+        nested_splits(SimTime::ZERO, SimTime::from_days(10), 1);
+    }
+}

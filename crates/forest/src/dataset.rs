@@ -1,0 +1,180 @@
+//! Feature-matrix / label containers for the tree-based baselines.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary-classification dataset: one feature vector and one boolean label per sample.
+///
+/// For the SC20-RF baseline the label is "an uncorrected error follows this event within
+/// the prediction window"; positives are extremely rare, which is why
+/// [`crate::sampling::undersample`] exists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Create an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a dataset from parallel feature and label vectors.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ or feature vectors have inconsistent dimensions.
+    pub fn from_parts(features: Vec<Vec<f64>>, labels: Vec<bool>) -> Self {
+        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        if let Some(first) = features.first() {
+            let dim = first.len();
+            assert!(
+                features.iter().all(|f| f.len() == dim),
+                "inconsistent feature dimensions"
+            );
+        }
+        Self { features, labels }
+    }
+
+    /// Append one sample.
+    ///
+    /// # Panics
+    /// Panics if the feature dimension does not match the existing samples.
+    pub fn push(&mut self, features: Vec<f64>, label: bool) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), features.len(), "inconsistent feature dimensions");
+        }
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per sample (0 for an empty dataset).
+    pub fn n_features(&self) -> usize {
+        self.features.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// The feature vector of sample `i`.
+    pub fn features_of(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// The label of sample `i`.
+    pub fn label_of(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Number of positive samples.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Number of negative samples.
+    pub fn negatives(&self) -> usize {
+        self.len() - self.positives()
+    }
+
+    /// Fraction of positive samples (0 for an empty dataset).
+    pub fn positive_fraction(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.positives() as f64 / self.len() as f64
+        }
+    }
+
+    /// A new dataset containing the samples at `indices` (duplicates allowed — this is
+    /// how bootstrap resampling is expressed).
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        Self {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Iterate over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], bool)> {
+        self.features
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_parts(
+            vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5], vec![0.9, 0.1]],
+            vec![false, true, false, true],
+        )
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let d = sample();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.positives(), 2);
+        assert_eq!(d.negatives(), 2);
+        assert!((d.positive_fraction() - 0.5).abs() < 1e-12);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn push_and_access() {
+        let mut d = Dataset::new();
+        assert_eq!(d.n_features(), 0);
+        d.push(vec![1.0, 2.0, 3.0], true);
+        d.push(vec![4.0, 5.0, 6.0], false);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.features_of(1), &[4.0, 5.0, 6.0]);
+        assert!(d.label_of(0));
+        assert!(!d.label_of(1));
+    }
+
+    #[test]
+    fn subset_allows_duplicates() {
+        let d = sample();
+        let s = d.subset(&[0, 0, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.features_of(0), s.features_of(1));
+        assert!(s.label_of(2));
+    }
+
+    #[test]
+    fn iteration_pairs_features_and_labels() {
+        let d = sample();
+        let collected: Vec<bool> = d.iter().map(|(_, l)| l).collect();
+        assert_eq!(collected, vec![false, true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        Dataset::from_parts(vec![vec![1.0]], vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimensions")]
+    fn inconsistent_dimensions_rejected() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0, 2.0], true);
+        d.push(vec![1.0], false);
+    }
+}

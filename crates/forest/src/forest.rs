@@ -1,0 +1,250 @@
+//! Bootstrap-aggregated random forests with probability output.
+
+use crate::dataset::Dataset;
+use crate::sampling::undersample;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a random forest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// Whether each tree is fitted on a bootstrap resample of the training data.
+    pub bootstrap: bool,
+    /// If set, apply random under-sampling of the negatives (to this negative:positive
+    /// ratio) independently for each tree, as in the SC20-RF baseline.
+    pub undersample_ratio: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 50,
+            tree: TreeConfig::default(),
+            bootstrap: true,
+            undersample_ratio: Some(1.0),
+            seed: 0,
+        }
+    }
+}
+
+impl RandomForestConfig {
+    /// The SC20-RF baseline configuration: a bagged forest with per-tree random
+    /// under-sampling and `sqrt(n_features)` feature subsampling.
+    pub fn sc20(n_features: usize, seed: u64) -> Self {
+        Self {
+            n_trees: 100,
+            tree: TreeConfig {
+                max_depth: 12,
+                min_samples_leaf: 2,
+                max_features: Some(((n_features as f64).sqrt().ceil() as usize).max(1)),
+            },
+            bootstrap: true,
+            undersample_ratio: Some(1.0),
+            seed,
+        }
+    }
+
+    /// A small, fast configuration for tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            n_trees: 15,
+            tree: TreeConfig {
+                max_depth: 8,
+                min_samples_leaf: 2,
+                max_features: None,
+            },
+            bootstrap: true,
+            undersample_ratio: Some(1.0),
+            seed,
+        }
+    }
+}
+
+/// A fitted random forest for binary classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fit a forest to a dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or the configuration requests zero trees.
+    pub fn fit(dataset: &Dataset, config: &RandomForestConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit a forest to an empty dataset");
+        assert!(config.n_trees > 0, "need at least one tree");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for _ in 0..config.n_trees {
+            // Per-tree under-sampling first (keeps all positives), then bootstrap.
+            let balanced = match config.undersample_ratio {
+                Some(ratio) => undersample(dataset, ratio, &mut rng),
+                None => dataset.clone(),
+            };
+            let training = if config.bootstrap {
+                let indices: Vec<usize> = (0..balanced.len())
+                    .map(|_| rng.gen_range(0..balanced.len()))
+                    .collect();
+                balanced.subset(&indices)
+            } else {
+                balanced
+            };
+            trees.push(DecisionTree::fit(&training, &config.tree, &mut rng));
+        }
+        Self {
+            trees,
+            n_features: dataset.n_features(),
+        }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of features expected at prediction time.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Predicted probability of the positive class: the mean of the per-tree leaf
+    /// probabilities.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        let sum: f64 = self
+            .trees
+            .iter()
+            .map(|t| t.predict_proba(features))
+            .sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Predicted probabilities for a batch of samples.
+    pub fn predict_proba_batch(&self, samples: &[Vec<f64>]) -> Vec<f64> {
+        samples.iter().map(|s| self.predict_proba(s)).collect()
+    }
+
+    /// Hard classification at a decision threshold.
+    pub fn predict(&self, features: &[f64], threshold: f64) -> bool {
+        self.predict_proba(features) >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Imbalanced but separable data: positive iff x0 + x1 > 1.2, with 10x more negatives.
+    fn imbalanced(n: usize) -> Dataset {
+        let mut d = Dataset::new();
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..n {
+            let x0: f64 = rng.gen();
+            let x1: f64 = rng.gen();
+            let positive = x0 + x1 > 1.2;
+            // Thin the positives to create imbalance.
+            if !positive || rng.gen::<f64>() < 0.3 {
+                d.push(vec![x0, x1], positive);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn forest_separates_classes() {
+        let d = imbalanced(2000);
+        let forest = RandomForest::fit(&d, &RandomForestConfig::small(1));
+        assert!(forest.predict_proba(&[0.9, 0.9]) > 0.7);
+        assert!(forest.predict_proba(&[0.1, 0.1]) < 0.3);
+        assert!(forest.predict(&[0.9, 0.9], 0.5));
+        assert!(!forest.predict(&[0.1, 0.1], 0.5));
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        let d = imbalanced(500);
+        let forest = RandomForest::fit(&d, &RandomForestConfig::small(2));
+        for x in [[0.0, 0.0], [0.5, 0.5], [1.0, 1.0], [0.3, 0.9]] {
+            let p = forest.predict_proba(&x);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn fitting_is_deterministic_per_seed() {
+        let d = imbalanced(500);
+        let a = RandomForest::fit(&d, &RandomForestConfig::small(7));
+        let b = RandomForest::fit(&d, &RandomForestConfig::small(7));
+        let c = RandomForest::fit(&d, &RandomForestConfig::small(8));
+        let x = [0.6, 0.7];
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+        assert_ne!(a.predict_proba(&x), c.predict_proba(&x));
+    }
+
+    #[test]
+    fn batch_prediction_matches_single() {
+        let d = imbalanced(300);
+        let forest = RandomForest::fit(&d, &RandomForestConfig::small(3));
+        let samples = vec![vec![0.2, 0.2], vec![0.9, 0.8]];
+        let batch = forest.predict_proba_batch(&samples);
+        assert_eq!(batch[0], forest.predict_proba(&samples[0]));
+        assert_eq!(batch[1], forest.predict_proba(&samples[1]));
+    }
+
+    #[test]
+    fn sc20_configuration_uses_sqrt_features() {
+        let config = RandomForestConfig::sc20(14, 0);
+        assert_eq!(config.tree.max_features, Some(4));
+        assert_eq!(config.n_trees, 100);
+        assert_eq!(config.undersample_ratio, Some(1.0));
+    }
+
+    #[test]
+    fn undersampling_improves_recall_on_imbalanced_data() {
+        // With heavy imbalance and no under-sampling, the forest is biased towards the
+        // negative class; under-sampling should raise the predicted probability of true
+        // positives.
+        let d = imbalanced(3000);
+        let with = RandomForest::fit(
+            &d,
+            &RandomForestConfig {
+                undersample_ratio: Some(1.0),
+                ..RandomForestConfig::small(4)
+            },
+        );
+        let without = RandomForest::fit(
+            &d,
+            &RandomForestConfig {
+                undersample_ratio: None,
+                ..RandomForestConfig::small(4)
+            },
+        );
+        let positive_sample = [0.75, 0.7];
+        assert!(
+            with.predict_proba(&positive_sample) >= without.predict_proba(&positive_sample) - 0.05,
+            "undersampling should not hurt the positive-class probability much"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let d = imbalanced(100);
+        RandomForest::fit(
+            &d,
+            &RandomForestConfig {
+                n_trees: 0,
+                ..RandomForestConfig::small(5)
+            },
+        );
+    }
+}

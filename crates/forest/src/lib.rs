@@ -1,0 +1,31 @@
+//! # uerl-forest
+//!
+//! Random-forest baseline substrate.
+//!
+//! The strongest prior-art baseline in the paper is **SC20-RF**: the cost-aware random
+//! forest predictor of Boixaderas et al. (SC 2020), which outputs a probability of an
+//! upcoming uncorrected error and triggers a mitigation when that probability exceeds an
+//! externally supplied threshold. The paper also evaluates **Myopic-RF**, which compares
+//! the RF-estimated expected UE cost against the mitigation cost. Both baselines need a
+//! from-scratch random forest because no ML crate is available offline:
+//!
+//! * [`dataset`] — feature-matrix / label containers and train-test splitting;
+//! * [`sampling`] — random under-sampling of the majority class (the imbalance handling
+//!   used by SC20-RF);
+//! * [`tree`] — CART decision trees with Gini impurity, depth and leaf-size limits and
+//!   per-split feature subsampling;
+//! * [`forest`] — bootstrap-aggregated forests with probability output;
+//! * [`threshold`] — selection of the decision threshold (optimal and perturbed variants,
+//!   as in the SC20-RF-2% / SC20-RF-5% configurations).
+
+pub mod dataset;
+pub mod forest;
+pub mod sampling;
+pub mod threshold;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use forest::{RandomForest, RandomForestConfig};
+pub use sampling::undersample;
+pub use threshold::{optimal_threshold, perturb_threshold};
+pub use tree::{DecisionTree, TreeConfig};

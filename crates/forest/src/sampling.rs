@@ -1,0 +1,104 @@
+//! Random under-sampling of the majority class.
+//!
+//! The SC20-RF baseline handles the extreme UE/event class imbalance (3.5 orders of
+//! magnitude) by random under-sampling: all positive samples are kept and the negatives
+//! are randomly thinned until the requested negative:positive ratio is reached.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Randomly under-sample the negative class to at most `ratio` negatives per positive.
+///
+/// All positives are kept. If the dataset already satisfies the ratio (or has no
+/// positives at all), it is returned unchanged.
+///
+/// # Panics
+/// Panics if `ratio` is not strictly positive.
+pub fn undersample<R: Rng + ?Sized>(dataset: &Dataset, ratio: f64, rng: &mut R) -> Dataset {
+    assert!(ratio > 0.0 && ratio.is_finite(), "ratio must be positive");
+    let positives: Vec<usize> = (0..dataset.len()).filter(|&i| dataset.label_of(i)).collect();
+    let mut negatives: Vec<usize> = (0..dataset.len()).filter(|&i| !dataset.label_of(i)).collect();
+    if positives.is_empty() {
+        return dataset.clone();
+    }
+    let keep_negatives = ((positives.len() as f64 * ratio).round() as usize).max(1);
+    if negatives.len() <= keep_negatives {
+        return dataset.clone();
+    }
+    negatives.shuffle(rng);
+    negatives.truncate(keep_negatives);
+    let mut indices = positives;
+    indices.extend(negatives);
+    indices.sort_unstable();
+    dataset.subset(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn imbalanced(n_negative: usize, n_positive: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..n_negative {
+            d.push(vec![i as f64, 0.0], false);
+        }
+        for i in 0..n_positive {
+            d.push(vec![i as f64, 1.0], true);
+        }
+        d
+    }
+
+    #[test]
+    fn balances_to_requested_ratio() {
+        let d = imbalanced(1000, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let balanced = undersample(&d, 1.0, &mut rng);
+        assert_eq!(balanced.positives(), 10, "all positives kept");
+        assert_eq!(balanced.negatives(), 10);
+    }
+
+    #[test]
+    fn ratio_above_one_keeps_more_negatives() {
+        let d = imbalanced(1000, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let balanced = undersample(&d, 5.0, &mut rng);
+        assert_eq!(balanced.positives(), 10);
+        assert_eq!(balanced.negatives(), 50);
+    }
+
+    #[test]
+    fn already_balanced_dataset_is_unchanged() {
+        let d = imbalanced(5, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = undersample(&d, 1.0, &mut rng);
+        assert_eq!(out, d);
+    }
+
+    #[test]
+    fn no_positives_returns_clone() {
+        let d = imbalanced(20, 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = undersample(&d, 1.0, &mut rng);
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn sampling_is_random_but_seeded() {
+        let d = imbalanced(100, 5);
+        let a = undersample(&d, 1.0, &mut StdRng::seed_from_u64(5));
+        let b = undersample(&d, 1.0, &mut StdRng::seed_from_u64(5));
+        let c = undersample(&d, 1.0, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a, b, "same seed, same subsample");
+        assert_ne!(a, c, "different seed, (almost surely) different subsample");
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be positive")]
+    fn zero_ratio_rejected() {
+        let d = imbalanced(10, 1);
+        undersample(&d, 0.0, &mut StdRng::seed_from_u64(7));
+    }
+}

@@ -1,0 +1,96 @@
+//! Decision-threshold selection for the SC20-RF baseline.
+//!
+//! SC20-RF triggers a mitigation when the forest's predicted probability exceeds an
+//! externally supplied threshold. The paper gives the baseline "maximum advantage" by
+//! using the threshold that minimises the total cost, and also evaluates realistic
+//! variants whose threshold is 2% or 5% away from optimal (SC20-RF-2% / SC20-RF-5%).
+
+/// Find the threshold (among the candidate values) that minimises `cost`.
+///
+/// The candidates are the distinct predicted probabilities plus 0 and 1, which is
+/// sufficient because the induced classification only changes at those points. Returns
+/// `(threshold, cost)`.
+///
+/// # Panics
+/// Panics if `probabilities` is empty.
+pub fn optimal_threshold(probabilities: &[f64], mut cost: impl FnMut(f64) -> f64) -> (f64, f64) {
+    assert!(!probabilities.is_empty(), "need at least one probability");
+    let mut candidates: Vec<f64> = probabilities.to_vec();
+    candidates.push(0.0);
+    candidates.push(1.0);
+    candidates.retain(|p| p.is_finite());
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    candidates.dedup();
+    let mut best = (candidates[0], f64::INFINITY);
+    for &t in &candidates {
+        let c = cost(t);
+        if c < best.1 {
+            best = (t, c);
+        }
+    }
+    best
+}
+
+/// Perturb a threshold away from its optimal value by a relative `fraction` (0.02 for
+/// SC20-RF-2%, 0.05 for SC20-RF-5%). The perturbation lowers the threshold (more
+/// mitigations) and clamps to `[0, 1]`; lowering is the conservative direction for a
+/// mitigation policy, and either direction degrades the cost-optimality.
+///
+/// # Panics
+/// Panics if the threshold is outside `[0, 1]` or the fraction is negative.
+pub fn perturb_threshold(threshold: f64, fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+    assert!(fraction >= 0.0, "fraction must be non-negative");
+    // An absolute perturbation of `fraction` (2% / 5% of the probability scale).
+    (threshold - fraction).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_cost_minimising_threshold() {
+        // Cost is minimised at the threshold closest to 0.6.
+        let probs = [0.1, 0.4, 0.6, 0.9];
+        let (t, c) = optimal_threshold(&probs, |t| (t - 0.6).abs());
+        assert_eq!(t, 0.6);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn always_considers_zero_and_one() {
+        let probs = [0.5];
+        let (t, _) = optimal_threshold(&probs, |t| 1.0 - t);
+        assert_eq!(t, 1.0);
+        let (t, _) = optimal_threshold(&probs, |t| t);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn ties_resolve_to_the_lowest_threshold() {
+        let probs = [0.2, 0.8];
+        let (t, _) = optimal_threshold(&probs, |_| 1.0);
+        assert_eq!(t, 0.0, "constant cost keeps the first (lowest) candidate");
+    }
+
+    #[test]
+    fn perturbation_moves_and_clamps() {
+        assert!((perturb_threshold(0.5, 0.02) - 0.48).abs() < 1e-12);
+        assert!((perturb_threshold(0.5, 0.05) - 0.45).abs() < 1e-12);
+        assert_eq!(perturb_threshold(0.01, 0.05), 0.0);
+        assert_eq!(perturb_threshold(0.7, 0.0), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probability")]
+    fn empty_probabilities_rejected() {
+        optimal_threshold(&[], |_| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn out_of_range_threshold_rejected() {
+        perturb_threshold(1.5, 0.02);
+    }
+}

@@ -1,0 +1,353 @@
+//! CART decision trees with Gini impurity.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a single decision tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (the root is depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples a leaf must hold.
+    pub min_samples_leaf: usize,
+    /// Number of features considered at each split (`None` = all features; random forests
+    /// typically use `sqrt(n_features)`).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+/// One node of the fitted tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// A leaf storing the fraction of positive training samples that reached it.
+    Leaf { probability: f64 },
+    /// An internal split: samples with `feature < threshold` go left, the rest go right.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART decision tree for binary classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fit a tree to a dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    pub fn fit<R: Rng + ?Sized>(dataset: &Dataset, config: &TreeConfig, rng: &mut R) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit a tree to an empty dataset");
+        let indices: Vec<usize> = (0..dataset.len()).collect();
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_features: dataset.n_features(),
+        };
+        tree.build(dataset, &indices, config, 0, rng);
+        tree
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, left).max(depth_of(nodes, right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Predicted probability that `features` belongs to the positive class.
+    ///
+    /// # Panics
+    /// Panics if the feature dimension does not match the training data.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "feature dimension mismatch");
+        let mut idx = 0;
+        loop {
+            match self.nodes[idx] {
+                Node::Leaf { probability } => return probability,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[feature] < threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Gini impurity of a sample set described by its positive count and size.
+    fn gini(positives: usize, total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let p = positives as f64 / total as f64;
+        2.0 * p * (1.0 - p)
+    }
+
+    /// Recursively build the subtree for `indices`, returning the node index.
+    fn build<R: Rng + ?Sized>(
+        &mut self,
+        dataset: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        depth: usize,
+        rng: &mut R,
+    ) -> usize {
+        let positives = indices.iter().filter(|&&i| dataset.label_of(i)).count();
+        let probability = positives as f64 / indices.len() as f64;
+
+        // Stop if pure, too deep, or too small to split.
+        let stop = positives == 0
+            || positives == indices.len()
+            || depth >= config.max_depth
+            || indices.len() < 2 * config.min_samples_leaf;
+        if stop {
+            self.nodes.push(Node::Leaf { probability });
+            return self.nodes.len() - 1;
+        }
+
+        match self.best_split(dataset, indices, config, rng) {
+            None => {
+                self.nodes.push(Node::Leaf { probability });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| dataset.features_of(i)[feature] < threshold);
+                // Degenerate splits can happen with ties; fall back to a leaf.
+                if left_idx.is_empty() || right_idx.is_empty() {
+                    self.nodes.push(Node::Leaf { probability });
+                    return self.nodes.len() - 1;
+                }
+                // Reserve this node's slot, then build children.
+                let node_idx = self.nodes.len();
+                self.nodes.push(Node::Leaf { probability });
+                let left = self.build(dataset, &left_idx, config, depth + 1, rng);
+                let right = self.build(dataset, &right_idx, config, depth + 1, rng);
+                self.nodes[node_idx] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                node_idx
+            }
+        }
+    }
+
+    /// Find the `(feature, threshold)` split minimising the weighted Gini impurity, or
+    /// `None` if no split improves on the parent.
+    fn best_split<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> Option<(usize, f64)> {
+        let n = indices.len();
+        let total_pos = indices.iter().filter(|&&i| dataset.label_of(i)).count();
+        let parent_gini = Self::gini(total_pos, n);
+
+        // Select the candidate feature subset (mtry).
+        let mut features: Vec<usize> = (0..dataset.n_features()).collect();
+        if let Some(mtry) = config.max_features {
+            features.shuffle(rng);
+            features.truncate(mtry.clamp(1, dataset.n_features()));
+        }
+
+        // Accept splits that do not increase the weighted impurity (ties with the parent
+        // are allowed: problems like XOR have zero first-level Gini gain but still need
+        // the split so that deeper levels can separate the classes).
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
+        let mut best_gini = parent_gini + 1e-9;
+        for &feature in &features {
+            // Sort the samples by this feature.
+            let mut sorted: Vec<usize> = indices.to_vec();
+            sorted.sort_by(|&a, &b| {
+                dataset.features_of(a)[feature]
+                    .partial_cmp(&dataset.features_of(b)[feature])
+                    .expect("finite features")
+            });
+            let mut left_pos = 0usize;
+            for split_at in 1..n {
+                let prev = sorted[split_at - 1];
+                if dataset.label_of(prev) {
+                    left_pos += 1;
+                }
+                let prev_value = dataset.features_of(prev)[feature];
+                let this_value = dataset.features_of(sorted[split_at])[feature];
+                if prev_value == this_value {
+                    continue; // cannot split between equal values
+                }
+                let left_n = split_at;
+                let right_n = n - split_at;
+                if left_n < config.min_samples_leaf || right_n < config.min_samples_leaf {
+                    continue;
+                }
+                let right_pos = total_pos - left_pos;
+                let weighted = (left_n as f64 * Self::gini(left_pos, left_n)
+                    + right_n as f64 * Self::gini(right_pos, right_n))
+                    / n as f64;
+                if weighted < best_gini {
+                    let threshold = (prev_value + this_value) / 2.0;
+                    best = Some((feature, threshold, weighted));
+                    best_gini = weighted;
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Linearly separable data: positive iff x0 > 0.5.
+    fn separable(n: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..n {
+            let x = i as f64 / n as f64;
+            d.push(vec![x, 0.3], x > 0.5);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_a_separable_boundary() {
+        let d = separable(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng);
+        assert!(tree.predict_proba(&[0.9, 0.3]) > 0.9);
+        assert!(tree.predict_proba(&[0.1, 0.3]) < 0.1);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            d.push(vec![i as f64], false);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_proba(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn max_depth_limits_the_tree() {
+        let d = separable(200);
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&d, &config, &mut rng);
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_prevents_tiny_leaves() {
+        let d = separable(20);
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = TreeConfig {
+            min_samples_leaf: 10,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&d, &config, &mut rng);
+        // With 20 samples and a 10-sample minimum there is exactly one possible split.
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        // XOR of two binary features: not linearly separable, needs nested splits.
+        let mut d = Dataset::new();
+        for &(a, b) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for _ in 0..10 {
+                d.push(vec![a, b], (a > 0.5) != (b > 0.5));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = TreeConfig {
+            min_samples_leaf: 1,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&d, &config, &mut rng);
+        assert!(tree.depth() >= 2);
+        assert!(tree.predict_proba(&[0.0, 1.0]) > 0.9);
+        assert!(tree.predict_proba(&[1.0, 1.0]) < 0.1);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        // Both features carry the signal, so whichever one the per-node subsample keeps,
+        // the split separates the classes.
+        let mut d = Dataset::new();
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            d.push(vec![x, x + 0.01], x > 0.5);
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = TreeConfig {
+            max_features: Some(1),
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&d, &config, &mut rng);
+        assert!(tree.predict_proba(&[0.95, 0.96]) > 0.9);
+        assert!(tree.predict_proba(&[0.05, 0.06]) < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn wrong_dimension_rejected_at_prediction() {
+        let d = separable(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let tree = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng);
+        tree.predict_proba(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        DecisionTree::fit(&Dataset::new(), &TreeConfig::default(), &mut rng);
+    }
+}

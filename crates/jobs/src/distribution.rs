@@ -1,0 +1,163 @@
+//! The workload mix: job node-count and wallclock distributions.
+//!
+//! HPC job sizes and durations are known to span orders of magnitude (the paper cites
+//! NERSC, NSF and national-lab studies); MareNostrum's general-purpose block runs mostly
+//! small-to-medium jobs with a heavy tail, and the largest single job cost observed in
+//! the paper's data is about 32,000 node-hours. [`JobMix`] captures that shape with a
+//! truncated-Pareto node-count distribution and a log-normal wallclock distribution, and
+//! exposes the *job-size scaling factor* knob used by the Section 5.6 sensitivity
+//! analysis.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use uerl_stats::{Distribution, LogNormal, Pareto};
+use uerl_trace::types::SimTime;
+
+/// Parameters describing a workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobMix {
+    /// Pareto shape for the node count (smaller = heavier tail).
+    pub size_alpha: f64,
+    /// Maximum number of nodes a single job may use.
+    pub max_nodes: u32,
+    /// Median wallclock duration in hours.
+    pub median_wallclock_hours: f64,
+    /// 95th-percentile wallclock duration in hours.
+    pub p95_wallclock_hours: f64,
+    /// Maximum wallclock in hours (scheduler limit; MareNostrum enforces 72 h).
+    pub max_wallclock_hours: f64,
+    /// Multiplier applied to every sampled node count (the job-size scaling factor of the
+    /// sensitivity analysis; 1.0 reproduces the base distribution).
+    pub size_scaling: f64,
+}
+
+impl JobMix {
+    /// The MareNostrum-4-like default mix: most jobs use a handful of nodes, a few use
+    /// hundreds; median runtime of a couple of hours with a tail up to the 72 h limit.
+    /// With these parameters the largest job costs are in the tens of thousands of
+    /// node-hours, matching the 32,000 node-hour maximum reported in the paper.
+    pub fn marenostrum4() -> Self {
+        Self {
+            size_alpha: 0.95,
+            max_nodes: 768,
+            median_wallclock_hours: 2.5,
+            p95_wallclock_hours: 40.0,
+            max_wallclock_hours: 72.0,
+            size_scaling: 1.0,
+        }
+    }
+
+    /// A copy of this mix with the job-size scaling factor replaced.
+    ///
+    /// # Panics
+    /// Panics if the factor is not strictly positive and finite.
+    pub fn with_size_scaling(self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scaling factor must be positive");
+        Self {
+            size_scaling: factor,
+            ..self
+        }
+    }
+
+    /// Sample the shape of one job: `(nodes, wallclock_secs)`.
+    pub fn sample_shape<R: Rng + ?Sized>(&self, rng: &mut R) -> (u32, i64) {
+        let size = Pareto::new(1.0, self.size_alpha).sample(rng);
+        let nodes_unscaled = size.min(self.max_nodes as f64);
+        let nodes = ((nodes_unscaled * self.size_scaling).round() as u32).max(1);
+
+        let wallclock_h = LogNormal::from_median_p95(
+            self.median_wallclock_hours,
+            self.p95_wallclock_hours,
+        )
+        .sample(rng)
+        .clamp(0.05, self.max_wallclock_hours);
+        let wallclock_secs = (wallclock_h * SimTime::HOUR as f64).round() as i64;
+        (nodes, wallclock_secs.max(SimTime::MINUTE))
+    }
+
+    /// Expected node-hours of a single job, estimated by Monte Carlo with `n` samples.
+    pub fn mean_job_node_hours<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..n.max(1) {
+            let (nodes, secs) = self.sample_shape(rng);
+            total += nodes as f64 * secs as f64 / SimTime::HOUR as f64;
+        }
+        total / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn shapes_respect_limits() {
+        let mix = JobMix::marenostrum4();
+        let mut r = rng();
+        for _ in 0..5000 {
+            let (nodes, secs) = mix.sample_shape(&mut r);
+            assert!(nodes >= 1 && nodes <= mix.max_nodes);
+            assert!(secs >= SimTime::MINUTE);
+            assert!(secs <= (mix.max_wallclock_hours * SimTime::HOUR as f64) as i64 + 1);
+        }
+    }
+
+    #[test]
+    fn node_counts_span_orders_of_magnitude() {
+        let mix = JobMix::marenostrum4();
+        let mut r = rng();
+        let sizes: Vec<u32> = (0..20_000).map(|_| mix.sample_shape(&mut r).0).collect();
+        let small = sizes.iter().filter(|&&n| n <= 2).count();
+        let large = sizes.iter().filter(|&&n| n >= 100).count();
+        assert!(small > sizes.len() / 3, "most jobs should be small");
+        assert!(large > 0, "some jobs should be large");
+    }
+
+    #[test]
+    fn scaling_multiplies_sizes() {
+        let base = JobMix::marenostrum4();
+        let scaled = base.with_size_scaling(10.0);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..500 {
+            let (n1, d1) = base.sample_shape(&mut r1);
+            let (n10, d10) = scaled.sample_shape(&mut r2);
+            assert_eq!(d1, d10, "durations are not affected by size scaling");
+            // The scaled size is 10x the unscaled (before rounding/min-clamping).
+            assert!(n10 >= n1, "scaled node count should not shrink");
+        }
+    }
+
+    #[test]
+    fn down_scaling_never_drops_below_one_node() {
+        let mix = JobMix::marenostrum4().with_size_scaling(0.1);
+        let mut r = rng();
+        for _ in 0..2000 {
+            assert!(mix.sample_shape(&mut r).0 >= 1);
+        }
+    }
+
+    #[test]
+    fn mean_job_node_hours_is_positive_and_scales() {
+        let mut r = rng();
+        let base = JobMix::marenostrum4().mean_job_node_hours(&mut r, 5000);
+        assert!(base > 1.0, "mean node-hours {base}");
+        let mut r = rng();
+        let scaled = JobMix::marenostrum4()
+            .with_size_scaling(10.0)
+            .mean_job_node_hours(&mut r, 5000);
+        assert!(scaled > 3.0 * base, "scaling up should raise mean cost");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scaling_rejected() {
+        JobMix::marenostrum4().with_size_scaling(0.0);
+    }
+}

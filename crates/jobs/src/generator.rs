@@ -1,0 +1,194 @@
+//! Synthetic MareNostrum-4-like job-log generator.
+//!
+//! Generates a year-long `sacct`-style accounting log for a machine of a given size by
+//! drawing job shapes from a [`JobMix`] until the requested utilisation is reached, then
+//! spreading the jobs' start times over the window. The generator does not model the
+//! scheduler's packing decisions — the downstream consumer (the node job-sequence sampler
+//! of Section 3.3.3) only needs the *distribution* of job shapes weighted by node count,
+//! not a feasible placement.
+
+use crate::distribution::JobMix;
+use crate::job::{JobLog, JobRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use uerl_stats::{Distribution, Exponential};
+use uerl_trace::types::SimTime;
+
+/// Configuration of the job-log generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobLogConfig {
+    /// Number of nodes of the machine.
+    pub machine_nodes: u32,
+    /// Start of the accounting window.
+    pub window_start: SimTime,
+    /// End of the accounting window.
+    pub window_end: SimTime,
+    /// Workload mix.
+    pub mix: JobMix,
+    /// Target system utilisation (fraction of available node-hours consumed).
+    pub target_utilization: f64,
+    /// Mean queue wait time in minutes (only affects the submit timestamps).
+    pub mean_wait_minutes: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl JobLogConfig {
+    /// The MareNostrum 4 general-purpose block preset: 3456 nodes over one year at ≥95%
+    /// utilisation.
+    pub fn marenostrum4(seed: u64) -> Self {
+        Self {
+            machine_nodes: 3456,
+            window_start: SimTime::ZERO,
+            window_end: SimTime::from_days(365),
+            mix: JobMix::marenostrum4(),
+            target_utilization: 0.95,
+            mean_wait_minutes: 90.0,
+            seed,
+        }
+    }
+
+    /// A small preset for tests and examples.
+    pub fn small(machine_nodes: u32, days: i64, seed: u64) -> Self {
+        Self {
+            machine_nodes: machine_nodes.max(1),
+            window_start: SimTime::ZERO,
+            window_end: SimTime::from_days(days.max(1)),
+            mix: JobMix::marenostrum4(),
+            target_utilization: 0.95,
+            mean_wait_minutes: 30.0,
+            seed,
+        }
+    }
+
+    /// Available capacity of the machine over the window, in node-hours.
+    pub fn capacity_node_hours(&self) -> f64 {
+        self.machine_nodes as f64
+            * ((self.window_end - self.window_start) as f64 / SimTime::HOUR as f64)
+    }
+}
+
+/// The job-log generator.
+#[derive(Debug, Clone)]
+pub struct JobTraceGenerator {
+    config: JobLogConfig,
+}
+
+impl JobTraceGenerator {
+    /// Create a generator.
+    ///
+    /// # Panics
+    /// Panics if the window is empty, the machine has no nodes, or the target utilisation
+    /// is not in `(0, 1]`.
+    pub fn new(config: JobLogConfig) -> Self {
+        assert!(config.window_end > config.window_start, "window must be non-empty");
+        assert!(config.machine_nodes > 0, "machine must have nodes");
+        assert!(
+            config.target_utilization > 0.0 && config.target_utilization <= 1.0,
+            "target utilisation must be in (0, 1]"
+        );
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &JobLogConfig {
+        &self.config
+    }
+
+    /// Generate the job log.
+    pub fn generate(&self) -> JobLog {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let target_node_hours = cfg.capacity_node_hours() * cfg.target_utilization;
+        let wait = Exponential::from_mean((cfg.mean_wait_minutes * 60.0).max(1.0));
+        let window_secs = cfg.window_end - cfg.window_start;
+
+        let mut records = Vec::new();
+        let mut consumed = 0.0;
+        let mut job_id = 1u64;
+        while consumed < target_node_hours {
+            let (nodes, wallclock_secs) = cfg.mix.sample_shape(&mut rng);
+            let nodes = nodes.min(cfg.machine_nodes);
+            // Uniform start so that the job finishes inside the window.
+            let latest_start = (window_secs - wallclock_secs).max(1);
+            let start_offset = rng.gen_range(0..latest_start);
+            let start = cfg.window_start.plus_secs(start_offset);
+            let end = start.plus_secs(wallclock_secs);
+            let submit = start.plus_secs(-(wait.sample(&mut rng) as i64)).max(cfg.window_start);
+            let record = JobRecord::new(job_id, submit, start, end, nodes);
+            consumed += record.node_hours();
+            records.push(record);
+            job_id += 1;
+        }
+
+        JobLog::new(records, cfg.window_start, cfg.window_end, cfg.machine_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_log(seed: u64) -> JobLog {
+        JobTraceGenerator::new(JobLogConfig::small(64, 30, seed)).generate()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(small_log(5).records(), small_log(5).records());
+        assert_ne!(small_log(5).records(), small_log(6).records());
+    }
+
+    #[test]
+    fn jobs_fit_inside_the_window() {
+        let log = small_log(1);
+        for r in log.records() {
+            assert!(r.submit >= log.window_start());
+            assert!(r.start >= log.window_start());
+            assert!(r.end <= log.window_end());
+            assert!(r.nodes <= log.machine_nodes());
+        }
+    }
+
+    #[test]
+    fn utilization_reaches_target() {
+        let log = small_log(2);
+        // The generator overshoots by at most one job, so utilisation lands at or just
+        // above 95%.
+        assert!(log.utilization() >= 0.95, "utilisation {}", log.utilization());
+        assert!(log.utilization() < 1.5, "utilisation {}", log.utilization());
+    }
+
+    #[test]
+    fn job_population_is_heterogeneous() {
+        let log = small_log(3);
+        assert!(log.len() > 50, "expected many jobs, got {}", log.len());
+        let sizes = log.node_count_ecdf();
+        assert!(sizes.max() > sizes.min(), "node counts should vary");
+        let durations = log.wallclock_hours_ecdf();
+        assert!(durations.max() / durations.min() > 5.0, "durations should span a wide range");
+    }
+
+    #[test]
+    fn capacity_calculation() {
+        let cfg = JobLogConfig::small(10, 10, 1);
+        assert!((cfg.capacity_node_hours() - 10.0 * 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marenostrum4_preset_shape() {
+        let cfg = JobLogConfig::marenostrum4(1);
+        assert_eq!(cfg.machine_nodes, 3456);
+        assert!((cfg.capacity_node_hours() - 3456.0 * 365.0 * 24.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilisation must be in")]
+    fn bad_utilization_rejected() {
+        JobTraceGenerator::new(JobLogConfig {
+            target_utilization: 0.0,
+            ..JobLogConfig::small(4, 4, 1)
+        });
+    }
+}

@@ -1,0 +1,304 @@
+//! Job records and the job-log container.
+
+use serde::{Deserialize, Serialize};
+use uerl_stats::Ecdf;
+use uerl_trace::types::SimTime;
+
+/// One accounting record of a batch job, as reported by `sacct`: submission, start and
+/// end times plus the number of allocated nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Scheduler-assigned job id.
+    pub job_id: u64,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Start of execution.
+    pub start: SimTime,
+    /// End of execution.
+    pub end: SimTime,
+    /// Number of allocated nodes.
+    pub nodes: u32,
+}
+
+impl JobRecord {
+    /// Construct a record.
+    ///
+    /// # Panics
+    /// Panics if the times are inconsistent (`submit > start` or `start > end`) or the
+    /// node count is zero.
+    pub fn new(job_id: u64, submit: SimTime, start: SimTime, end: SimTime, nodes: u32) -> Self {
+        assert!(submit <= start, "job {job_id}: submit after start");
+        assert!(start <= end, "job {job_id}: start after end");
+        assert!(nodes > 0, "job {job_id}: zero nodes");
+        Self {
+            job_id,
+            submit,
+            start,
+            end,
+            nodes,
+        }
+    }
+
+    /// Wallclock duration in seconds.
+    pub fn wallclock_secs(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Wallclock duration in hours.
+    pub fn wallclock_hours(&self) -> f64 {
+        self.wallclock_secs() as f64 / SimTime::HOUR as f64
+    }
+
+    /// Total node-hours consumed by the job.
+    pub fn node_hours(&self) -> f64 {
+        self.nodes as f64 * self.wallclock_hours()
+    }
+
+    /// Queue wait time in seconds.
+    pub fn wait_secs(&self) -> i64 {
+        self.start - self.submit
+    }
+
+    /// Whether the job is running at instant `t` (half-open interval `[start, end)`).
+    pub fn running_at(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// A copy of this record with the node count multiplied by `factor` (at least one
+    /// node). This is the job-size scaling operation of the sensitivity analysis.
+    pub fn scaled_nodes(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        Self {
+            nodes: ((self.nodes as f64 * factor).round() as u32).max(1),
+            ..*self
+        }
+    }
+}
+
+/// A complete job log: the records plus the window they were collected over and the size
+/// of the machine they ran on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobLog {
+    records: Vec<JobRecord>,
+    window_start: SimTime,
+    window_end: SimTime,
+    machine_nodes: u32,
+}
+
+impl JobLog {
+    /// Build a log from records (sorted internally by start time).
+    ///
+    /// # Panics
+    /// Panics if the window is empty or `machine_nodes` is zero.
+    pub fn new(
+        mut records: Vec<JobRecord>,
+        window_start: SimTime,
+        window_end: SimTime,
+        machine_nodes: u32,
+    ) -> Self {
+        assert!(window_end > window_start, "job-log window must be non-empty");
+        assert!(machine_nodes > 0, "machine must have nodes");
+        records.sort_by_key(|r| (r.start, r.job_id));
+        Self {
+            records,
+            window_start,
+            window_end,
+            machine_nodes,
+        }
+    }
+
+    /// The records, sorted by start time.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Start of the collection window.
+    pub fn window_start(&self) -> SimTime {
+        self.window_start
+    }
+
+    /// End of the collection window.
+    pub fn window_end(&self) -> SimTime {
+        self.window_end
+    }
+
+    /// Number of nodes of the machine the log was collected on.
+    pub fn machine_nodes(&self) -> u32 {
+        self.machine_nodes
+    }
+
+    /// Total node-hours consumed by all jobs.
+    pub fn total_node_hours(&self) -> f64 {
+        self.records.iter().map(|r| r.node_hours()).sum()
+    }
+
+    /// System utilisation: consumed node-hours over available node-hours in the window.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.machine_nodes as f64
+            * ((self.window_end - self.window_start) as f64 / SimTime::HOUR as f64);
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            self.total_node_hours() / capacity
+        }
+    }
+
+    /// Empirical distribution of job node counts.
+    pub fn node_count_ecdf(&self) -> Ecdf {
+        Ecdf::new(
+            &self
+                .records
+                .iter()
+                .map(|r| r.nodes as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Empirical distribution of job wallclock durations (hours).
+    pub fn wallclock_hours_ecdf(&self) -> Ecdf {
+        Ecdf::new(
+            &self
+                .records
+                .iter()
+                .map(|r| r.wallclock_hours())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// A copy of this log with every job's node count scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            records: self.records.iter().map(|r| r.scaled_nodes(factor)).collect(),
+            ..*self
+        }
+    }
+
+    /// Maximum single-job cost in node-hours (the paper reports 32,000 node-hours for the
+    /// MareNostrum 4 distribution).
+    pub fn max_job_node_hours(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.node_hours())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, start_h: i64, dur_h: i64, nodes: u32) -> JobRecord {
+        JobRecord::new(
+            id,
+            SimTime::from_hours(start_h - 1),
+            SimTime::from_hours(start_h),
+            SimTime::from_hours(start_h + dur_h),
+            nodes,
+        )
+    }
+
+    #[test]
+    fn record_durations_and_cost() {
+        let r = rec(1, 10, 5, 16);
+        assert_eq!(r.wallclock_secs(), 5 * SimTime::HOUR);
+        assert!((r.wallclock_hours() - 5.0).abs() < 1e-12);
+        assert!((r.node_hours() - 80.0).abs() < 1e-12);
+        assert_eq!(r.wait_secs(), SimTime::HOUR);
+    }
+
+    #[test]
+    fn running_at_is_half_open() {
+        let r = rec(1, 10, 5, 1);
+        assert!(!r.running_at(SimTime::from_hours(9)));
+        assert!(r.running_at(SimTime::from_hours(10)));
+        assert!(r.running_at(SimTime::from_hours(14)));
+        assert!(!r.running_at(SimTime::from_hours(15)));
+    }
+
+    #[test]
+    fn scaling_rounds_and_clamps() {
+        let r = rec(1, 0, 1, 3);
+        assert_eq!(r.scaled_nodes(10.0).nodes, 30);
+        assert_eq!(r.scaled_nodes(0.1).nodes, 1, "never below one node");
+        assert_eq!(r.scaled_nodes(0.5).nodes, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero nodes")]
+    fn zero_node_job_rejected() {
+        rec(1, 0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start after end")]
+    fn inverted_times_rejected() {
+        JobRecord::new(
+            1,
+            SimTime::ZERO,
+            SimTime::from_hours(2),
+            SimTime::from_hours(1),
+            1,
+        );
+    }
+
+    #[test]
+    fn log_sorts_and_summarises() {
+        let log = JobLog::new(
+            vec![rec(2, 10, 2, 4), rec(1, 5, 1, 2)],
+            SimTime::ZERO,
+            SimTime::from_hours(24),
+            10,
+        );
+        assert_eq!(log.records()[0].job_id, 1);
+        assert_eq!(log.len(), 2);
+        assert!((log.total_node_hours() - 10.0).abs() < 1e-12);
+        // 10 node-hours over a 10-node, 24-hour window.
+        assert!((log.utilization() - 10.0 / 240.0).abs() < 1e-12);
+        assert!((log.max_job_node_hours() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdfs_reflect_records() {
+        let log = JobLog::new(
+            vec![rec(1, 0, 1, 1), rec(2, 0, 2, 4), rec(3, 0, 4, 16)],
+            SimTime::ZERO,
+            SimTime::from_hours(24),
+            32,
+        );
+        let sizes = log.node_count_ecdf();
+        assert_eq!(sizes.min(), 1.0);
+        assert_eq!(sizes.max(), 16.0);
+        let durs = log.wallclock_hours_ecdf();
+        assert_eq!(durs.max(), 4.0);
+    }
+
+    #[test]
+    fn whole_log_scaling() {
+        let log = JobLog::new(
+            vec![rec(1, 0, 1, 2), rec(2, 0, 1, 8)],
+            SimTime::ZERO,
+            SimTime::from_hours(4),
+            16,
+        );
+        let scaled = log.scaled(3.0);
+        assert_eq!(scaled.records()[0].nodes, 6);
+        assert_eq!(scaled.records()[1].nodes, 24);
+        assert_eq!(scaled.machine_nodes(), 16, "machine size is unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_window_rejected() {
+        JobLog::new(vec![], SimTime::ZERO, SimTime::ZERO, 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # uerl-jobs
+//!
+//! Slurm-style HPC job-log substrate.
+//!
+//! The paper's cost model needs to know, at every moment on every node, which job is
+//! running, how many nodes it spans and how long it has been running since its start (or
+//! since the last mitigation): that product is the *potential UE cost* of Equation 3. The
+//! original study uses one year of Slurm accounting data from MareNostrum 4 (3456 nodes,
+//! March 2018 – March 2019, collected via `sacct`), which is not public. This crate
+//! rebuilds the substrate:
+//!
+//! * [`job`] — the job record model (submit/start/end times, node count) and a job-log
+//!   container with utilisation and distribution queries;
+//! * [`distribution`] — the workload mix: heavy-tailed node-count and wallclock
+//!   distributions spanning orders of magnitude, plus the job-size scaling factor used by
+//!   the sensitivity analysis of Section 5.6;
+//! * [`generator`] — a synthetic MareNostrum-4-like job-log generator targeting a
+//!   utilisation above 95%;
+//! * [`sacct`] — a `sacct`-style pipe-separated text format (emit + parse);
+//! * [`schedule`] — the node job-sequence sampler of Section 3.3.3: a random sequence of
+//!   jobs, weighted by the number of nodes they execute on, assigned back-to-back to a
+//!   node for the duration of a training episode or evaluation pass.
+
+pub mod distribution;
+pub mod generator;
+pub mod job;
+pub mod sacct;
+pub mod schedule;
+
+pub use distribution::JobMix;
+pub use generator::{JobLogConfig, JobTraceGenerator};
+pub use job::{JobLog, JobRecord};
+pub use schedule::{JobSequence, NodeJobSampler, ScheduledJob};

@@ -1,0 +1,296 @@
+//! The dueling Q-network architecture (Wang et al., ICML 2016).
+//!
+//! A dueling network splits the Q-function into a state-value stream `V(s)` and an
+//! advantage stream `A(s, a)`, recombined as
+//!
+//! ```text
+//! Q(s, a) = V(s) + A(s, a) − mean_a' A(s, a')
+//! ```
+//!
+//! Subtracting the mean advantage removes the degree of freedom between the two streams
+//! and is the variant used by the paper's agent. The shared trunk uses the paper's four
+//! hidden layers; each stream is a single linear layer on top of the trunk output.
+
+use crate::activation::Activation;
+use crate::layer::DenseLayer;
+use crate::matrix::Matrix;
+use crate::network::MlpConfig;
+use crate::optim::Optimizer;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dueling Q-network: shared trunk, value head and advantage head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DuelingQNetwork {
+    trunk: Vec<DenseLayer>,
+    value_head: DenseLayer,
+    advantage_head: DenseLayer,
+    n_actions: usize,
+}
+
+impl DuelingQNetwork {
+    /// Build a dueling network with the trunk described by `config` (its `output_dim` is
+    /// ignored; the heads are sized from `n_actions`).
+    ///
+    /// # Panics
+    /// Panics if there are no hidden layers or fewer than two actions.
+    pub fn new<R: Rng + ?Sized>(config: &MlpConfig, n_actions: usize, rng: &mut R) -> Self {
+        assert!(!config.hidden.is_empty(), "dueling network needs a trunk");
+        assert!(n_actions >= 2, "need at least two actions");
+        let mut trunk = Vec::with_capacity(config.hidden.len());
+        let mut in_dim = config.input_dim;
+        for &width in &config.hidden {
+            trunk.push(DenseLayer::new(
+                in_dim,
+                width,
+                config.hidden_activation,
+                config.init,
+                rng,
+            ));
+            in_dim = width;
+        }
+        let value_head = DenseLayer::new(in_dim, 1, Activation::Identity, config.init, rng);
+        let advantage_head =
+            DenseLayer::new(in_dim, n_actions, Activation::Identity, config.init, rng);
+        Self {
+            trunk,
+            value_head,
+            advantage_head,
+            n_actions,
+        }
+    }
+
+    /// The paper's configuration: 256-256-128-64 ReLU trunk, two actions.
+    pub fn paper<R: Rng + ?Sized>(input_dim: usize, rng: &mut R) -> Self {
+        Self::new(&MlpConfig::paper_q_network(input_dim, 2), 2, rng)
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.trunk.first().map(DenseLayer::input_dim).unwrap_or(0)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.trunk.iter().map(DenseLayer::param_count).sum::<usize>()
+            + self.value_head.param_count()
+            + self.advantage_head.param_count()
+    }
+
+    fn combine(value: &Matrix, advantage: &Matrix) -> Matrix {
+        let n = advantage.cols() as f64;
+        Matrix::from_fn(advantage.rows(), advantage.cols(), |i, j| {
+            let mean_a: f64 = advantage.row(i).iter().sum::<f64>() / n;
+            value.get(i, 0) + advantage.get(i, j) - mean_a
+        })
+    }
+
+    /// Inference-only forward pass producing the Q-values for a batch of states.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut h = input.clone();
+        for layer in &self.trunk {
+            h = layer.forward(&h);
+        }
+        let v = self.value_head.forward(&h);
+        let a = self.advantage_head.forward(&h);
+        Self::combine(&v, &a)
+    }
+
+    /// Training forward pass (caches activations in every layer).
+    pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let mut h = input.clone();
+        for layer in &mut self.trunk {
+            h = layer.forward_train(&h);
+        }
+        let v = self.value_head.forward_train(&h);
+        let a = self.advantage_head.forward_train(&h);
+        Self::combine(&v, &a)
+    }
+
+    /// Backward pass from `dL/dQ`. Accumulates gradients in every layer and returns the
+    /// gradient with respect to the input.
+    ///
+    /// With `Q_ij = V_i + A_ij − mean_j A_ij`:
+    /// `dL/dV_i = Σ_j dQ_ij` and `dL/dA_ij = dQ_ij − mean_j dQ_ij`.
+    pub fn backward(&mut self, grad_q: &Matrix) -> Matrix {
+        let rows = grad_q.rows();
+        let n = self.n_actions as f64;
+        let grad_v = Matrix::from_fn(rows, 1, |i, _| grad_q.row(i).iter().sum());
+        let grad_a = Matrix::from_fn(rows, self.n_actions, |i, j| {
+            let mean: f64 = grad_q.row(i).iter().sum::<f64>() / n;
+            grad_q.get(i, j) - mean
+        });
+        let mut grad_h = self.value_head.backward(&grad_v);
+        grad_h.add_assign(&self.advantage_head.backward(&grad_a));
+        let mut grad = grad_h;
+        for layer in self.trunk.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// Reset all accumulated gradients.
+    pub fn clear_gradients(&mut self) {
+        for layer in &mut self.trunk {
+            layer.clear_gradients();
+        }
+        self.value_head.clear_gradients();
+        self.advantage_head.clear_gradients();
+    }
+
+    /// Apply the accumulated gradients with an optimizer and clear them.
+    pub fn apply_gradients(&mut self, optimizer: &mut dyn Optimizer) {
+        let mut next_id = 0;
+        for layer in &mut self.trunk {
+            layer.visit_params(next_id, |id, params, grads| optimizer.update(id, params, grads));
+            next_id += 2;
+        }
+        self.value_head
+            .visit_params(next_id, |id, params, grads| optimizer.update(id, params, grads));
+        next_id += 2;
+        self.advantage_head
+            .visit_params(next_id, |id, params, grads| optimizer.update(id, params, grads));
+        self.clear_gradients();
+    }
+
+    /// Copy all weights from another network of identical architecture (target-network
+    /// synchronisation).
+    ///
+    /// # Panics
+    /// Panics if the architectures differ.
+    pub fn sync_from(&mut self, other: &DuelingQNetwork) {
+        assert_eq!(self.trunk.len(), other.trunk.len(), "trunk depth mismatch");
+        for (mine, theirs) in self.trunk.iter_mut().zip(&other.trunk) {
+            mine.copy_params_from(theirs);
+        }
+        self.value_head.copy_params_from(&other.value_head);
+        self.advantage_head.copy_params_from(&other.advantage_head);
+    }
+
+    /// Convenience single-state Q-value prediction.
+    pub fn predict_one(&self, features: &[f64]) -> Vec<f64> {
+        self.forward(&Matrix::row_from_slice(features)).row(0).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Loss;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small(seed: u64) -> DuelingQNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DuelingQNetwork::new(&MlpConfig::small(4, 2), 2, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let net = small(1);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.n_actions(), 2);
+        // Trunk: 4*32+32 + 32*16+16; heads: 16*1+1 + 16*2+2.
+        assert_eq!(net.param_count(), 160 + 528 + 17 + 34);
+        let q = net.forward(&Matrix::from_vec(3, 4, vec![0.2; 12]));
+        assert_eq!((q.rows(), q.cols()), (3, 2));
+    }
+
+    #[test]
+    fn paper_configuration_builds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = DuelingQNetwork::paper(14, &mut rng);
+        assert_eq!(net.input_dim(), 14);
+        assert_eq!(net.n_actions(), 2);
+        assert!(net.param_count() > 100_000);
+    }
+
+    #[test]
+    fn forward_and_forward_train_agree() {
+        let mut net = small(3);
+        let x = Matrix::from_vec(2, 4, vec![0.5, -0.5, 1.0, 0.0, 0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(net.forward(&x), net.forward_train(&x));
+    }
+
+    #[test]
+    fn gradient_check_through_both_streams() {
+        let mut net = small(4);
+        let x = Matrix::from_vec(2, 4, vec![0.3, -0.7, 0.2, 0.9, -0.1, 0.4, 0.8, -0.6]);
+        let ones = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let _ = net.forward_train(&x);
+        let _ = net.backward(&ones);
+        let analytic = net.trunk[0].grad_weights().clone();
+        let cols = net.trunk[0].output_dim();
+        let eps = 1e-6;
+        for (i, j) in [(0, 0), (2, 5), (3, 11)] {
+            let mut plus = net.clone();
+            let mut minus = net.clone();
+            plus.trunk[0].visit_params(0, |id, params, _| {
+                if id == 0 {
+                    params[i * cols + j] += eps;
+                }
+            });
+            minus.trunk[0].visit_params(0, |id, params, _| {
+                if id == 0 {
+                    params[i * cols + j] -= eps;
+                }
+            });
+            let f_plus: f64 = plus.forward(&x).data().iter().sum();
+            let f_minus: f64 = minus.forward(&x).data().iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.get(i, j)).abs() < 1e-4,
+                "dW[{i}][{j}] numeric {numeric} analytic {}",
+                analytic.get(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn training_fits_simple_q_targets() {
+        let mut net = small(5);
+        let mut opt = Adam::new(0.01);
+        let loss = Loss::MeanSquaredError;
+        let states = Matrix::from_vec(2, 4, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let targets = Matrix::from_vec(2, 2, vec![1.0, -1.0, -2.0, 2.0]);
+        let initial = loss.batch_value(net.forward(&states).data(), targets.data(), None);
+        for _ in 0..800 {
+            let q = net.forward_train(&states);
+            let grad = Matrix::from_vec(2, 2, loss.batch_gradient(q.data(), targets.data(), None));
+            let _ = net.backward(&grad);
+            net.apply_gradients(&mut opt);
+        }
+        let fitted = loss.batch_value(net.forward(&states).data(), targets.data(), None);
+        assert!(fitted < initial * 0.05, "loss {initial} -> {fitted}");
+    }
+
+    #[test]
+    fn sync_from_makes_outputs_identical() {
+        let mut a = small(6);
+        let b = small(7);
+        let x = Matrix::from_vec(1, 4, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_ne!(a.forward(&x), b.forward(&x));
+        a.sync_from(&b);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn predict_one_matches_batch_forward() {
+        let net = small(8);
+        let f = [0.9, -0.9, 0.5, 0.0];
+        assert_eq!(net.predict_one(&f), net.forward(&Matrix::row_from_slice(&f)).row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two actions")]
+    fn single_action_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        DuelingQNetwork::new(&MlpConfig::small(4, 1), 1, &mut rng);
+    }
+}

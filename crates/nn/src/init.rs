@@ -1,0 +1,72 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use uerl_stats::{Distribution, Normal, Uniform};
+
+/// Weight initialisation scheme for a dense layer with `fan_in` inputs and `fan_out`
+/// outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightInit {
+    /// He (Kaiming) normal initialisation, `N(0, sqrt(2 / fan_in))` — the standard choice
+    /// for ReLU networks and the default for the Q-networks in this project.
+    HeNormal,
+    /// Xavier (Glorot) uniform initialisation, `U(-limit, limit)` with
+    /// `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// All weights zero (useful in tests where determinism without randomness is wanted).
+    Zeros,
+}
+
+impl WeightInit {
+    /// Sample one weight.
+    pub fn sample<R: Rng + ?Sized>(self, fan_in: usize, fan_out: usize, rng: &mut R) -> f64 {
+        match self {
+            WeightInit::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f64).sqrt();
+                Normal::new(0.0, std).sample(rng)
+            }
+            WeightInit::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+                Uniform::new(-limit, limit).sample(rng)
+            }
+            WeightInit::Zeros => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uerl_stats::Summary;
+
+    #[test]
+    fn he_normal_std_matches_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| WeightInit::HeNormal.sample(128, 64, &mut rng))
+            .collect();
+        let s = Summary::from_slice(&samples);
+        let expected_std = (2.0 / 128.0f64).sqrt();
+        assert!(s.mean().abs() < 0.01);
+        assert!((s.std_dev() - expected_std).abs() / expected_std < 0.05);
+    }
+
+    #[test]
+    fn xavier_uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let limit = (6.0f64 / (32.0 + 16.0)).sqrt();
+        for _ in 0..5000 {
+            let w = WeightInit::XavierUniform.sample(32, 16, &mut rng);
+            assert!(w.abs() <= limit);
+        }
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(WeightInit::Zeros.sample(10, 10, &mut rng), 0.0);
+    }
+}

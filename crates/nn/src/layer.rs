@@ -1,0 +1,286 @@
+//! A dense (fully-connected) layer with forward and backward passes.
+
+use crate::activation::Activation;
+use crate::init::WeightInit;
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer: `output = activation(input · W + b)`.
+///
+/// Weights are stored as an `input_dim × output_dim` matrix so a batch of rows can be
+/// multiplied directly. The layer caches the last forward pass's input and
+/// pre-activation, which the backward pass consumes; gradients accumulate in `grad_*`
+/// until [`DenseLayer::clear_gradients`] (or an optimizer step) resets them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    weights: Matrix,
+    bias: Vec<f64>,
+    activation: Activation,
+    // Training caches (not serialized semantically meaningful, but harmless).
+    last_input: Option<Matrix>,
+    last_preactivation: Option<Matrix>,
+    grad_weights: Matrix,
+    grad_bias: Vec<f64>,
+}
+
+impl DenseLayer {
+    /// Create a layer with the given fan-in/fan-out, activation and initialisation.
+    pub fn new<R: Rng + ?Sized>(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        init: WeightInit,
+        rng: &mut R,
+    ) -> Self {
+        let weights = Matrix::from_fn(input_dim, output_dim, |_, _| {
+            init.sample(input_dim, output_dim, rng)
+        });
+        Self {
+            weights,
+            bias: vec![0.0; output_dim],
+            activation,
+            last_input: None,
+            last_preactivation: None,
+            grad_weights: Matrix::zeros(input_dim, output_dim),
+            grad_bias: vec![0.0; output_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Immutable access to the weights (for inspection and tests).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Immutable access to the bias.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Copy the weights and bias from another layer of identical shape.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn copy_params_from(&mut self, other: &DenseLayer) {
+        assert_eq!(self.weights.rows(), other.weights.rows(), "shape mismatch");
+        assert_eq!(self.weights.cols(), other.weights.cols(), "shape mismatch");
+        self.weights = other.weights.clone();
+        self.bias = other.bias.clone();
+    }
+
+    /// Inference-only forward pass (no caches touched).
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut z = input.matmul(&self.weights);
+        z.add_row_broadcast(&self.bias);
+        z.map(|x| self.activation.apply(x))
+    }
+
+    /// Training forward pass: caches the input and pre-activation for the backward pass.
+    pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
+        let mut z = input.matmul(&self.weights);
+        z.add_row_broadcast(&self.bias);
+        let out = z.map(|x| self.activation.apply(x));
+        self.last_input = Some(input.clone());
+        self.last_preactivation = Some(z);
+        out
+    }
+
+    /// Backward pass: given `dL/d(output)`, accumulate `dL/dW` and `dL/db` and return
+    /// `dL/d(input)`.
+    ///
+    /// # Panics
+    /// Panics if no training forward pass preceded this call or the gradient shape does
+    /// not match the cached batch.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .last_input
+            .as_ref()
+            .expect("backward called without forward_train");
+        let z = self
+            .last_preactivation
+            .as_ref()
+            .expect("backward called without forward_train");
+        assert_eq!(grad_output.rows(), input.rows(), "batch size mismatch");
+        assert_eq!(grad_output.cols(), self.output_dim(), "gradient width mismatch");
+
+        // dL/dz = dL/dy * act'(z)
+        let grad_z = grad_output.zip_map(z, |g, zv| g * self.activation.derivative(zv));
+        // dL/dW = input^T · dL/dz ; dL/db = column sums of dL/dz
+        let grad_w = input.transpose().matmul(&grad_z);
+        self.grad_weights.add_assign(&grad_w);
+        for (gb, s) in self.grad_bias.iter_mut().zip(grad_z.column_sums()) {
+            *gb += s;
+        }
+        // dL/d(input) = dL/dz · W^T
+        grad_z.matmul(&self.weights.transpose())
+    }
+
+    /// Reset the accumulated gradients to zero.
+    pub fn clear_gradients(&mut self) {
+        self.grad_weights.scale_assign(0.0);
+        for g in &mut self.grad_bias {
+            *g = 0.0;
+        }
+    }
+
+    /// Visit `(parameters, gradients)` pairs: first the flattened weights, then the bias.
+    /// The visitor receives a stable per-tensor index offset so optimizers can keep
+    /// per-tensor state.
+    pub fn visit_params(&mut self, base_id: usize, mut visit: impl FnMut(usize, &mut [f64], &[f64])) {
+        visit(base_id, self.weights.data_mut(), self.grad_weights.data());
+        visit(base_id + 1, &mut self.bias, &self.grad_bias);
+    }
+
+    /// Accumulated weight-gradient matrix (for tests).
+    pub fn grad_weights(&self) -> &Matrix {
+        &self.grad_weights
+    }
+
+    /// Accumulated bias gradient (for tests).
+    pub fn grad_bias(&self) -> &[f64] {
+        &self.grad_bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(act: Activation) -> DenseLayer {
+        let mut rng = StdRng::seed_from_u64(1);
+        DenseLayer::new(3, 2, act, WeightInit::HeNormal, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let l = layer(Activation::Relu);
+        assert_eq!(l.input_dim(), 3);
+        assert_eq!(l.output_dim(), 2);
+        assert_eq!(l.param_count(), 3 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_matches_manual_computation_for_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = DenseLayer::new(2, 1, Activation::Identity, WeightInit::Zeros, &mut rng);
+        // Manually set weights to [1, 2]^T and bias to 0.5.
+        l.weights = Matrix::from_vec(2, 1, vec![1.0, 2.0]);
+        l.bias = vec![0.5];
+        let x = Matrix::from_vec(2, 2, vec![1.0, 1.0, 3.0, -1.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[3.5, 1.5]);
+    }
+
+    #[test]
+    fn forward_and_forward_train_agree() {
+        let mut l = layer(Activation::Tanh);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 1.0, 0.5, -0.5]);
+        let a = l.forward(&x);
+        let b = l.forward_train(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backward_gradients_match_numerical_gradients() {
+        // Loss = sum(output); check dL/dW numerically.
+        let mut l = layer(Activation::Tanh);
+        let x = Matrix::from_vec(2, 3, vec![0.3, -0.1, 0.8, -0.4, 0.9, 0.2]);
+        let ones = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let _ = l.forward_train(&x);
+        let _ = l.backward(&ones);
+        let analytic = l.grad_weights().clone();
+
+        let eps = 1e-6;
+        for i in 0..3 {
+            for j in 0..2 {
+                let orig = l.weights.get(i, j);
+                l.weights.set(i, j, orig + eps);
+                let plus: f64 = l.forward(&x).data().iter().sum();
+                l.weights.set(i, j, orig - eps);
+                let minus: f64 = l.forward(&x).data().iter().sum();
+                l.weights.set(i, j, orig);
+                let numeric = (plus - minus) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic.get(i, j)).abs() < 1e-5,
+                    "dW[{i}][{j}] numeric {numeric} analytic {}",
+                    analytic.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_returns_input_gradient_of_right_shape() {
+        let mut l = layer(Activation::Relu);
+        let x = Matrix::from_vec(4, 3, vec![0.5; 12]);
+        let _ = l.forward_train(&x);
+        let gin = l.backward(&Matrix::from_vec(4, 2, vec![1.0; 8]));
+        assert_eq!(gin.rows(), 4);
+        assert_eq!(gin.cols(), 3);
+    }
+
+    #[test]
+    fn gradients_accumulate_and_clear() {
+        let mut l = layer(Activation::Identity);
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let _ = l.forward_train(&x);
+        let _ = l.backward(&g);
+        let after_one = l.grad_weights().clone();
+        let _ = l.forward_train(&x);
+        let _ = l.backward(&g);
+        // Accumulated twice -> double.
+        assert!((l.grad_weights().get(2, 1) - 2.0 * after_one.get(2, 1)).abs() < 1e-12);
+        l.clear_gradients();
+        assert_eq!(l.grad_weights().frobenius_norm(), 0.0);
+        assert!(l.grad_bias().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn copy_params_from_other_layer() {
+        let mut a = layer(Activation::Relu);
+        let b = layer(Activation::Relu);
+        a.copy_params_from(&b);
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.bias(), b.bias());
+    }
+
+    #[test]
+    #[should_panic(expected = "without forward_train")]
+    fn backward_requires_forward_train() {
+        let mut l = layer(Activation::Relu);
+        l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn visit_params_exposes_both_tensors() {
+        let mut l = layer(Activation::Relu);
+        let mut ids = Vec::new();
+        l.visit_params(10, |id, params, grads| {
+            ids.push((id, params.len(), grads.len()));
+        });
+        assert_eq!(ids, vec![(10, 6, 6), (11, 2, 2)]);
+    }
+}

@@ -1,0 +1,574 @@
+//! Deep Q-network agents: DQN, double DQN and the dueling double DQN (DDDQN) used by the
+//! paper, with optional prioritized experience replay.
+//!
+//! The agent keeps two networks: the *online* network selects actions and is trained
+//! every few environment steps on a replayed mini-batch; the *target* network evaluates
+//! bootstrapped TD targets and is synchronised with the online network every
+//! `target_sync_every` updates. In the *double* configuration the online network chooses
+//! the argmax action for the next state while the target network provides its value,
+//! which removes the max-operator overestimation bias. The *dueling* configuration swaps
+//! the plain MLP for the value/advantage architecture of [`uerl_nn::DuelingQNetwork`].
+
+use crate::per::PrioritizedReplay;
+use crate::replay::UniformReplay;
+use crate::schedule::{BetaSchedule, EpsilonSchedule};
+use crate::transition::Transition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use uerl_nn::{Activation, Adam, DuelingQNetwork, Loss, Matrix, Mlp, MlpConfig, WeightInit};
+
+/// Configuration of a [`DqnAgent`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Dimension of the state feature vector.
+    pub state_dim: usize,
+    /// Number of discrete actions.
+    pub n_actions: usize,
+    /// Hidden layer widths of the Q-network.
+    pub hidden: Vec<usize>,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Learning rate of the Adam optimizer.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Replay memory capacity.
+    pub replay_capacity: usize,
+    /// Minimum number of stored transitions before training starts.
+    pub min_replay: usize,
+    /// Train every this many environment steps.
+    pub train_every: usize,
+    /// Synchronise the target network every this many training updates.
+    pub target_sync_every: usize,
+    /// Use double Q-learning (decouple action selection from evaluation).
+    pub double: bool,
+    /// Use the dueling value/advantage architecture.
+    pub dueling: bool,
+    /// Use prioritized experience replay.
+    pub prioritized: bool,
+    /// PER prioritisation exponent α.
+    pub per_alpha: f64,
+    /// Exploration schedule.
+    pub epsilon: EpsilonSchedule,
+    /// PER importance-sampling annealing schedule.
+    pub beta: BetaSchedule,
+    /// RNG seed (weights, exploration, replay sampling).
+    pub seed: u64,
+}
+
+impl AgentConfig {
+    /// The paper's agent: dueling double DQN with prioritized experience replay and the
+    /// 256-256-128-64 network of Section 3.3.2.
+    pub fn paper(state_dim: usize) -> Self {
+        Self {
+            state_dim,
+            n_actions: 2,
+            hidden: vec![256, 256, 128, 64],
+            gamma: 0.99,
+            learning_rate: 1e-4,
+            batch_size: 64,
+            replay_capacity: 100_000,
+            min_replay: 1_000,
+            train_every: 4,
+            target_sync_every: 500,
+            double: true,
+            dueling: true,
+            prioritized: true,
+            per_alpha: 0.6,
+            epsilon: EpsilonSchedule::default(),
+            beta: BetaSchedule::default(),
+            seed: 0,
+        }
+    }
+
+    /// A small, fast configuration for tests and examples.
+    pub fn small(state_dim: usize) -> Self {
+        Self {
+            state_dim,
+            n_actions: 2,
+            hidden: vec![32, 32],
+            gamma: 0.95,
+            learning_rate: 1e-3,
+            batch_size: 32,
+            replay_capacity: 10_000,
+            min_replay: 64,
+            train_every: 1,
+            target_sync_every: 50,
+            double: true,
+            dueling: true,
+            prioritized: true,
+            per_alpha: 0.6,
+            epsilon: EpsilonSchedule::new(1.0, 0.05, 2_000),
+            beta: BetaSchedule::new(0.4, 5_000),
+            seed: 0,
+        }
+    }
+
+    /// A copy with a different seed (used when training several agents during
+    /// hyperparameter search).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.state_dim > 0, "state_dim must be positive");
+        assert!(self.n_actions >= 2, "need at least two actions");
+        assert!(!self.hidden.is_empty(), "need at least one hidden layer");
+        assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0, 1]");
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(self.batch_size > 0, "batch size must be positive");
+        assert!(self.replay_capacity >= self.batch_size, "replay must hold a batch");
+        assert!(self.train_every > 0, "train_every must be positive");
+        assert!(self.target_sync_every > 0, "target_sync_every must be positive");
+    }
+}
+
+/// Either of the two Q-function architectures.
+#[derive(Debug, Clone)]
+enum QFunction {
+    Plain(Mlp),
+    Dueling(DuelingQNetwork),
+}
+
+impl QFunction {
+    fn build(config: &AgentConfig, rng: &mut StdRng) -> Self {
+        let mlp_config = MlpConfig {
+            input_dim: config.state_dim,
+            hidden: config.hidden.clone(),
+            output_dim: config.n_actions,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Identity,
+            init: WeightInit::HeNormal,
+        };
+        if config.dueling {
+            QFunction::Dueling(DuelingQNetwork::new(&mlp_config, config.n_actions, rng))
+        } else {
+            QFunction::Plain(Mlp::new(&mlp_config, rng))
+        }
+    }
+
+    fn forward(&self, x: &Matrix) -> Matrix {
+        match self {
+            QFunction::Plain(net) => net.forward(x),
+            QFunction::Dueling(net) => net.forward(x),
+        }
+    }
+
+    fn forward_train(&mut self, x: &Matrix) -> Matrix {
+        match self {
+            QFunction::Plain(net) => net.forward_train(x),
+            QFunction::Dueling(net) => net.forward_train(x),
+        }
+    }
+
+    fn backward(&mut self, grad: &Matrix) {
+        match self {
+            QFunction::Plain(net) => {
+                let _ = net.backward(grad);
+            }
+            QFunction::Dueling(net) => {
+                let _ = net.backward(grad);
+            }
+        }
+    }
+
+    fn apply_gradients(&mut self, optimizer: &mut Adam) {
+        match self {
+            QFunction::Plain(net) => net.apply_gradients(optimizer),
+            QFunction::Dueling(net) => net.apply_gradients(optimizer),
+        }
+    }
+
+    fn sync_from(&mut self, other: &QFunction) {
+        match (self, other) {
+            (QFunction::Plain(a), QFunction::Plain(b)) => a.sync_from(b),
+            (QFunction::Dueling(a), QFunction::Dueling(b)) => a.sync_from(b),
+            _ => panic!("cannot sync networks of different architectures"),
+        }
+    }
+
+    fn predict_one(&self, state: &[f64]) -> Vec<f64> {
+        match self {
+            QFunction::Plain(net) => net.predict_one(state),
+            QFunction::Dueling(net) => net.predict_one(state),
+        }
+    }
+}
+
+/// Either replay memory flavour.
+#[derive(Debug, Clone)]
+enum ReplayMemory {
+    Uniform(UniformReplay),
+    Prioritized(PrioritizedReplay),
+}
+
+impl ReplayMemory {
+    fn len(&self) -> usize {
+        match self {
+            ReplayMemory::Uniform(r) => r.len(),
+            ReplayMemory::Prioritized(r) => r.len(),
+        }
+    }
+}
+
+/// A deep Q-network agent.
+#[derive(Debug, Clone)]
+pub struct DqnAgent {
+    config: AgentConfig,
+    online: QFunction,
+    target: QFunction,
+    optimizer: Adam,
+    replay: ReplayMemory,
+    rng: StdRng,
+    env_steps: u64,
+    updates: u64,
+    loss: Loss,
+    last_loss: Option<f64>,
+}
+
+impl DqnAgent {
+    /// Create an agent from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is internally inconsistent (see [`AgentConfig`]).
+    pub fn new(config: AgentConfig) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let online = QFunction::build(&config, &mut rng);
+        let mut target = QFunction::build(&config, &mut rng);
+        target.sync_from(&online);
+        let replay = if config.prioritized {
+            ReplayMemory::Prioritized(PrioritizedReplay::new(
+                config.replay_capacity,
+                config.per_alpha,
+            ))
+        } else {
+            ReplayMemory::Uniform(UniformReplay::new(config.replay_capacity))
+        };
+        let optimizer = Adam::new(config.learning_rate);
+        Self {
+            config,
+            online,
+            target,
+            optimizer,
+            replay,
+            rng,
+            env_steps: 0,
+            updates: 0,
+            loss: Loss::huber(),
+            last_loss: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// Number of environment steps observed so far.
+    pub fn env_steps(&self) -> u64 {
+        self.env_steps
+    }
+
+    /// Number of gradient updates performed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The loss of the most recent training step, if any.
+    pub fn last_loss(&self) -> Option<f64> {
+        self.last_loss
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        self.config.epsilon.value(self.env_steps)
+    }
+
+    /// Q-values predicted by the online network for one state.
+    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+        self.online.predict_one(state)
+    }
+
+    /// Greedy action (no exploration): argmax of the online Q-values.
+    pub fn act_greedy(&self, state: &[f64]) -> usize {
+        let q = self.q_values(state);
+        q.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite Q-values"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// ε-greedy action for training.
+    pub fn act(&mut self, state: &[f64]) -> usize {
+        let eps = self.epsilon();
+        if self.rng.gen::<f64>() < eps {
+            self.rng.gen_range(0..self.config.n_actions)
+        } else {
+            self.act_greedy(state)
+        }
+    }
+
+    /// Store one transition and, when due, run a training step.
+    pub fn observe(&mut self, transition: Transition) {
+        debug_assert_eq!(transition.state_dim(), self.config.state_dim);
+        match &mut self.replay {
+            ReplayMemory::Uniform(r) => r.push(transition),
+            ReplayMemory::Prioritized(r) => r.push(transition),
+        }
+        self.env_steps += 1;
+        if self.replay.len() >= self.config.min_replay.max(self.config.batch_size)
+            && self.env_steps % self.config.train_every as u64 == 0
+        {
+            self.train_step();
+        }
+    }
+
+    /// Force a target-network synchronisation.
+    pub fn sync_target(&mut self) {
+        self.target.sync_from(&self.online);
+    }
+
+    /// Run one gradient update on a replayed mini-batch. Returns the batch loss, or
+    /// `None` if the replay memory does not yet hold enough transitions.
+    pub fn train_step(&mut self) -> Option<f64> {
+        let batch_size = self.config.batch_size;
+        if self.replay.len() < batch_size {
+            return None;
+        }
+
+        // Sample a batch (with importance weights for PER, unit weights otherwise).
+        let (indices, weights, transitions): (Vec<usize>, Vec<f64>, Vec<Transition>) =
+            match &self.replay {
+                ReplayMemory::Prioritized(per) => {
+                    let beta = self.config.beta.value(self.updates);
+                    let batch = per.sample(batch_size, beta, &mut self.rng);
+                    (batch.indices, batch.weights, batch.transitions)
+                }
+                ReplayMemory::Uniform(uni) => {
+                    let sampled: Vec<Transition> = uni
+                        .sample(batch_size, &mut self.rng)
+                        .into_iter()
+                        .cloned()
+                        .collect();
+                    (Vec::new(), vec![1.0; sampled.len()], sampled)
+                }
+            };
+        if transitions.is_empty() {
+            return None;
+        }
+        let n = transitions.len();
+
+        // Assemble the state batch and the TD targets.
+        let state_dim = self.config.state_dim;
+        let mut states = Matrix::zeros(n, state_dim);
+        for (i, t) in transitions.iter().enumerate() {
+            states.row_mut(i).copy_from_slice(&t.state);
+        }
+
+        // Next-state values for the non-terminal transitions.
+        let non_terminal: Vec<usize> = transitions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_terminal())
+            .map(|(i, _)| i)
+            .collect();
+        let mut next_values = vec![0.0; n];
+        if !non_terminal.is_empty() {
+            let mut next_states = Matrix::zeros(non_terminal.len(), state_dim);
+            for (row, &i) in non_terminal.iter().enumerate() {
+                next_states
+                    .row_mut(row)
+                    .copy_from_slice(transitions[i].next_state.as_ref().expect("non-terminal"));
+            }
+            let q_target_next = self.target.forward(&next_states);
+            if self.config.double {
+                let q_online_next = self.online.forward(&next_states);
+                for (row, &i) in non_terminal.iter().enumerate() {
+                    let a_star = q_online_next.row_argmax(row);
+                    next_values[i] = q_target_next.get(row, a_star);
+                }
+            } else {
+                for (row, &i) in non_terminal.iter().enumerate() {
+                    next_values[i] = q_target_next.row_max(row);
+                }
+            }
+        }
+
+        let targets: Vec<f64> = transitions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.reward + self.config.gamma * next_values[i])
+            .collect();
+
+        // Forward the online network, compute the action-gated gradient and step.
+        let q_online = self.online.forward_train(&states);
+        let predictions: Vec<f64> = transitions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| q_online.get(i, t.action))
+            .collect();
+        let td_errors: Vec<f64> = predictions
+            .iter()
+            .zip(&targets)
+            .map(|(&p, &y)| p - y)
+            .collect();
+        let loss_value = self.loss.batch_value(&predictions, &targets, Some(&weights));
+        let per_sample_grads = self
+            .loss
+            .batch_gradient(&predictions, &targets, Some(&weights));
+        let mut grad_q = Matrix::zeros(n, self.config.n_actions);
+        for (i, t) in transitions.iter().enumerate() {
+            grad_q.set(i, t.action, per_sample_grads[i]);
+        }
+        self.online.backward(&grad_q);
+        self.online.apply_gradients(&mut self.optimizer);
+
+        // Refresh priorities and the target network.
+        if let ReplayMemory::Prioritized(per) = &mut self.replay {
+            per.update_priorities(&indices, &td_errors);
+        }
+        self.updates += 1;
+        if self.updates % self.config.target_sync_every as u64 == 0 {
+            self.sync_target();
+        }
+        self.last_loss = Some(loss_value);
+        Some(loss_value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-context bandit: state [1,0] rewards action 0, state [0,1] rewards action 1.
+    fn train_bandit(mut config: AgentConfig, steps: usize) -> DqnAgent {
+        config.state_dim = 2;
+        let mut agent = DqnAgent::new(config);
+        let states = [vec![1.0, 0.0], vec![0.0, 1.0]];
+        for step in 0..steps {
+            let s = states[step % 2].clone();
+            let a = agent.act(&s);
+            let correct = if s[0] > 0.5 { 0 } else { 1 };
+            let reward = if a == correct { 1.0 } else { -1.0 };
+            agent.observe(Transition::terminal(s, a, reward));
+        }
+        agent
+    }
+
+    #[test]
+    fn dddqn_with_per_solves_contextual_bandit() {
+        let agent = train_bandit(AgentConfig::small(2).with_seed(1), 2_000);
+        assert_eq!(agent.act_greedy(&[1.0, 0.0]), 0);
+        assert_eq!(agent.act_greedy(&[0.0, 1.0]), 1);
+        assert!(agent.updates() > 0);
+        assert!(agent.last_loss().is_some());
+    }
+
+    #[test]
+    fn plain_uniform_dqn_also_solves_it() {
+        let config = AgentConfig {
+            double: false,
+            dueling: false,
+            prioritized: false,
+            ..AgentConfig::small(2).with_seed(2)
+        };
+        let agent = train_bandit(config, 2_500);
+        assert_eq!(agent.act_greedy(&[1.0, 0.0]), 0);
+        assert_eq!(agent.act_greedy(&[0.0, 1.0]), 1);
+    }
+
+    #[test]
+    fn bootstrapping_propagates_future_reward() {
+        // Two-step chain: s0 --a0--> s1 (r=0), s1 --a0--> terminal (r=1). Action 1 ends
+        // the episode immediately with r=0. Q(s0, a0) should approach gamma * 1.
+        let mut config = AgentConfig::small(2).with_seed(3);
+        config.gamma = 0.9;
+        config.epsilon = EpsilonSchedule::new(1.0, 0.2, 1_000);
+        let mut agent = DqnAgent::new(config);
+        let s0 = vec![1.0, 0.0];
+        let s1 = vec![0.0, 1.0];
+        for _ in 0..1_500 {
+            // From s0.
+            let a = agent.act(&s0);
+            if a == 0 {
+                agent.observe(Transition::new(s0.clone(), 0, 0.0, s1.clone()));
+                let a1 = agent.act(&s1);
+                let r = if a1 == 0 { 1.0 } else { 0.0 };
+                agent.observe(Transition::terminal(s1.clone(), a1, r));
+            } else {
+                agent.observe(Transition::terminal(s0.clone(), 1, 0.0));
+            }
+        }
+        let q0 = agent.q_values(&s0);
+        let q1 = agent.q_values(&s1);
+        assert!((q1[0] - 1.0).abs() < 0.2, "Q(s1, continue) = {}", q1[0]);
+        assert!(
+            (q0[0] - 0.9).abs() < 0.25,
+            "Q(s0, continue) = {} should be near gamma",
+            q0[0]
+        );
+        assert!(q0[0] > q0[1], "continuing must beat quitting in s0");
+    }
+
+    #[test]
+    fn target_network_tracks_online_after_sync() {
+        let mut agent = DqnAgent::new(AgentConfig::small(2).with_seed(4));
+        let s = [0.5, -0.5];
+        // Push enough data and train a few steps so the online network moves.
+        for i in 0..200 {
+            agent.observe(Transition::terminal(vec![0.5, -0.5], i % 2, 1.0));
+        }
+        let before_online = agent.q_values(&s);
+        let before_target = agent.target.predict_one(&s);
+        assert_ne!(before_online, before_target, "online should have drifted");
+        agent.sync_target();
+        let after_target = agent.target.predict_one(&s);
+        assert_eq!(agent.q_values(&s), after_target);
+    }
+
+    #[test]
+    fn exploration_rate_decays_with_steps() {
+        let mut agent = DqnAgent::new(AgentConfig::small(2).with_seed(5));
+        let eps0 = agent.epsilon();
+        for _ in 0..500 {
+            agent.observe(Transition::terminal(vec![0.0, 0.0], 0, 0.0));
+        }
+        assert!(agent.epsilon() < eps0);
+        assert!(agent.env_steps() == 500);
+    }
+
+    #[test]
+    fn train_step_requires_enough_replay() {
+        let mut agent = DqnAgent::new(AgentConfig::small(2).with_seed(6));
+        assert_eq!(agent.train_step(), None);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_behaviour() {
+        let a = train_bandit(AgentConfig::small(2).with_seed(7), 300);
+        let b = train_bandit(AgentConfig::small(2).with_seed(7), 300);
+        assert_eq!(a.q_values(&[1.0, 0.0]), b.q_values(&[1.0, 0.0]));
+    }
+
+    #[test]
+    fn paper_config_builds_the_full_architecture() {
+        let agent = DqnAgent::new(AgentConfig::paper(14));
+        assert_eq!(agent.config().hidden, vec![256, 256, 128, 64]);
+        assert!(agent.config().double && agent.config().dueling && agent.config().prioritized);
+        assert_eq!(agent.q_values(&[0.0; 14]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two actions")]
+    fn bad_config_rejected() {
+        let config = AgentConfig {
+            n_actions: 1,
+            ..AgentConfig::small(2)
+        };
+        DqnAgent::new(config);
+    }
+}

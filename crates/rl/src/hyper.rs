@@ -1,0 +1,245 @@
+//! Hyperparameter sets and the two-round random search of the evaluation protocol.
+//!
+//! Section 4.1 of the paper: for every cross-validation split, a first round of random
+//! search draws 60 hyperparameter sets (learning rate, discount factor, network update
+//! and synchronisation frequencies, PER batch size, ...), the best agent on the training
+//! data seeds a second, narrowed round, and the best agent on the validation set is kept.
+//! This module provides the hyperparameter vector, its samplers, and a generic two-round
+//! search driver that the evaluation harness feeds with a "train and score this
+//! configuration" closure.
+
+use crate::dqn::AgentConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The hyperparameters explored by the random search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HyperParams {
+    /// Learning rate of the optimizer.
+    pub learning_rate: f64,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Mini-batch size of the replay sampler.
+    pub batch_size: usize,
+    /// Environment steps between training updates.
+    pub train_every: usize,
+    /// Training updates between target-network synchronisations.
+    pub target_sync_every: usize,
+    /// Prioritisation exponent α of PER.
+    pub per_alpha: f64,
+    /// Steps over which ε decays to its final value.
+    pub epsilon_decay_steps: u64,
+}
+
+impl HyperParams {
+    /// A reasonable default point in the search space.
+    pub fn default_point() -> Self {
+        Self {
+            learning_rate: 1e-3,
+            gamma: 0.99,
+            batch_size: 32,
+            train_every: 2,
+            target_sync_every: 250,
+            per_alpha: 0.6,
+            epsilon_decay_steps: 20_000,
+        }
+    }
+
+    /// Draw a random point from the full search space.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let lr_exp = rng.gen_range(-4.0..-2.0); // 1e-4 .. 1e-2
+        let gammas = [0.9, 0.95, 0.99, 0.995];
+        let batches = [16, 32, 64];
+        let train_everys = [1, 2, 4];
+        let syncs = [100, 250, 500, 1000];
+        Self {
+            learning_rate: 10f64.powf(lr_exp),
+            gamma: gammas[rng.gen_range(0..gammas.len())],
+            batch_size: batches[rng.gen_range(0..batches.len())],
+            train_every: train_everys[rng.gen_range(0..train_everys.len())],
+            target_sync_every: syncs[rng.gen_range(0..syncs.len())],
+            per_alpha: rng.gen_range(0.4..0.8),
+            epsilon_decay_steps: rng.gen_range(5_000..50_000),
+        }
+    }
+
+    /// Draw a point close to `self` (the narrowed second-round search space).
+    pub fn narrowed<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        let jitter = |rng: &mut R, v: f64, rel: f64| -> f64 {
+            let factor = 1.0 + rng.gen_range(-rel..rel);
+            v * factor
+        };
+        Self {
+            learning_rate: jitter(rng, self.learning_rate, 0.5).clamp(1e-5, 1e-1),
+            gamma: (self.gamma + rng.gen_range(-0.01..0.01)).clamp(0.8, 0.999),
+            batch_size: self.batch_size,
+            train_every: self.train_every,
+            target_sync_every: ((jitter(rng, self.target_sync_every as f64, 0.5)) as usize).max(10),
+            per_alpha: jitter(rng, self.per_alpha, 0.2).clamp(0.2, 1.0),
+            epsilon_decay_steps: (jitter(rng, self.epsilon_decay_steps as f64, 0.5) as u64).max(1_000),
+        }
+    }
+
+    /// Apply these hyperparameters to a base agent configuration.
+    pub fn apply_to(&self, base: &AgentConfig) -> AgentConfig {
+        let mut config = base.clone();
+        config.learning_rate = self.learning_rate;
+        config.gamma = self.gamma;
+        config.batch_size = self.batch_size;
+        config.train_every = self.train_every;
+        config.target_sync_every = self.target_sync_every;
+        config.per_alpha = self.per_alpha;
+        config.epsilon = crate::schedule::EpsilonSchedule::new(
+            base.epsilon.start,
+            base.epsilon.end,
+            self.epsilon_decay_steps,
+        );
+        config
+    }
+}
+
+/// A two-round random hyperparameter search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HyperSearch {
+    /// Number of configurations drawn in the broad first round (60 in the paper).
+    pub initial_round: usize,
+    /// Number of configurations drawn in the narrowed second round.
+    pub refined_round: usize,
+}
+
+impl HyperSearch {
+    /// The paper's budget: 60 random configurations plus a narrowed second round.
+    pub fn paper() -> Self {
+        Self {
+            initial_round: 60,
+            refined_round: 20,
+        }
+    }
+
+    /// A reduced budget for tests and laptop-scale runs.
+    pub fn reduced(initial: usize, refined: usize) -> Self {
+        Self {
+            initial_round: initial.max(1),
+            refined_round: refined,
+        }
+    }
+
+    /// Run the search: evaluate each candidate with `score` (higher is better) and return
+    /// the best hyperparameters together with their score.
+    ///
+    /// The search is deterministic given `rng` and a deterministic scoring closure.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        mut score: impl FnMut(&HyperParams) -> f64,
+    ) -> (HyperParams, f64) {
+        let mut best = HyperParams::default_point();
+        let mut best_score = score(&best);
+        for _ in 0..self.initial_round {
+            let candidate = HyperParams::sample(rng);
+            let s = score(&candidate);
+            if s > best_score {
+                best_score = s;
+                best = candidate;
+            }
+        }
+        let anchor = best;
+        for _ in 0..self.refined_round {
+            let candidate = anchor.narrowed(rng);
+            let s = score(&candidate);
+            if s > best_score {
+                best_score = s;
+                best = candidate;
+            }
+        }
+        (best, best_score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_points_stay_in_the_search_space() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let h = HyperParams::sample(&mut rng);
+            assert!(h.learning_rate >= 1e-4 && h.learning_rate <= 1e-2);
+            assert!(h.gamma >= 0.9 && h.gamma <= 0.995);
+            assert!([16, 32, 64].contains(&h.batch_size));
+            assert!([1, 2, 4].contains(&h.train_every));
+            assert!(h.per_alpha >= 0.4 && h.per_alpha < 0.8);
+            assert!(h.epsilon_decay_steps >= 5_000);
+        }
+    }
+
+    #[test]
+    fn narrowed_points_stay_near_the_anchor() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let anchor = HyperParams::default_point();
+        for _ in 0..100 {
+            let h = anchor.narrowed(&mut rng);
+            assert!(h.learning_rate >= anchor.learning_rate * 0.4);
+            assert!(h.learning_rate <= anchor.learning_rate * 1.6);
+            assert_eq!(h.batch_size, anchor.batch_size);
+            assert!((h.gamma - anchor.gamma).abs() <= 0.011);
+        }
+    }
+
+    #[test]
+    fn apply_to_overrides_the_right_fields() {
+        let base = AgentConfig::small(4);
+        let h = HyperParams {
+            learning_rate: 0.005,
+            gamma: 0.9,
+            batch_size: 16,
+            train_every: 4,
+            target_sync_every: 123,
+            per_alpha: 0.7,
+            epsilon_decay_steps: 9_999,
+        };
+        let config = h.apply_to(&base);
+        assert_eq!(config.learning_rate, 0.005);
+        assert_eq!(config.gamma, 0.9);
+        assert_eq!(config.batch_size, 16);
+        assert_eq!(config.train_every, 4);
+        assert_eq!(config.target_sync_every, 123);
+        assert_eq!(config.per_alpha, 0.7);
+        assert_eq!(config.epsilon.decay_steps, 9_999);
+        // Untouched fields keep the base values.
+        assert_eq!(config.hidden, base.hidden);
+        assert_eq!(config.state_dim, base.state_dim);
+    }
+
+    #[test]
+    fn search_finds_a_known_optimum() {
+        // Score favours a learning rate near 3e-3 and gamma near 0.99.
+        let mut rng = StdRng::seed_from_u64(3);
+        let search = HyperSearch::reduced(40, 20);
+        let (best, score) = search.run(&mut rng, |h| {
+            -((h.learning_rate.log10() - (-2.5)).powi(2)) - (h.gamma - 0.99).powi(2)
+        });
+        assert!(score > -0.3, "score {score}");
+        assert!(
+            best.learning_rate > 1e-3 && best.learning_rate < 1e-2,
+            "lr {}",
+            best.learning_rate
+        );
+    }
+
+    #[test]
+    fn search_with_zero_refined_round_still_works() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let search = HyperSearch::reduced(5, 0);
+        let (_, score) = search.run(&mut rng, |h| h.gamma);
+        assert!(score >= 0.9);
+    }
+
+    #[test]
+    fn paper_budget_is_sixty_initial() {
+        assert_eq!(HyperSearch::paper().initial_round, 60);
+    }
+}

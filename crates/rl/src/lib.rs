@@ -1,0 +1,34 @@
+//! # uerl-rl
+//!
+//! Deep reinforcement-learning substrate.
+//!
+//! Implements the learning machinery the paper builds its mitigation agent on:
+//!
+//! * [`transition`] — the `(state, action, reward, next_state)` experience tuple;
+//! * [`replay`] — a uniform experience-replay ring buffer;
+//! * [`sumtree`] — the sum-tree used for proportional prioritized sampling;
+//! * [`per`] — prioritized experience replay (Schaul et al.) with importance-sampling
+//!   weights and priority updates, which the paper uses to cope with the 3.5
+//!   orders-of-magnitude class imbalance between events and uncorrected errors;
+//! * [`schedule`] — ε-greedy exploration schedules and the β annealing schedule of PER;
+//! * [`dqn`] — the deep Q-network agent family: vanilla DQN, double DQN and the dueling
+//!   double DQN (DDDQN) configuration used in the paper, with target-network
+//!   synchronisation and Huber-loss TD updates;
+//! * [`hyper`] — the hyperparameter set and the two-round random search used during
+//!   time-series nested cross-validation.
+
+pub mod dqn;
+pub mod hyper;
+pub mod per;
+pub mod replay;
+pub mod schedule;
+pub mod sumtree;
+pub mod transition;
+
+pub use dqn::{AgentConfig, DqnAgent};
+pub use hyper::{HyperParams, HyperSearch};
+pub use per::PrioritizedReplay;
+pub use replay::UniformReplay;
+pub use schedule::{BetaSchedule, EpsilonSchedule};
+pub use sumtree::SumTree;
+pub use transition::Transition;

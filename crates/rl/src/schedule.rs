@@ -1,0 +1,144 @@
+//! Annealing schedules: ε-greedy exploration and the PER β exponent.
+
+use serde::{Deserialize, Serialize};
+
+/// A linearly-annealed ε-greedy exploration schedule.
+///
+/// Exploration starts at `start` (typically 1.0: every action random) and decays linearly
+/// to `end` over `decay_steps` environment steps, then stays at `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    /// Initial exploration rate.
+    pub start: f64,
+    /// Final exploration rate.
+    pub end: f64,
+    /// Number of steps over which ε decays from `start` to `end`.
+    pub decay_steps: u64,
+}
+
+impl EpsilonSchedule {
+    /// Create a schedule.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= end <= start <= 1` and `decay_steps > 0`.
+    pub fn new(start: f64, end: f64, decay_steps: u64) -> Self {
+        assert!((0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end), "ε must be in [0,1]");
+        assert!(end <= start, "ε must not increase over time");
+        assert!(decay_steps > 0, "decay_steps must be positive");
+        Self {
+            start,
+            end,
+            decay_steps,
+        }
+    }
+
+    /// A constant schedule (useful for evaluation: ε = 0 means fully greedy).
+    pub fn constant(epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "ε must be in [0,1]");
+        Self {
+            start: epsilon,
+            end: epsilon,
+            decay_steps: 1,
+        }
+    }
+
+    /// The exploration rate at environment step `step`.
+    pub fn value(&self, step: u64) -> f64 {
+        if step >= self.decay_steps {
+            return self.end;
+        }
+        let frac = step as f64 / self.decay_steps as f64;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+impl Default for EpsilonSchedule {
+    fn default() -> Self {
+        Self::new(1.0, 0.02, 50_000)
+    }
+}
+
+/// The β annealing schedule of prioritized experience replay: the importance-sampling
+/// correction grows linearly from `start` (typically 0.4) to 1.0 over `anneal_steps`
+/// training updates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaSchedule {
+    /// Initial β.
+    pub start: f64,
+    /// Number of updates over which β reaches 1.
+    pub anneal_steps: u64,
+}
+
+impl BetaSchedule {
+    /// Create a schedule.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= start <= 1` and `anneal_steps > 0`.
+    pub fn new(start: f64, anneal_steps: u64) -> Self {
+        assert!((0.0..=1.0).contains(&start), "β must be in [0,1]");
+        assert!(anneal_steps > 0, "anneal_steps must be positive");
+        Self {
+            start,
+            anneal_steps,
+        }
+    }
+
+    /// β at training update `step`.
+    pub fn value(&self, step: u64) -> f64 {
+        if step >= self.anneal_steps {
+            return 1.0;
+        }
+        self.start + (1.0 - self.start) * (step as f64 / self.anneal_steps as f64)
+    }
+}
+
+impl Default for BetaSchedule {
+    fn default() -> Self {
+        Self::new(0.4, 50_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_decays_linearly_then_plateaus() {
+        let e = EpsilonSchedule::new(1.0, 0.1, 100);
+        assert_eq!(e.value(0), 1.0);
+        assert!((e.value(50) - 0.55).abs() < 1e-12);
+        assert_eq!(e.value(100), 0.1);
+        assert_eq!(e.value(10_000), 0.1);
+    }
+
+    #[test]
+    fn constant_epsilon_never_changes() {
+        let e = EpsilonSchedule::constant(0.3);
+        assert_eq!(e.value(0), 0.3);
+        assert_eq!(e.value(1_000_000), 0.3);
+    }
+
+    #[test]
+    fn beta_reaches_one() {
+        let b = BetaSchedule::new(0.4, 10);
+        assert_eq!(b.value(0), 0.4);
+        assert!((b.value(5) - 0.7).abs() < 1e-12);
+        assert_eq!(b.value(10), 1.0);
+        assert_eq!(b.value(999), 1.0);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let e = EpsilonSchedule::default();
+        assert_eq!(e.value(0), 1.0);
+        assert!(e.value(u64::MAX) > 0.0, "exploration never fully stops");
+        let b = BetaSchedule::default();
+        assert!(b.value(0) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not increase")]
+    fn increasing_epsilon_rejected() {
+        EpsilonSchedule::new(0.1, 0.5, 10);
+    }
+}

@@ -1,0 +1,189 @@
+//! A sum-tree: a complete binary tree whose internal nodes store the sum of their
+//! children's priorities, supporting O(log n) priority updates and O(log n) sampling
+//! proportional to priority. This is the standard data structure behind proportional
+//! prioritized experience replay.
+
+/// A fixed-capacity sum-tree over `capacity` slots.
+#[derive(Debug, Clone)]
+pub struct SumTree {
+    capacity: usize,
+    /// Binary heap layout: `tree[1]` is the root, leaves start at `capacity`.
+    tree: Vec<f64>,
+}
+
+impl SumTree {
+    /// Create a sum-tree with all priorities zero.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sum-tree capacity must be positive");
+        Self {
+            capacity,
+            tree: vec![0.0; 2 * capacity],
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total priority mass.
+    pub fn total(&self) -> f64 {
+        self.tree[1]
+    }
+
+    /// Priority of slot `index`.
+    pub fn get(&self, index: usize) -> f64 {
+        assert!(index < self.capacity, "index out of bounds");
+        self.tree[self.capacity + index]
+    }
+
+    /// Set the priority of slot `index`.
+    ///
+    /// # Panics
+    /// Panics if the index is out of bounds or the priority is negative / non-finite.
+    pub fn set(&mut self, index: usize, priority: f64) {
+        assert!(index < self.capacity, "index out of bounds");
+        assert!(
+            priority.is_finite() && priority >= 0.0,
+            "priority must be non-negative and finite (got {priority})"
+        );
+        let mut pos = self.capacity + index;
+        let delta = priority - self.tree[pos];
+        self.tree[pos] = priority;
+        while pos > 1 {
+            pos /= 2;
+            self.tree[pos] += delta;
+        }
+    }
+
+    /// Find the slot whose cumulative priority range contains `value`
+    /// (`0 <= value < total()`). With value drawn uniformly this samples slots
+    /// proportionally to their priorities.
+    pub fn find(&self, value: f64) -> usize {
+        let mut value = value.clamp(0.0, self.total().max(0.0));
+        let mut pos = 1;
+        while pos < self.capacity {
+            let left = 2 * pos;
+            if value < self.tree[left] || self.tree[left + 1] <= 0.0 {
+                pos = left;
+            } else {
+                value -= self.tree[left];
+                pos = left + 1;
+            }
+        }
+        pos - self.capacity
+    }
+
+    /// The largest priority currently stored (0 for an empty tree).
+    pub fn max_priority(&self) -> f64 {
+        self.tree[self.capacity..]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    /// The smallest non-zero priority currently stored, or `None` if all are zero.
+    pub fn min_nonzero_priority(&self) -> Option<f64> {
+        self.tree[self.capacity..]
+            .iter()
+            .copied()
+            .filter(|&p| p > 0.0)
+            .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.min(p))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn totals_track_updates() {
+        let mut t = SumTree::new(4);
+        assert_eq!(t.total(), 0.0);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        assert!((t.total() - 6.0).abs() < 1e-12);
+        t.set(1, 0.5);
+        assert!((t.total() - 4.5).abs() < 1e-12);
+        assert_eq!(t.get(2), 3.0);
+    }
+
+    #[test]
+    fn find_respects_cumulative_ranges() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        t.set(3, 4.0);
+        // Cumulative ranges: [0,1) -> 0, [1,3) -> 1, [3,6) -> 2, [6,10) -> 3.
+        assert_eq!(t.find(0.5), 0);
+        assert_eq!(t.find(1.5), 1);
+        assert_eq!(t.find(3.0), 2);
+        assert_eq!(t.find(9.99), 3);
+    }
+
+    #[test]
+    fn sampling_frequencies_are_proportional_to_priorities() {
+        let mut t = SumTree::new(3);
+        t.set(0, 1.0);
+        t.set(1, 0.0);
+        t.set(2, 9.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        let n = 20_000;
+        for _ in 0..n {
+            let v = rng.gen::<f64>() * t.total();
+            counts[t.find(v)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-priority slot must never be sampled");
+        let frac2 = counts[2] as f64 / n as f64;
+        assert!((frac2 - 0.9).abs() < 0.02, "slot 2 sampled {frac2}");
+    }
+
+    #[test]
+    fn works_with_non_power_of_two_capacity() {
+        let mut t = SumTree::new(5);
+        for i in 0..5 {
+            t.set(i, 1.0);
+        }
+        assert!((t.total() - 5.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let v = rng.gen::<f64>() * t.total();
+            let idx = t.find(v);
+            assert!(idx < 5);
+            seen.insert(idx);
+        }
+        assert_eq!(seen.len(), 5, "every slot should be reachable");
+    }
+
+    #[test]
+    fn min_max_priorities() {
+        let mut t = SumTree::new(4);
+        assert_eq!(t.max_priority(), 0.0);
+        assert_eq!(t.min_nonzero_priority(), None);
+        t.set(0, 2.0);
+        t.set(3, 0.5);
+        assert_eq!(t.max_priority(), 2.0);
+        assert_eq!(t.min_nonzero_priority(), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_priority_rejected() {
+        SumTree::new(2).set(0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_rejected() {
+        SumTree::new(2).set(5, 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The experience tuple stored in replay memory.
+
+use serde::{Deserialize, Serialize};
+
+/// One agent-environment interaction: the state observed, the action taken, the reward
+/// received and the state that followed (`None` when the episode terminated, e.g. because
+/// an uncorrected error shut the node down).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// State features the agent acted on.
+    pub state: Vec<f64>,
+    /// Index of the chosen action (for UE mitigation: 0 = do nothing, 1 = mitigate).
+    pub action: usize,
+    /// Reward received after the action (negative lost node-hours, Equation 4).
+    pub reward: f64,
+    /// The following state, or `None` if the episode ended.
+    pub next_state: Option<Vec<f64>>,
+}
+
+impl Transition {
+    /// Construct a non-terminal transition.
+    pub fn new(state: Vec<f64>, action: usize, reward: f64, next_state: Vec<f64>) -> Self {
+        Self {
+            state,
+            action,
+            reward,
+            next_state: Some(next_state),
+        }
+    }
+
+    /// Construct a terminal transition (no successor state).
+    pub fn terminal(state: Vec<f64>, action: usize, reward: f64) -> Self {
+        Self {
+            state,
+            action,
+            reward,
+            next_state: None,
+        }
+    }
+
+    /// Whether the transition ended its episode.
+    pub fn is_terminal(&self) -> bool {
+        self.next_state.is_none()
+    }
+
+    /// Dimension of the state vector.
+    pub fn state_dim(&self) -> usize {
+        self.state.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_flags() {
+        let t = Transition::new(vec![1.0, 2.0], 1, -0.5, vec![3.0, 4.0]);
+        assert!(!t.is_terminal());
+        assert_eq!(t.state_dim(), 2);
+        assert_eq!(t.action, 1);
+
+        let end = Transition::terminal(vec![0.0], 0, -100.0);
+        assert!(end.is_terminal());
+        assert_eq!(end.next_state, None);
+        assert_eq!(end.reward, -100.0);
+    }
+}

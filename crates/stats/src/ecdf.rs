@@ -1,0 +1,140 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The job-size sensitivity analysis (paper Section 5.6) rescales the empirical
+//! MareNostrum 4 job distribution rather than fitting a parametric model; the [`Ecdf`]
+//! type supports that pattern: build from observed values, query quantiles, and resample.
+
+use rand::Rng;
+
+/// An empirical distribution built from observed samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a set of observations. Non-finite values are dropped.
+    ///
+    /// # Panics
+    /// Panics if no finite observation remains.
+    pub fn new(values: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        assert!(!sorted.is_empty(), "ECDF needs at least one finite value");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Self { sorted }
+    }
+
+    /// Number of underlying observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty (never true for a constructed instance).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The empirical CDF evaluated at `x`: fraction of observations `<= x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x when we test `v <= x`.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The empirical quantile for probability `p` in `[0, 1]` (linear interpolation).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let rank = p * (self.sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = rank - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// Draw one value by resampling the observations (bootstrap sampling).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sorted[rng.gen_range(0..self.sorted.len())]
+    }
+
+    /// Return a new ECDF with every observation multiplied by `factor`.
+    ///
+    /// This is the "job size scaling factor" operation of the paper's sensitivity
+    /// analysis: the distributional shape is preserved while the magnitude scales.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        Self {
+            sorted: self.sorted.iter().map(|&v| v * factor).collect(),
+        }
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_steps() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.quantile(1.0), 30.0);
+        assert!((e.quantile(0.25) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_only_returns_observations() {
+        let e = Ecdf::new(&[5.0, 7.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = e.sample(&mut rng);
+            assert!(v == 5.0 || v == 7.0);
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let e = Ecdf::new(&[1.0, 2.0, 4.0]);
+        let s = e.scaled(10.0);
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.max(), 40.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.quantile(0.5), 20.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one finite value")]
+    fn rejects_empty() {
+        Ecdf::new(&[f64::NAN]);
+    }
+}

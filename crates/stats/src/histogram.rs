@@ -1,0 +1,200 @@
+//! Linear- and logarithmic-binned histograms.
+//!
+//! The paper's Figure 6 bins the potential UE cost on a logarithmic axis (10^0 to 10^6
+//! node-hours) against the RF-predicted probability on a linear axis; these histogram
+//! types provide the binning machinery for that figure and for log statistics.
+
+/// A histogram with uniformly-spaced bins over `[low, high)`.
+///
+/// Out-of-range observations are clamped into the first / last bin so that no data is
+/// silently dropped (a UE cost larger than anything seen in training must still appear in
+/// the top bin, exactly as in the paper's Figure 6 discussion of generalisation).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` uniform bins over `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `low >= high`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(low < high, "low must be < high");
+        Self {
+            low,
+            high,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Index of the bin that would receive `value` (clamped to the valid range).
+    pub fn bin_index(&self, value: f64) -> usize {
+        let width = (self.high - self.low) / self.counts.len() as f64;
+        let idx = ((value - self.low) / width).floor();
+        idx.clamp(0.0, (self.counts.len() - 1) as f64) as usize
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            let idx = self.bin_index(value);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `(low, high)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.high - self.low) / self.counts.len() as f64;
+        (self.low + width * i as f64, self.low + width * (i + 1) as f64)
+    }
+
+    /// Mid-point of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (lo, hi) = self.bin_edges(i);
+        (lo + hi) / 2.0
+    }
+}
+
+/// A histogram whose bins are uniform in `log10` space over `[low, high)`.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    inner: Histogram,
+}
+
+impl LogHistogram {
+    /// Create a log-binned histogram with `bins` bins spanning `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `low <= 0`, `bins == 0`, or `low >= high`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(low > 0.0, "log histogram needs a positive lower bound");
+        Self {
+            inner: Histogram::new(low.log10(), high.log10(), bins),
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.inner.bins()
+    }
+
+    /// Index of the bin receiving `value`; non-positive values land in the first bin.
+    pub fn bin_index(&self, value: f64) -> usize {
+        if value <= 0.0 {
+            0
+        } else {
+            self.inner.bin_index(value.log10())
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            let idx = self.bin_index(value);
+            self.inner.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        self.inner.counts()
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.inner.total()
+    }
+
+    /// The `(low, high)` edges of bin `i` in linear space.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let (lo, hi) = self.inner.bin_edges(i);
+        (10f64.powf(lo), 10f64.powf(hi))
+    }
+
+    /// Geometric mid-point of bin `i` in linear space.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (lo, hi) = self.bin_edges(i);
+        (lo * hi).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn linear_out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(-100.0);
+        h.record(1e9);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn linear_edges_and_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+        assert_eq!(h.bin_center(2), 5.0);
+    }
+
+    #[test]
+    fn log_binning_spans_decades() {
+        let mut h = LogHistogram::new(1.0, 1e6, 6);
+        for v in [1.5, 15.0, 150.0, 1500.0, 15_000.0, 150_000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 1, 1, 1]);
+        let (lo, hi) = h.bin_edges(0);
+        assert!((lo - 1.0).abs() < 1e-9 && (hi - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_nonpositive_goes_to_first_bin() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2);
+        h.record(0.0);
+        h.record(-5.0);
+        assert_eq!(h.counts()[0], 2);
+    }
+
+    #[test]
+    fn log_center_is_geometric_mean() {
+        let h = LogHistogram::new(1.0, 100.0, 2);
+        assert!((h.bin_center(0) - 10f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lower bound")]
+    fn log_rejects_zero_low() {
+        LogHistogram::new(0.0, 10.0, 3);
+    }
+}

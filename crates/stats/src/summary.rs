@@ -1,0 +1,193 @@
+//! Streaming summary statistics (count, mean, variance, extrema, percentiles).
+
+/// Summary statistics over a set of `f64` observations.
+///
+/// The mean and variance are accumulated with Welford's online algorithm so the summary
+/// can be built incrementally while replaying multi-million-event error logs without
+/// storing every observation. Percentiles require the sorted data, so they are only
+/// available through [`Summary::from_slice`], which keeps a copy.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sorted: Option<Vec<f64>>,
+}
+
+impl Summary {
+    /// Create an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sorted: None,
+        }
+    }
+
+    /// Build a summary from a slice, retaining a sorted copy so percentiles are available.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        s.sorted = Some(sorted);
+        s
+    }
+
+    /// Add one observation. Non-finite values are ignored.
+    pub fn push(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        // An incrementally-built summary does not keep the raw data.
+        self.sorted = None;
+    }
+
+    /// Number of (finite) observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 if fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// The `q`-th percentile (q in [0, 100]) using nearest-rank interpolation.
+    ///
+    /// Only available when the summary was built with [`Summary::from_slice`]; returns
+    /// `None` otherwise or when empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let sorted = self.sorted.as_ref()?;
+        if sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 100.0);
+        let rank = (q / 100.0) * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            Some(sorted[lo])
+        } else {
+            let frac = rank - lo as f64;
+            Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+        }
+    }
+
+    /// Median (50th percentile), if available.
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+        assert!(s.percentile(50.0).is_none());
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(100.0), Some(5.0));
+        assert_eq!(s.median(), Some(3.0));
+        assert_eq!(s.percentile(25.0), Some(2.0));
+        // Between ranks.
+        let p10 = s.percentile(10.0).unwrap();
+        assert!((p10 - 1.4).abs() < 1e-12, "p10 {p10}");
+    }
+
+    #[test]
+    fn push_ignores_non_finite() {
+        let mut s = Summary::new();
+        s.push(1.0);
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(3.0);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let values = [0.5, 1.5, -3.0, 8.0, 2.25, 2.25];
+        let batch = Summary::from_slice(&values);
+        let mut inc = Summary::new();
+        for v in values {
+            inc.push(v);
+        }
+        assert!((batch.mean() - inc.mean()).abs() < 1e-12);
+        assert!((batch.variance() - inc.variance()).abs() < 1e-12);
+        assert_eq!(batch.count(), inc.count());
+        // Percentiles are unavailable after incremental building.
+        assert!(inc.percentile(50.0).is_none());
+    }
+}

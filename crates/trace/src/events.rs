@@ -1,0 +1,298 @@
+//! The event model of the error log.
+//!
+//! Every entry of the (real or synthetic) error log is a [`LogEvent`]: a timestamped,
+//! node-attributed occurrence of one of the [`EventKind`] variants described in Section 2
+//! of the paper — corrected errors reported by the mcelog-based daemon, uncorrected errors
+//! and UE warnings reported by the system firmware, critical over-temperature conditions
+//! (counted as UEs), node boots, and administrative DIMM retirements.
+
+use crate::types::{CellLocation, DimmId, NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How an error was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Detector {
+    /// The ECC check of an application (demand) memory read.
+    DemandRead,
+    /// The patrol scrubber, which periodically traverses physical memory.
+    PatrolScrub,
+}
+
+impl Detector {
+    /// Short label used by the mcelog-style text format.
+    pub fn label(self) -> &'static str {
+        match self {
+            Detector::DemandRead => "demand",
+            Detector::PatrolScrub => "patrol",
+        }
+    }
+
+    /// Parse a label produced by [`Detector::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "demand" => Some(Detector::DemandRead),
+            "patrol" => Some(Detector::PatrolScrub),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Detector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a UE warning was raised by the firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WarningReason {
+    /// The correctable-ECC logging limit was reached on a DIMM.
+    CeLoggingLimit,
+    /// Memory modules were throttled to prevent an over-temperature condition.
+    ThermalThrottle,
+}
+
+impl WarningReason {
+    /// Short label used by the mcelog-style text format.
+    pub fn label(self) -> &'static str {
+        match self {
+            WarningReason::CeLoggingLimit => "ce-limit",
+            WarningReason::ThermalThrottle => "throttle",
+        }
+    }
+
+    /// Parse a label produced by [`WarningReason::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "ce-limit" => Some(WarningReason::CeLoggingLimit),
+            "throttle" => Some(WarningReason::ThermalThrottle),
+            _ => None,
+        }
+    }
+}
+
+/// Detailed information for one corrected error within a daemon sampling period.
+///
+/// When more than one CE occurs within the 100 ms polling period, the MCA registers
+/// report the total count but detailed location information for only one of the errors;
+/// [`CeDetail`] is that one detailed sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CeDetail {
+    /// DIMM on which the detailed error was observed.
+    pub dimm: DimmId,
+    /// Physical location of the error.
+    pub location: CellLocation,
+    /// Whether the detailed error was found by a demand read or the patrol scrubber.
+    pub detector: Detector,
+}
+
+/// The kind of a log event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// One daemon record of corrected errors: a count plus (optionally) detail for one of
+    /// the errors. `count` is always at least 1.
+    CorrectedError {
+        /// Total number of corrected errors in the sampling period.
+        count: u32,
+        /// Detailed information for one of the errors, if the registers held it.
+        detail: Option<CeDetail>,
+    },
+    /// An uncorrected (fatal) memory error. The node is shut down and any running job is
+    /// terminated.
+    UncorrectedError {
+        /// DIMM that failed.
+        dimm: DimmId,
+        /// Whether the UE was hit by an application read or found by the patrol scrubber.
+        detector: Detector,
+    },
+    /// A critical over-temperature condition, which also shuts down the node and is
+    /// therefore counted as equivalent to an uncorrected error (Section 2.1.2).
+    OverTemperature,
+    /// A UE warning from the firmware (not counted as a UE; used as an input feature).
+    UeWarning {
+        /// Why the warning was raised.
+        reason: WarningReason,
+    },
+    /// A node boot (start).
+    NodeBoot,
+    /// Administrative retirement of a DIMM triggered by the pre-failure alert
+    /// (Section 2.1.4). Samples after a retirement are removed from training/evaluation.
+    DimmRetirement {
+        /// Slot of the retired DIMM on the event's node.
+        slot: u8,
+    },
+}
+
+impl EventKind {
+    /// Whether this event terminates the node (uncorrected error or over-temperature).
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            EventKind::UncorrectedError { .. } | EventKind::OverTemperature
+        )
+    }
+
+    /// Whether this event is a corrected error record.
+    pub fn is_corrected(&self) -> bool {
+        matches!(self, EventKind::CorrectedError { .. })
+    }
+
+    /// Number of corrected errors carried by this event (0 for non-CE events).
+    pub fn corrected_count(&self) -> u32 {
+        match self {
+            EventKind::CorrectedError { count, .. } => *count,
+            _ => 0,
+        }
+    }
+
+    /// Stable short name for reports and statistics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::CorrectedError { .. } => "CE",
+            EventKind::UncorrectedError { .. } => "UE",
+            EventKind::OverTemperature => "OVERTEMP",
+            EventKind::UeWarning { .. } => "WARN",
+            EventKind::NodeBoot => "BOOT",
+            EventKind::DimmRetirement { .. } => "RETIRE",
+        }
+    }
+}
+
+/// One timestamped entry of the error log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogEvent {
+    /// When the event was recorded.
+    pub time: SimTime,
+    /// The node the event belongs to.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl LogEvent {
+    /// Construct a log event.
+    pub fn new(time: SimTime, node: NodeId, kind: EventKind) -> Self {
+        Self { time, node, kind }
+    }
+
+    /// Whether this event terminates the node.
+    pub fn is_fatal(&self) -> bool {
+        self.kind.is_fatal()
+    }
+
+    /// Ordering key: by time, then node, then a stable kind rank so sorting a log is
+    /// deterministic even when several events share a timestamp.
+    pub fn sort_key(&self) -> (SimTime, NodeId, u8) {
+        let rank = match self.kind {
+            EventKind::NodeBoot => 0,
+            EventKind::DimmRetirement { .. } => 1,
+            EventKind::CorrectedError { .. } => 2,
+            EventKind::UeWarning { .. } => 3,
+            EventKind::OverTemperature => 4,
+            EventKind::UncorrectedError { .. } => 5,
+        };
+        (self.time, self.node, rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dimm() -> DimmId {
+        DimmId::new(NodeId(1), 0)
+    }
+
+    #[test]
+    fn detector_labels_round_trip() {
+        for d in [Detector::DemandRead, Detector::PatrolScrub] {
+            assert_eq!(Detector::from_label(d.label()), Some(d));
+        }
+        assert_eq!(Detector::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn warning_labels_round_trip() {
+        for w in [WarningReason::CeLoggingLimit, WarningReason::ThermalThrottle] {
+            assert_eq!(WarningReason::from_label(w.label()), Some(w));
+        }
+        assert_eq!(WarningReason::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn fatality_classification() {
+        assert!(EventKind::UncorrectedError {
+            dimm: dimm(),
+            detector: Detector::DemandRead
+        }
+        .is_fatal());
+        assert!(EventKind::OverTemperature.is_fatal());
+        assert!(!EventKind::NodeBoot.is_fatal());
+        assert!(!EventKind::CorrectedError {
+            count: 10,
+            detail: None
+        }
+        .is_fatal());
+        assert!(!EventKind::UeWarning {
+            reason: WarningReason::CeLoggingLimit
+        }
+        .is_fatal());
+    }
+
+    #[test]
+    fn corrected_count_extraction() {
+        let ce = EventKind::CorrectedError {
+            count: 7,
+            detail: None,
+        };
+        assert_eq!(ce.corrected_count(), 7);
+        assert!(ce.is_corrected());
+        assert_eq!(EventKind::NodeBoot.corrected_count(), 0);
+        assert!(!EventKind::NodeBoot.is_corrected());
+    }
+
+    #[test]
+    fn event_names_are_stable() {
+        assert_eq!(EventKind::NodeBoot.name(), "BOOT");
+        assert_eq!(
+            EventKind::UncorrectedError {
+                dimm: dimm(),
+                detector: Detector::PatrolScrub
+            }
+            .name(),
+            "UE"
+        );
+        assert_eq!(EventKind::OverTemperature.name(), "OVERTEMP");
+        assert_eq!(EventKind::DimmRetirement { slot: 2 }.name(), "RETIRE");
+    }
+
+    #[test]
+    fn sort_key_orders_ue_after_ce_at_same_instant() {
+        let t = SimTime::from_secs(100);
+        let ce = LogEvent::new(
+            t,
+            NodeId(1),
+            EventKind::CorrectedError {
+                count: 1,
+                detail: None,
+            },
+        );
+        let ue = LogEvent::new(
+            t,
+            NodeId(1),
+            EventKind::UncorrectedError {
+                dimm: dimm(),
+                detector: Detector::DemandRead,
+            },
+        );
+        assert!(ce.sort_key() < ue.sort_key());
+    }
+
+    #[test]
+    fn sort_key_orders_by_time_first() {
+        let early = LogEvent::new(SimTime::from_secs(10), NodeId(9), EventKind::NodeBoot);
+        let late = LogEvent::new(SimTime::from_secs(20), NodeId(1), EventKind::NodeBoot);
+        assert!(early.sort_key() < late.sort_key());
+    }
+}

@@ -1,0 +1,475 @@
+//! DRAM fault-process model.
+//!
+//! DRAM field studies (Schroeder et al., Sridharan et al., Zivanovic et al.) consistently
+//! report that (1) a small fraction of DIMMs experience any error at all, (2) among those,
+//! a handful of DIMMs with *permanent* faults (stuck cells, row/bank failures) produce the
+//! vast majority of corrected errors, often as dense storms, and (3) uncorrected errors
+//! appear in bursts and are only weakly predictable from preceding corrected errors — in
+//! the paper's dataset, 25 of the 67 effective UEs have **no** error-log event in the
+//! preceding 24 hours.
+//!
+//! This module models a DIMM's health as a set of [`FaultInstance`]s drawn at generation
+//! time. Each fault becomes active at an onset time, produces corrected-error activity at
+//! a class-dependent rate within a class-dependent physical region, and — for
+//! [`FaultClass::UePrecursor`] faults — escalates to a burst of uncorrected errors,
+//! optionally preceded by UE warnings and optionally *silent* (no CE activity before the
+//! UE, reproducing the hard-to-predict population).
+
+use crate::types::{CellLocation, DimmId, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use uerl_stats::{Bernoulli, Distribution, Exponential, Uniform};
+
+/// The class of a DRAM fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Sporadic single-cell upsets (particle strikes): a few isolated CEs, never escalates.
+    TransientCell,
+    /// A permanently stuck cell: repeated CEs at exactly one location.
+    StuckCell,
+    /// A failed row: CEs across many columns of a single row, moderate-to-high rate.
+    RowFault,
+    /// A failed bank: CEs across many rows and columns of one bank; produces CE storms.
+    BankFault,
+    /// A fault that escalates to one or more uncorrected errors.
+    UePrecursor,
+}
+
+impl FaultClass {
+    /// All fault classes.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::TransientCell,
+        FaultClass::StuckCell,
+        FaultClass::RowFault,
+        FaultClass::BankFault,
+        FaultClass::UePrecursor,
+    ];
+}
+
+/// The physical region a fault is confined to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRegion {
+    /// Affected rank.
+    pub rank: u8,
+    /// Affected bank.
+    pub bank: u8,
+    /// Affected row (meaningful for stuck-cell and row faults).
+    pub row: u32,
+    /// Affected column (meaningful for stuck-cell faults).
+    pub column: u32,
+}
+
+impl FaultRegion {
+    /// Draw a random region on a DDR3-like geometry (4 ranks, 8 banks, 32k rows, 1k cols).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            rank: rng.gen_range(0..4),
+            bank: rng.gen_range(0..8),
+            row: rng.gen_range(0..32_768),
+            column: rng.gen_range(0..1024),
+        }
+    }
+
+    /// Sample the location of one corrected error produced by a fault of class `class`
+    /// within this region.
+    pub fn sample_location<R: Rng + ?Sized>(&self, class: FaultClass, rng: &mut R) -> CellLocation {
+        match class {
+            FaultClass::TransientCell => CellLocation::new(
+                rng.gen_range(0..4),
+                rng.gen_range(0..8),
+                rng.gen_range(0..32_768),
+                rng.gen_range(0..1024),
+            ),
+            FaultClass::StuckCell => {
+                CellLocation::new(self.rank, self.bank, self.row, self.column)
+            }
+            FaultClass::RowFault => {
+                CellLocation::new(self.rank, self.bank, self.row, rng.gen_range(0..1024))
+            }
+            FaultClass::BankFault | FaultClass::UePrecursor => CellLocation::new(
+                self.rank,
+                self.bank,
+                rng.gen_range(0..32_768),
+                rng.gen_range(0..1024),
+            ),
+        }
+    }
+}
+
+/// How a [`FaultClass::UePrecursor`] fault escalates into uncorrected errors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Escalation {
+    /// Time of the first uncorrected error of the burst.
+    pub first_ue: SimTime,
+    /// Number of UEs in the burst (all within one week of the first; in production the
+    /// node is pulled from service after the first, so only the first one matters).
+    pub burst_len: u32,
+    /// Whether the escalation happens with no preceding corrected-error activity at all
+    /// (the hard-to-predict UEs: no event in the 24 h before the UE).
+    pub silent: bool,
+    /// Whether a firmware UE warning fires before the first UE.
+    pub warns: bool,
+}
+
+/// One fault developed by one DIMM during the observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultInstance {
+    /// The DIMM carrying the fault.
+    pub dimm: DimmId,
+    /// Fault class.
+    pub class: FaultClass,
+    /// When the fault becomes active.
+    pub onset: SimTime,
+    /// When the fault stops producing corrected errors (end of window for permanent
+    /// faults; shortly after onset for transient faults).
+    pub end: SimTime,
+    /// Physical region of the fault.
+    pub region: FaultRegion,
+    /// Mean number of corrected-error *instants* per active day.
+    pub ce_rate_per_day: f64,
+    /// Escalation to uncorrected errors, for UE-precursor faults.
+    pub escalation: Option<Escalation>,
+}
+
+impl FaultInstance {
+    /// Whether the fault is active (producing CEs) at time `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        t >= self.onset && t < self.end
+    }
+
+    /// Length of the active period in days.
+    pub fn active_days(&self) -> f64 {
+        (self.end - self.onset).max(0) as f64 / SimTime::DAY as f64
+    }
+
+    /// Expected number of CE instants this fault produces over its whole active period.
+    pub fn expected_ce_instants(&self) -> f64 {
+        self.ce_rate_per_day * self.active_days()
+    }
+}
+
+/// Per-class incidence and intensity parameters of the fault model.
+///
+/// Incidences are expressed per DIMM over the whole observation window (so they scale
+/// naturally when the window or the fleet is scaled). The defaults are calibrated so that
+/// the MareNostrum-3-sized fleet over two years lands near the published aggregates: on
+/// the order of 4.5 M corrected errors concentrated on a few hundred DIMMs, roughly 330
+/// raw UEs collapsing to roughly 67 first-of-burst UEs, and roughly a third of those UEs
+/// silent (no preceding event within 24 h).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability that a DIMM develops at least one transient-cell fault in the window.
+    pub p_transient: f64,
+    /// Probability of a stuck-cell fault.
+    pub p_stuck_cell: f64,
+    /// Probability of a row fault.
+    pub p_row_fault: f64,
+    /// Probability of a bank fault.
+    pub p_bank_fault: f64,
+    /// Probability of a UE-precursor fault.
+    pub p_ue_precursor: f64,
+    /// Mean CE instants/day for a stuck cell while active.
+    pub stuck_cell_rate: f64,
+    /// Mean CE instants/day for a row fault while active.
+    pub row_fault_rate: f64,
+    /// Mean CE instants/day for a bank fault while active (CE storms).
+    pub bank_fault_rate: f64,
+    /// Mean CE instants/day for the pre-UE activity of a non-silent UE precursor.
+    pub precursor_rate: f64,
+    /// Probability that a UE precursor is silent (no CE/warning activity before the UE).
+    pub p_silent_ue: f64,
+    /// Probability that a non-silent UE precursor raises a firmware UE warning.
+    pub p_ue_warning: f64,
+    /// Mean number of UEs in a burst (the first is the effective one).
+    pub mean_ue_burst_len: f64,
+    /// Mean lead time (days) between fault onset and the first UE of a precursor fault.
+    pub mean_precursor_lead_days: f64,
+}
+
+impl FaultRates {
+    /// Default rates calibrated against the MareNostrum 3 aggregates (see type docs).
+    ///
+    /// With ~24.5k DIMMs: transient faults ~6% of DIMMs; permanent CE faults on ~1.3% of
+    /// DIMMs produce the CE mass; UE precursors at ~0.27% of DIMMs yield ~66 precursor
+    /// faults ≈ 66 effective UE bursts and, with a mean burst length of 5, ~330 raw UEs.
+    pub fn marenostrum3() -> Self {
+        Self {
+            p_transient: 0.06,
+            p_stuck_cell: 0.008,
+            p_row_fault: 0.004,
+            p_bank_fault: 0.0012,
+            p_ue_precursor: 0.0027,
+            stuck_cell_rate: 8.0,
+            row_fault_rate: 40.0,
+            bank_fault_rate: 250.0,
+            precursor_rate: 80.0,
+            p_silent_ue: 0.37,
+            p_ue_warning: 0.5,
+            mean_ue_burst_len: 5.0,
+            mean_precursor_lead_days: 30.0,
+        }
+    }
+
+    /// Rates scaled up so that even a very small test fleet produces a usable number of
+    /// faulty DIMMs and a handful of UEs. Only meant for unit/integration tests.
+    pub fn dense_for_tests() -> Self {
+        Self {
+            p_transient: 0.3,
+            p_stuck_cell: 0.15,
+            p_row_fault: 0.08,
+            p_bank_fault: 0.04,
+            p_ue_precursor: 0.12,
+            stuck_cell_rate: 25.0,
+            row_fault_rate: 120.0,
+            bank_fault_rate: 900.0,
+            precursor_rate: 80.0,
+            p_silent_ue: 0.37,
+            p_ue_warning: 0.5,
+            mean_ue_burst_len: 5.0,
+            mean_precursor_lead_days: 30.0,
+        }
+    }
+
+    /// Incidence probability of a fault class.
+    pub fn incidence(&self, class: FaultClass) -> f64 {
+        match class {
+            FaultClass::TransientCell => self.p_transient,
+            FaultClass::StuckCell => self.p_stuck_cell,
+            FaultClass::RowFault => self.p_row_fault,
+            FaultClass::BankFault => self.p_bank_fault,
+            FaultClass::UePrecursor => self.p_ue_precursor,
+        }
+    }
+}
+
+/// Samples the fault population of individual DIMMs.
+#[derive(Debug, Clone)]
+pub struct FaultSampler {
+    rates: FaultRates,
+    window_start: SimTime,
+    window_end: SimTime,
+}
+
+impl FaultSampler {
+    /// Create a sampler for the observation window `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if the window is empty.
+    pub fn new(rates: FaultRates, window_start: SimTime, window_end: SimTime) -> Self {
+        assert!(window_end > window_start, "observation window must be non-empty");
+        Self {
+            rates,
+            window_start,
+            window_end,
+        }
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// Sample the faults developed by one DIMM during the window (possibly none).
+    pub fn sample_for_dimm<R: Rng + ?Sized>(&self, dimm: DimmId, rng: &mut R) -> Vec<FaultInstance> {
+        let mut faults = Vec::new();
+        for class in FaultClass::ALL {
+            let p = self.rates.incidence(class);
+            if p <= 0.0 || !Bernoulli::new(p.min(1.0)).sample(rng) {
+                continue;
+            }
+            faults.push(self.sample_fault(dimm, class, rng));
+        }
+        faults
+    }
+
+    /// Sample one fault of a given class on a given DIMM.
+    pub fn sample_fault<R: Rng + ?Sized>(
+        &self,
+        dimm: DimmId,
+        class: FaultClass,
+        rng: &mut R,
+    ) -> FaultInstance {
+        let window = (self.window_end - self.window_start) as f64;
+        let onset_frac = Uniform::new(0.0, 1.0).sample(rng);
+        let onset = self.window_start + (onset_frac * window) as i64;
+        let region = FaultRegion::random(rng);
+
+        let (end, rate, escalation) = match class {
+            FaultClass::TransientCell => {
+                // A transient fault is a short episode: one to a few CEs within a day.
+                let end = (onset + SimTime::DAY).min(self.window_end);
+                (end, 2.0, None)
+            }
+            FaultClass::StuckCell => (self.window_end, self.rates.stuck_cell_rate, None),
+            FaultClass::RowFault => (self.window_end, self.rates.row_fault_rate, None),
+            FaultClass::BankFault => (self.window_end, self.rates.bank_fault_rate, None),
+            FaultClass::UePrecursor => {
+                let silent = Bernoulli::new(self.rates.p_silent_ue).sample(rng);
+                let lead_days =
+                    Exponential::from_mean(self.rates.mean_precursor_lead_days).sample(rng);
+                let lead_secs = (lead_days * SimTime::DAY as f64).max(SimTime::HOUR as f64) as i64;
+                let first_ue = (onset + lead_secs).min(self.window_end.plus_secs(-1));
+                let burst_len = 1 + Exponential::from_mean(
+                    (self.rates.mean_ue_burst_len - 1.0).max(0.1),
+                )
+                .sample(rng)
+                .round() as u32;
+                let warns = !silent && Bernoulli::new(self.rates.p_ue_warning).sample(rng);
+                let rate = if silent { 0.0 } else { self.rates.precursor_rate };
+                (
+                    first_ue,
+                    rate,
+                    Some(Escalation {
+                        first_ue,
+                        burst_len,
+                        silent,
+                        warns,
+                    }),
+                )
+            }
+        };
+
+        FaultInstance {
+            dimm,
+            class,
+            onset,
+            end: end.max(onset),
+            region,
+            ce_rate_per_day: rate,
+            escalation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sampler(rates: FaultRates) -> FaultSampler {
+        FaultSampler::new(rates, SimTime::ZERO, SimTime::from_days(730))
+    }
+
+    fn dimm() -> DimmId {
+        DimmId::new(NodeId(3), 1)
+    }
+
+    #[test]
+    fn incidence_lookup_matches_fields() {
+        let r = FaultRates::marenostrum3();
+        assert_eq!(r.incidence(FaultClass::TransientCell), r.p_transient);
+        assert_eq!(r.incidence(FaultClass::UePrecursor), r.p_ue_precursor);
+    }
+
+    #[test]
+    fn most_dimms_are_healthy_at_production_rates() {
+        let s = sampler(FaultRates::marenostrum3());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut faulty = 0;
+        let n = 5000;
+        for i in 0..n {
+            let d = DimmId::new(NodeId(i as u32), 0);
+            if !s.sample_for_dimm(d, &mut rng).is_empty() {
+                faulty += 1;
+            }
+        }
+        let frac = faulty as f64 / n as f64;
+        // Roughly the sum of incidences (~7.6%), definitely under 20%.
+        assert!(frac > 0.02 && frac < 0.2, "faulty fraction {frac}");
+    }
+
+    #[test]
+    fn fault_times_lie_in_window() {
+        let s = sampler(FaultRates::dense_for_tests());
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            for f in s.sample_for_dimm(dimm(), &mut rng) {
+                assert!(f.onset >= SimTime::ZERO);
+                assert!(f.end <= SimTime::from_days(730));
+                assert!(f.end >= f.onset);
+                if let Some(e) = f.escalation {
+                    assert!(e.first_ue >= f.onset);
+                    assert!(e.first_ue < SimTime::from_days(730));
+                    assert!(e.burst_len >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_cell_location_is_constant_and_row_fault_varies_columns() {
+        let s = sampler(FaultRates::dense_for_tests());
+        let mut rng = StdRng::seed_from_u64(5);
+        let stuck = s.sample_fault(dimm(), FaultClass::StuckCell, &mut rng);
+        let l1 = stuck.region.sample_location(FaultClass::StuckCell, &mut rng);
+        let l2 = stuck.region.sample_location(FaultClass::StuckCell, &mut rng);
+        assert_eq!(l1, l2, "stuck cell must always hit the same cell");
+
+        let row = s.sample_fault(dimm(), FaultClass::RowFault, &mut rng);
+        let locs: Vec<_> = (0..50)
+            .map(|_| row.region.sample_location(FaultClass::RowFault, &mut rng))
+            .collect();
+        assert!(locs.iter().all(|l| l.row == row.region.row && l.bank == row.region.bank));
+        let distinct_cols: std::collections::HashSet<_> = locs.iter().map(|l| l.column).collect();
+        assert!(distinct_cols.len() > 5, "row fault should spread over columns");
+    }
+
+    #[test]
+    fn silent_precursors_produce_no_ce_activity() {
+        let rates = FaultRates {
+            p_silent_ue: 1.0,
+            ..FaultRates::dense_for_tests()
+        };
+        let s = sampler(rates);
+        let mut rng = StdRng::seed_from_u64(13);
+        let f = s.sample_fault(dimm(), FaultClass::UePrecursor, &mut rng);
+        assert_eq!(f.ce_rate_per_day, 0.0);
+        let e = f.escalation.unwrap();
+        assert!(e.silent);
+        assert!(!e.warns, "silent faults cannot warn");
+    }
+
+    #[test]
+    fn noisy_precursors_produce_ce_activity() {
+        let rates = FaultRates {
+            p_silent_ue: 0.0,
+            ..FaultRates::dense_for_tests()
+        };
+        let s = sampler(rates);
+        let mut rng = StdRng::seed_from_u64(17);
+        let f = s.sample_fault(dimm(), FaultClass::UePrecursor, &mut rng);
+        assert!(f.ce_rate_per_day > 0.0);
+        assert!(!f.escalation.unwrap().silent);
+    }
+
+    #[test]
+    fn active_period_and_expected_ce_count() {
+        let f = FaultInstance {
+            dimm: dimm(),
+            class: FaultClass::StuckCell,
+            onset: SimTime::from_days(10),
+            end: SimTime::from_days(20),
+            region: FaultRegion {
+                rank: 0,
+                bank: 0,
+                row: 1,
+                column: 2,
+            },
+            ce_rate_per_day: 25.0,
+            escalation: None,
+        };
+        assert!(f.active_at(SimTime::from_days(15)));
+        assert!(!f.active_at(SimTime::from_days(5)));
+        assert!(!f.active_at(SimTime::from_days(20)));
+        assert!((f.active_days() - 10.0).abs() < 1e-12);
+        assert!((f.expected_ce_instants() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn empty_window_rejected() {
+        FaultSampler::new(FaultRates::marenostrum3(), SimTime::ZERO, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,256 @@
+//! Fleet model: nodes, DIMM slots, and the manufacturer population.
+//!
+//! MareNostrum 3 comprised 3056 compute nodes with two Sandy Bridge-EP sockets each and
+//! more than 25,000 DDR3-1600 DIMMs from three manufacturers (6694 / 5207 / 13,419 DIMMs
+//! from manufacturers A / B / C). With few exceptions, all DIMMs in a node come from the
+//! same manufacturer, which is what makes the per-manufacturer partitioning of Section 4.5
+//! possible; the fleet model reproduces that property by assigning manufacturers at node
+//! granularity.
+
+use crate::types::{DimmId, Manufacturer, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A single DIMM in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dimm {
+    /// Identity (node + slot).
+    pub id: DimmId,
+    /// Manufacturer of this DIMM.
+    pub manufacturer: Manufacturer,
+}
+
+/// Per-node information.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// Node identity.
+    pub id: NodeId,
+    /// Manufacturer of (all of) this node's DIMMs.
+    pub manufacturer: Manufacturer,
+    /// Number of DIMM slots populated on this node.
+    pub dimm_count: u8,
+}
+
+impl NodeInfo {
+    /// Iterate over the DIMMs of this node.
+    pub fn dimms(&self) -> impl Iterator<Item = Dimm> + '_ {
+        let id = self.id;
+        let m = self.manufacturer;
+        (0..self.dimm_count).map(move |slot| Dimm {
+            id: DimmId::new(id, slot),
+            manufacturer: m,
+        })
+    }
+}
+
+/// Static description of the monitored fleet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    nodes: Vec<NodeInfo>,
+}
+
+impl FleetConfig {
+    /// Build a fleet of `node_count` nodes with `dimms_per_node` DIMMs each, assigning
+    /// manufacturers to whole nodes so that the per-manufacturer DIMM counts approximate
+    /// the requested proportions `(a, b, c)`.
+    ///
+    /// # Panics
+    /// Panics if `node_count == 0`, `dimms_per_node == 0`, or all proportions are zero.
+    pub fn with_proportions(
+        node_count: u32,
+        dimms_per_node: u8,
+        proportions: (f64, f64, f64),
+    ) -> Self {
+        assert!(node_count > 0, "need at least one node");
+        assert!(dimms_per_node > 0, "need at least one DIMM per node");
+        let (a, b, c) = proportions;
+        let total = a + b + c;
+        assert!(total > 0.0, "proportions must not all be zero");
+        let n = node_count as f64;
+        // Whole-node manufacturer assignment, largest-remainder style: A then B then C.
+        let a_nodes = ((a / total) * n).round() as u32;
+        let b_nodes = ((b / total) * n).round() as u32;
+        let a_nodes = a_nodes.min(node_count);
+        let b_nodes = b_nodes.min(node_count - a_nodes);
+        let nodes = (0..node_count)
+            .map(|i| {
+                let manufacturer = if i < a_nodes {
+                    Manufacturer::A
+                } else if i < a_nodes + b_nodes {
+                    Manufacturer::B
+                } else {
+                    Manufacturer::C
+                };
+                NodeInfo {
+                    id: NodeId(i),
+                    manufacturer,
+                    dimm_count: dimms_per_node,
+                }
+            })
+            .collect();
+        Self { nodes }
+    }
+
+    /// The MareNostrum 3 fleet: 3056 nodes, 8 DIMMs per node (≈ 24.4k DIMMs), with the
+    /// published per-manufacturer DIMM proportions (6694 : 5207 : 13,419).
+    pub fn marenostrum3() -> Self {
+        Self::with_proportions(3056, 8, (6694.0, 5207.0, 13_419.0))
+    }
+
+    /// A scaled-down fleet for tests and examples: `node_count` nodes, 4 DIMMs per node,
+    /// same manufacturer proportions as MareNostrum 3.
+    pub fn small(node_count: u32) -> Self {
+        Self::with_proportions(node_count.max(3), 4, (6694.0, 5207.0, 13_419.0))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of DIMMs across the fleet.
+    pub fn dimm_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.dimm_count as usize).sum()
+    }
+
+    /// Per-node information.
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// Information for one node, if it exists.
+    pub fn node(&self, id: NodeId) -> Option<&NodeInfo> {
+        // Dense fleets store node i at index i; manufacturer-restricted fleets keep the
+        // original ids in a compacted (still sorted) vector, so fall back to a binary
+        // search by id.
+        match self.nodes.get(id.index()) {
+            Some(n) if n.id == id => Some(n),
+            _ => self
+                .nodes
+                .binary_search_by_key(&id, |n| n.id)
+                .ok()
+                .map(|i| &self.nodes[i]),
+        }
+    }
+
+    /// Manufacturer of a node's DIMMs, if the node exists.
+    pub fn manufacturer_of(&self, id: NodeId) -> Option<Manufacturer> {
+        self.node(id).map(|n| n.manufacturer)
+    }
+
+    /// Iterate over every DIMM in the fleet.
+    pub fn dimms(&self) -> impl Iterator<Item = Dimm> + '_ {
+        self.nodes.iter().flat_map(|n| n.dimms())
+    }
+
+    /// Number of DIMMs per manufacturer `(A, B, C)`.
+    pub fn dimms_per_manufacturer(&self) -> (usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize);
+        for node in &self.nodes {
+            let d = node.dimm_count as usize;
+            match node.manufacturer {
+                Manufacturer::A => counts.0 += d,
+                Manufacturer::B => counts.1 += d,
+                Manufacturer::C => counts.2 += d,
+            }
+        }
+        counts
+    }
+
+    /// The node ids whose DIMMs come from `manufacturer`.
+    pub fn nodes_of(&self, manufacturer: Manufacturer) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.manufacturer == manufacturer)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// A copy of this fleet restricted to the nodes of one manufacturer, keeping the
+    /// original node ids (used by the MN/A, MN/B, MN/C scenarios of Section 4.5).
+    pub fn restricted_to(&self, manufacturer: Manufacturer) -> Self {
+        Self {
+            nodes: self
+                .nodes
+                .iter()
+                .filter(|n| n.manufacturer == manufacturer)
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marenostrum3_shape() {
+        let fleet = FleetConfig::marenostrum3();
+        assert_eq!(fleet.node_count(), 3056);
+        assert_eq!(fleet.dimm_count(), 3056 * 8);
+        let (a, b, c) = fleet.dimms_per_manufacturer();
+        let total = (a + b + c) as f64;
+        // Proportions within 2% of the published DIMM shares.
+        assert!((a as f64 / total - 6694.0 / 25_320.0).abs() < 0.02);
+        assert!((b as f64 / total - 5207.0 / 25_320.0).abs() < 0.02);
+        assert!((c as f64 / total - 13_419.0 / 25_320.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn manufacturer_is_node_granular() {
+        let fleet = FleetConfig::small(30);
+        for node in fleet.nodes() {
+            let manufacturers: Vec<_> = node.dimms().map(|d| d.manufacturer).collect();
+            assert!(manufacturers.iter().all(|&m| m == node.manufacturer));
+        }
+    }
+
+    #[test]
+    fn dimm_iteration_covers_every_slot() {
+        let fleet = FleetConfig::small(5);
+        let dimms: Vec<_> = fleet.dimms().collect();
+        assert_eq!(dimms.len(), fleet.dimm_count());
+        // Slots are dense 0..dimm_count for each node.
+        let node0: Vec<_> = dimms.iter().filter(|d| d.id.node == NodeId(0)).collect();
+        assert_eq!(node0.len(), 4);
+        assert!(node0.iter().any(|d| d.id.slot == 3));
+    }
+
+    #[test]
+    fn lookup_and_restriction() {
+        let fleet = FleetConfig::small(30);
+        let m = fleet.manufacturer_of(NodeId(0)).unwrap();
+        assert_eq!(m, Manufacturer::A);
+        assert!(fleet.node(NodeId(10_000)).is_none());
+
+        for m in Manufacturer::ALL {
+            let sub = fleet.restricted_to(m);
+            assert_eq!(sub.node_count(), fleet.nodes_of(m).len());
+            assert!(sub.nodes().iter().all(|n| n.manufacturer == m));
+            // Node ids are preserved and still resolvable in both fleets even though the
+            // restricted fleet's vector is compacted.
+            for n in sub.nodes() {
+                assert_eq!(fleet.manufacturer_of(n.id), Some(m));
+                assert_eq!(sub.manufacturer_of(n.id), Some(m));
+                assert_eq!(sub.node(n.id).map(|i| i.id), Some(n.id));
+            }
+        }
+    }
+
+    #[test]
+    fn all_manufacturers_present_in_small_fleet() {
+        let fleet = FleetConfig::small(30);
+        for m in Manufacturer::ALL {
+            assert!(
+                !fleet.nodes_of(m).is_empty(),
+                "manufacturer {m} missing from small fleet"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        FleetConfig::with_proportions(0, 8, (1.0, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,431 @@
+//! Synthetic error-log generator.
+//!
+//! Ties the fleet model, the fault-process model and the monitoring-daemon model together
+//! to produce an [`ErrorLog`] whose aggregate statistics approximate the published
+//! MareNostrum 3 numbers: ~4.5 million corrected errors concentrated on a small set of
+//! faulty DIMMs, a few hundred raw uncorrected errors that collapse to a few dozen
+//! effective (first-of-burst) UEs, tens of thousands of node boots, firmware UE warnings,
+//! a handful of critical over-temperature shutdowns and 51 administrative DIMM
+//! retirements, over a two-year observation window.
+//!
+//! Generation is fully deterministic for a given seed, which is what makes the evaluation
+//! experiments (and this repository's tests) reproducible.
+
+use crate::events::{Detector, EventKind, LogEvent, WarningReason};
+use crate::faults::{FaultRates, FaultSampler};
+use crate::fleet::FleetConfig;
+use crate::log::ErrorLog;
+use crate::scrubber::{DaemonConfig, DaemonModel, RawCeBurst};
+use crate::types::{DimmId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use uerl_stats::{Bernoulli, Distribution, Exponential, Poisson, Uniform};
+
+/// Configuration of the synthetic log generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticLogConfig {
+    /// The monitored fleet.
+    pub fleet: FleetConfig,
+    /// Start of the observation window.
+    pub window_start: SimTime,
+    /// End of the observation window.
+    pub window_end: SimTime,
+    /// Fault-process parameters.
+    pub rates: FaultRates,
+    /// Monitoring daemon parameters.
+    pub daemon: DaemonConfig,
+    /// Mean number of node boots per node per year (scheduled maintenance, crashes, ...).
+    pub reboots_per_node_year: f64,
+    /// Mean number of corrected-error bursts per day for an active CE-producing fault.
+    /// The per-burst error count is derived from the fault's CE rate so the total error
+    /// count is independent of this knob; it only controls how clumped the errors are.
+    pub ce_bursts_per_day: f64,
+    /// Number of DIMMs retired preventively by the administrators during the window.
+    pub retired_dimm_count: u32,
+    /// Number of critical over-temperature shutdowns during the window (counted as UEs).
+    pub overtemp_events: u32,
+    /// Cumulative corrected errors on one DIMM per firmware "CE logging limit" warning.
+    pub warning_ce_threshold: u64,
+    /// RNG seed; the same seed always produces the same log.
+    pub seed: u64,
+}
+
+impl SyntheticLogConfig {
+    /// The full MareNostrum 3 preset: 3056 nodes, 8 DIMMs/node, two years.
+    ///
+    /// The daemon polling period is set to 1 s (instead of the production 100 ms) to bound
+    /// the raw record count of dense error storms; the per-minute merged view consumed by
+    /// the environment is unaffected, and the CE *counts* are preserved exactly.
+    pub fn marenostrum3(seed: u64) -> Self {
+        Self {
+            fleet: FleetConfig::marenostrum3(),
+            window_start: SimTime::ZERO,
+            window_end: SimTime::from_days(730),
+            rates: FaultRates::marenostrum3(),
+            daemon: DaemonConfig {
+                period_ms: 1000,
+                p_patrol: 0.4,
+            },
+            reboots_per_node_year: 6.0,
+            ce_bursts_per_day: 0.75,
+            retired_dimm_count: 51,
+            overtemp_events: 20,
+            warning_ce_threshold: 50_000,
+            seed,
+        }
+    }
+
+    /// A small, dense preset for tests and examples: `nodes` nodes over `days` days with
+    /// fault rates high enough that a handful of UEs always appear.
+    pub fn small(nodes: u32, days: i64, seed: u64) -> Self {
+        Self {
+            fleet: FleetConfig::small(nodes),
+            window_start: SimTime::ZERO,
+            window_end: SimTime::from_days(days.max(7)),
+            rates: FaultRates::dense_for_tests(),
+            daemon: DaemonConfig {
+                period_ms: 1000,
+                p_patrol: 0.4,
+            },
+            reboots_per_node_year: 6.0,
+            ce_bursts_per_day: 0.75,
+            retired_dimm_count: 2,
+            overtemp_events: 1,
+            warning_ce_threshold: 10_000,
+            seed,
+        }
+    }
+
+    /// Length of the window in days.
+    pub fn window_days(&self) -> f64 {
+        (self.window_end - self.window_start) as f64 / SimTime::DAY as f64
+    }
+}
+
+/// The synthetic log generator.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: SyntheticLogConfig,
+}
+
+impl TraceGenerator {
+    /// Create a generator from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the observation window is empty.
+    pub fn new(config: SyntheticLogConfig) -> Self {
+        assert!(
+            config.window_end > config.window_start,
+            "observation window must be non-empty"
+        );
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SyntheticLogConfig {
+        &self.config
+    }
+
+    /// Generate the error log.
+    pub fn generate(&self) -> ErrorLog {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let daemon = DaemonModel::new(cfg.daemon);
+        let sampler = FaultSampler::new(cfg.rates, cfg.window_start, cfg.window_end);
+        let mut events: Vec<LogEvent> = Vec::new();
+
+        self.generate_boots(&mut rng, &mut events);
+        self.generate_faults(&sampler, &daemon, &mut rng, &mut events);
+        self.generate_retirements(&mut rng, &mut events);
+        self.generate_overtemps(&mut rng, &mut events);
+
+        ErrorLog::new(
+            cfg.fleet.clone(),
+            events,
+            cfg.window_start,
+            cfg.window_end,
+        )
+    }
+
+    /// Scheduled/maintenance node boots: a Poisson process per node, plus one boot at the
+    /// start of the window so "time since last boot" is always defined.
+    fn generate_boots(&self, rng: &mut StdRng, events: &mut Vec<LogEvent>) {
+        let cfg = &self.config;
+        let mean_gap_secs = SimTime::YEAR as f64 / cfg.reboots_per_node_year.max(0.1);
+        let gap = Exponential::from_mean(mean_gap_secs);
+        for node in cfg.fleet.nodes() {
+            events.push(LogEvent::new(cfg.window_start, node.id, EventKind::NodeBoot));
+            let mut t = cfg.window_start;
+            loop {
+                t = t.plus_secs(gap.sample(rng) as i64);
+                if t >= cfg.window_end {
+                    break;
+                }
+                events.push(LogEvent::new(t, node.id, EventKind::NodeBoot));
+            }
+        }
+    }
+
+    /// Corrected-error activity, UE warnings and uncorrected errors from the per-DIMM
+    /// fault population.
+    fn generate_faults(
+        &self,
+        sampler: &FaultSampler,
+        daemon: &DaemonModel,
+        rng: &mut StdRng,
+        events: &mut Vec<LogEvent>,
+    ) {
+        let cfg = &self.config;
+        let burst_gap =
+            Exponential::from_mean(SimTime::DAY as f64 / cfg.ce_bursts_per_day.max(1e-6));
+        for dimm in cfg.fleet.dimms() {
+            let faults = sampler.sample_for_dimm(dimm.id, rng);
+            if faults.is_empty() {
+                continue;
+            }
+            let mut cumulative_ce: u64 = 0;
+            let mut warnings_emitted: u64 = 0;
+            for fault in &faults {
+                // CE bursts while the fault is active.
+                if fault.ce_rate_per_day > 0.0 {
+                    let mean_burst_size =
+                        (fault.ce_rate_per_day / cfg.ce_bursts_per_day.max(1e-6)).max(1.0);
+                    let burst_size = Poisson::new(mean_burst_size);
+                    let mut t = fault.onset;
+                    loop {
+                        t = t.plus_secs(burst_gap.sample(rng) as i64);
+                        if t >= fault.end || t >= cfg.window_end {
+                            break;
+                        }
+                        let count = burst_size.sample(rng) as u32;
+                        if count == 0 {
+                            continue;
+                        }
+                        let duration_secs = rng.gen_range(0..4);
+                        let burst = RawCeBurst {
+                            dimm: dimm.id,
+                            start: t,
+                            duration_secs,
+                            count,
+                            class: fault.class,
+                            region: fault.region,
+                        };
+                        events.extend(daemon.record_burst(&burst, rng));
+                        cumulative_ce += count as u64;
+                        // Firmware warning each time the CE logging limit is crossed.
+                        let due = cumulative_ce / cfg.warning_ce_threshold.max(1);
+                        while warnings_emitted < due {
+                            warnings_emitted += 1;
+                            events.push(LogEvent::new(
+                                t,
+                                dimm.id.node,
+                                EventKind::UeWarning {
+                                    reason: WarningReason::CeLoggingLimit,
+                                },
+                            ));
+                        }
+                    }
+                }
+
+                // Escalation to uncorrected errors.
+                if let Some(esc) = fault.escalation {
+                    if esc.warns {
+                        let lead = rng.gen_range(SimTime::HOUR..SimTime::DAY);
+                        let warn_time = esc.first_ue.plus_secs(-lead).max(cfg.window_start);
+                        events.push(LogEvent::new(
+                            warn_time,
+                            dimm.id.node,
+                            EventKind::UeWarning {
+                                reason: WarningReason::CeLoggingLimit,
+                            },
+                        ));
+                    }
+                    let detector_dist = Bernoulli::new(0.5);
+                    for i in 0..esc.burst_len {
+                        let t = if i == 0 {
+                            esc.first_ue
+                        } else {
+                            esc.first_ue
+                                .plus_secs(rng.gen_range(SimTime::HOUR..SimTime::WEEK))
+                        };
+                        if t >= cfg.window_end {
+                            continue;
+                        }
+                        let detector = if detector_dist.sample(rng) {
+                            Detector::PatrolScrub
+                        } else {
+                            Detector::DemandRead
+                        };
+                        events.push(LogEvent::new(
+                            t,
+                            dimm.id.node,
+                            EventKind::UncorrectedError {
+                                dimm: dimm.id,
+                                detector,
+                            },
+                        ));
+                    }
+                    // After the first UE the node is pulled from production, tested for a
+                    // week, and booted back.
+                    let back = esc.first_ue.plus_secs(SimTime::WEEK);
+                    if back < cfg.window_end {
+                        events.push(LogEvent::new(back, dimm.id.node, EventKind::NodeBoot));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Administrative DIMM retirements triggered by the (unobserved) pre-failure alert.
+    /// Most retired DIMMs have no preceding errors in the log, matching Section 2.1.4.
+    fn generate_retirements(&self, rng: &mut StdRng, events: &mut Vec<LogEvent>) {
+        let cfg = &self.config;
+        let dimms: Vec<DimmId> = cfg.fleet.dimms().map(|d| d.id).collect();
+        if dimms.is_empty() {
+            return;
+        }
+        let when = Uniform::new(
+            cfg.window_start.as_secs() as f64,
+            cfg.window_end.as_secs() as f64,
+        );
+        for _ in 0..cfg.retired_dimm_count {
+            let dimm = dimms[rng.gen_range(0..dimms.len())];
+            let t = SimTime::from_secs(when.sample(rng) as i64);
+            events.push(LogEvent::new(
+                t,
+                dimm.node,
+                EventKind::DimmRetirement { slot: dimm.slot },
+            ));
+        }
+    }
+
+    /// Critical over-temperature shutdowns (counted as UEs), followed by a node boot.
+    fn generate_overtemps(&self, rng: &mut StdRng, events: &mut Vec<LogEvent>) {
+        let cfg = &self.config;
+        let node_count = cfg.fleet.node_count();
+        if node_count == 0 {
+            return;
+        }
+        let when = Uniform::new(
+            cfg.window_start.as_secs() as f64,
+            cfg.window_end.as_secs() as f64,
+        );
+        for _ in 0..cfg.overtemp_events {
+            let node = cfg.fleet.nodes()[rng.gen_range(0..node_count)].id;
+            let t = SimTime::from_secs(when.sample(rng) as i64);
+            events.push(LogEvent::new(t, node, EventKind::OverTemperature));
+            let back = t.plus_secs(SimTime::DAY);
+            if back < cfg.window_end {
+                events.push(LogEvent::new(back, node, EventKind::NodeBoot));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::reduce_ue_bursts;
+
+    fn small_log(seed: u64) -> ErrorLog {
+        TraceGenerator::new(SyntheticLogConfig::small(60, 120, seed)).generate()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = small_log(42);
+        let b = small_log(42);
+        assert_eq!(a.events(), b.events());
+        let c = small_log(43);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn events_stay_inside_the_window() {
+        let log = small_log(1);
+        for e in log.events() {
+            assert!(e.time >= log.window_start());
+            assert!(e.time < log.window_end());
+        }
+    }
+
+    #[test]
+    fn dense_test_preset_produces_all_event_kinds() {
+        let log = small_log(7);
+        let mut kinds = std::collections::HashSet::new();
+        for e in log.events() {
+            kinds.insert(e.kind.name());
+        }
+        for expected in ["CE", "UE", "BOOT", "WARN", "RETIRE"] {
+            assert!(kinds.contains(expected), "missing {expected} events");
+        }
+    }
+
+    #[test]
+    fn corrected_errors_vastly_outnumber_uncorrected() {
+        let log = small_log(11);
+        let ce = log.total_corrected_errors();
+        let ue = log.total_uncorrected_errors() as u64;
+        assert!(ue > 0, "the dense preset must produce some UEs");
+        assert!(ce > 100 * ue, "CE={ce} should dwarf UE={ue}");
+    }
+
+    #[test]
+    fn every_node_boots_at_window_start() {
+        let log = small_log(3);
+        for node in log.fleet().nodes() {
+            let first = log.events_for_node(node.id).next().expect("events exist");
+            assert_eq!(first.time, log.window_start());
+            assert_eq!(first.kind, EventKind::NodeBoot);
+        }
+    }
+
+    #[test]
+    fn ue_bursts_collapse_under_reduction() {
+        let log = small_log(19);
+        let raw = log.total_uncorrected_errors();
+        let reduced = reduce_ue_bursts(&log);
+        let effective = reduced.total_uncorrected_errors();
+        assert!(effective <= raw);
+        assert!(effective > 0);
+    }
+
+    #[test]
+    fn marenostrum3_preset_has_published_shape() {
+        let cfg = SyntheticLogConfig::marenostrum3(5);
+        assert_eq!(cfg.fleet.node_count(), 3056);
+        assert!((cfg.window_days() - 730.0).abs() < 1e-9);
+        assert_eq!(cfg.retired_dimm_count, 51);
+    }
+
+    /// Full-scale calibration check against the published aggregates. Expensive (a few
+    /// seconds in release, tens of seconds in debug), so ignored by default:
+    /// `cargo test -p uerl-trace --release -- --ignored calibration`.
+    #[test]
+    #[ignore = "full-scale MareNostrum 3 generation; run explicitly"]
+    fn calibration_matches_published_aggregates() {
+        let log = TraceGenerator::new(SyntheticLogConfig::marenostrum3(1)).generate();
+        let ce = log.total_corrected_errors();
+        assert!(
+            (1_500_000..=9_000_000).contains(&ce),
+            "corrected errors {ce} outside calibration band"
+        );
+        let raw_ue = log.total_uncorrected_errors();
+        assert!(
+            (150..=700).contains(&raw_ue),
+            "raw UEs {raw_ue} outside calibration band"
+        );
+        let reduced = reduce_ue_bursts(&log);
+        let effective = reduced.total_uncorrected_errors();
+        assert!(
+            (30..=130).contains(&effective),
+            "effective UEs {effective} outside calibration band"
+        );
+        let merged = log.merged_events().len();
+        assert!(
+            (100_000..=600_000).contains(&merged),
+            "merged events {merged} outside calibration band"
+        );
+    }
+}

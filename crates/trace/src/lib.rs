@@ -1,0 +1,46 @@
+//! # uerl-trace
+//!
+//! MareNostrum-style DRAM error-log substrate.
+//!
+//! The paper trains and evaluates its mitigation policies on two years of production error
+//! logs from MareNostrum 3 (Oct 2014 – Nov 2016): 3056 compute nodes, more than 25,000
+//! DDR3-1600 DIMMs from three anonymised manufacturers, 4.5 million corrected errors (CEs)
+//! and 333 uncorrected errors (UEs), which reduce to 67 *effective* UEs after keeping only
+//! the first UE of each per-node burst. Those logs are not public, so this crate rebuilds
+//! the substrate from scratch:
+//!
+//! * a **fleet model** ([`fleet`]) describing nodes, DIMM slots and manufacturers;
+//! * a **fault-process model** ([`faults`]) in which individual DIMMs develop transient,
+//!   stuck-cell, row/bank and UE-precursor faults that emit corrected errors, UE warnings
+//!   and eventually uncorrected errors with the burstiness reported in the paper;
+//! * the **monitoring pipeline** ([`scrubber`]) that turns raw error instants into what the
+//!   mcelog-based daemon actually records (per-100 ms counts with detailed location
+//!   information for only one error per period, patrol-scrub vs demand-read detection);
+//! * a **synthetic log generator** ([`generator`]) that ties these together and produces an
+//!   [`ErrorLog`] whose aggregate statistics match the published ones;
+//! * **log plumbing**: the event model ([`events`]), the log container and per-minute
+//!   merging ([`log`]), an mcelog-style text format ([`mcelog`]), the paper's UE burst
+//!   reduction and DIMM-retirement-bias filtering ([`reduction`]) and quantitative
+//!   statistics ([`stats`]).
+//!
+//! Downstream crates never look at how the log was produced: `uerl-core` consumes an
+//! [`ErrorLog`] exactly as it would consume a parsed production log.
+
+pub mod events;
+pub mod faults;
+pub mod fleet;
+pub mod generator;
+pub mod log;
+pub mod mcelog;
+pub mod reduction;
+pub mod scrubber;
+pub mod stats;
+pub mod types;
+
+pub use events::{CeDetail, Detector, EventKind, LogEvent, WarningReason};
+pub use fleet::{Dimm, FleetConfig, NodeInfo};
+pub use generator::{SyntheticLogConfig, TraceGenerator};
+pub use log::ErrorLog;
+pub use reduction::{filter_retirement_bias, reduce_ue_bursts};
+pub use stats::LogStatistics;
+pub use types::{CellLocation, DimmId, Manufacturer, NodeId, SimTime};

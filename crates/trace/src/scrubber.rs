@@ -1,0 +1,255 @@
+//! The monitoring pipeline: what the mcelog-based daemon actually records.
+//!
+//! On MareNostrum 3, a daemon polled the Intel machine-check-architecture registers every
+//! 100 ms. Within a polling period the registers hold the *number* of corrected errors
+//! plus detailed location information for only *one* of them; the daemon therefore logs
+//! the precise CE count but a sampled subset of the details (Section 2.1.1). Each ECC
+//! check is performed either on an application memory request (demand read) or by the
+//! patrol scrubber that periodically traverses physical memory.
+//!
+//! The [`DaemonModel`] reproduces that pipeline: given a burst of raw corrected-error
+//! instants produced by the fault model, it emits the corrected-error log records the
+//! daemon would have written — grouping instants into sampling periods, summing counts,
+//! and attaching the detail of one error per record.
+
+use crate::events::{CeDetail, Detector, EventKind, LogEvent};
+use crate::faults::{FaultClass, FaultRegion};
+use crate::types::{DimmId, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use uerl_stats::{Bernoulli, Distribution};
+
+/// Configuration of the monitoring daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DaemonConfig {
+    /// Polling period of the daemon in milliseconds (100 ms on MareNostrum 3).
+    pub period_ms: u64,
+    /// Probability that an individual ECC check that finds an error is a patrol-scrub
+    /// check rather than a demand read. Patrol scrubbing finds a substantial share of
+    /// errors because it touches all of memory, including pages applications never read.
+    pub p_patrol: f64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            period_ms: 100,
+            p_patrol: 0.4,
+        }
+    }
+}
+
+/// A burst of raw corrected-error instants on one DIMM, before the daemon sees them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawCeBurst {
+    /// DIMM producing the errors.
+    pub dimm: DimmId,
+    /// Start of the burst.
+    pub start: SimTime,
+    /// Duration of the burst in seconds (0 means all errors hit within one second).
+    pub duration_secs: i64,
+    /// Total number of corrected errors in the burst.
+    pub count: u32,
+    /// Fault class driving the burst (controls how locations are sampled).
+    pub class: FaultClass,
+    /// Physical region of the underlying fault.
+    pub region: FaultRegion,
+}
+
+/// The monitoring daemon model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DaemonModel {
+    config: DaemonConfig,
+}
+
+impl DaemonModel {
+    /// Create a daemon model.
+    ///
+    /// # Panics
+    /// Panics if the period is zero or `p_patrol` is outside `[0, 1]`.
+    pub fn new(config: DaemonConfig) -> Self {
+        assert!(config.period_ms > 0, "daemon period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.p_patrol),
+            "p_patrol must be a probability"
+        );
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// Number of daemon records a burst of `count` errors over `duration_secs` seconds
+    /// collapses to.
+    ///
+    /// The daemon writes at most one record per polling period, so a one-second burst of
+    /// 500 errors becomes at most `1000 / period_ms` records; and it never writes more
+    /// records than there are errors.
+    pub fn records_for_burst(&self, count: u32, duration_secs: i64) -> u32 {
+        if count == 0 {
+            return 0;
+        }
+        let periods_per_sec = (1000 / self.config.period_ms).max(1);
+        let periods = (duration_secs.max(1) as u64).saturating_mul(periods_per_sec);
+        count.min(periods.min(u32::MAX as u64) as u32).max(1)
+    }
+
+    /// Convert a raw burst into the corrected-error log events the daemon records.
+    ///
+    /// Counts are preserved exactly (the sum of record counts equals the burst count);
+    /// detail is attached to every record, mirroring the "precise number of CEs, detailed
+    /// information for a subset" property of the production logs.
+    pub fn record_burst<R: Rng + ?Sized>(&self, burst: &RawCeBurst, rng: &mut R) -> Vec<LogEvent> {
+        if burst.count == 0 {
+            return Vec::new();
+        }
+        let records = self.records_for_burst(burst.count, burst.duration_secs);
+        let base = burst.count / records;
+        let remainder = burst.count % records;
+        let patrol = Bernoulli::new(self.config.p_patrol);
+        let mut events = Vec::with_capacity(records as usize);
+        for i in 0..records {
+            // Spread record timestamps uniformly across the burst duration.
+            let offset = if records == 1 {
+                0
+            } else {
+                (burst.duration_secs.max(0) as f64 * i as f64 / records as f64) as i64
+            };
+            let count = base + u32::from(i < remainder);
+            if count == 0 {
+                continue;
+            }
+            let detector = if patrol.sample(rng) {
+                Detector::PatrolScrub
+            } else {
+                Detector::DemandRead
+            };
+            let detail = CeDetail {
+                dimm: burst.dimm,
+                location: burst.region.sample_location(burst.class, rng),
+                detector,
+            };
+            events.push(LogEvent::new(
+                burst.start.plus_secs(offset),
+                burst.dimm.node,
+                EventKind::CorrectedError {
+                    count,
+                    detail: Some(detail),
+                },
+            ));
+        }
+        events
+    }
+}
+
+impl Default for DaemonModel {
+    fn default() -> Self {
+        Self::new(DaemonConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn burst(count: u32, duration_secs: i64) -> RawCeBurst {
+        RawCeBurst {
+            dimm: DimmId::new(NodeId(2), 1),
+            start: SimTime::from_hours(1),
+            duration_secs,
+            count,
+            class: FaultClass::RowFault,
+            region: FaultRegion {
+                rank: 1,
+                bank: 2,
+                row: 42,
+                column: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn record_count_bounds() {
+        let d = DaemonModel::default();
+        // 100 ms period -> 10 records per second maximum.
+        assert_eq!(d.records_for_burst(500, 1), 10);
+        assert_eq!(d.records_for_burst(3, 1), 3);
+        assert_eq!(d.records_for_burst(0, 10), 0);
+        assert_eq!(d.records_for_burst(1, 0), 1);
+        assert_eq!(d.records_for_burst(1_000_000, 60), 600);
+    }
+
+    #[test]
+    fn counts_are_preserved_exactly() {
+        let d = DaemonModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for (count, dur) in [(1u32, 0i64), (7, 1), (523, 1), (10_000, 30)] {
+            let events = d.record_burst(&burst(count, dur), &mut rng);
+            let total: u32 = events.iter().map(|e| e.kind.corrected_count()).sum();
+            assert_eq!(total, count, "burst of {count} over {dur}s");
+        }
+    }
+
+    #[test]
+    fn every_record_carries_detail_on_the_right_dimm() {
+        let d = DaemonModel::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let events = d.record_burst(&burst(523, 1), &mut rng);
+        for e in &events {
+            match e.kind {
+                EventKind::CorrectedError { detail: Some(det), .. } => {
+                    assert_eq!(det.dimm, DimmId::new(NodeId(2), 1));
+                    assert_eq!(det.location.row, 42, "row fault keeps the faulty row");
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+            assert_eq!(e.node, NodeId(2));
+        }
+    }
+
+    #[test]
+    fn timestamps_span_the_burst_duration() {
+        let d = DaemonModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = burst(10_000, 30);
+        let events = d.record_burst(&b, &mut rng);
+        let first = events.first().unwrap().time;
+        let last = events.last().unwrap().time;
+        assert_eq!(first, b.start);
+        assert!(last > b.start);
+        assert!(last.delta_secs(b.start) < 30);
+    }
+
+    #[test]
+    fn both_detectors_appear_over_many_records() {
+        let d = DaemonModel::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let events = d.record_burst(&burst(10_000, 60), &mut rng);
+        let patrol = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CorrectedError { detail: Some(det), .. } if det.detector == Detector::PatrolScrub))
+            .count();
+        assert!(patrol > 0 && patrol < events.len());
+    }
+
+    #[test]
+    fn empty_burst_produces_nothing() {
+        let d = DaemonModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(d.record_burst(&burst(0, 10), &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        DaemonModel::new(DaemonConfig {
+            period_ms: 0,
+            p_patrol: 0.5,
+        });
+    }
+}

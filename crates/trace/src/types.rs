@@ -1,0 +1,307 @@
+//! Core identifier and time types shared across the error-log substrate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a compute node within the monitored fleet.
+///
+/// MareNostrum 3 had 3056 compute nodes; node ids are dense indices `0..node_count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{:04}", self.0)
+    }
+}
+
+/// Identifier of a DIMM: the node it is installed in plus its slot on that node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DimmId {
+    /// Node hosting the DIMM.
+    pub node: NodeId,
+    /// Slot index within the node (0-based).
+    pub slot: u8,
+}
+
+impl DimmId {
+    /// Construct a DIMM id.
+    pub fn new(node: NodeId, slot: u8) -> Self {
+        Self { node, slot }
+    }
+}
+
+impl fmt::Display for DimmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/dimm-{}", self.node, self.slot)
+    }
+}
+
+/// Anonymised DRAM manufacturer, as in the paper (Manufacturer A, B and C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Manufacturer {
+    /// Manufacturer A (6694 DIMMs in MareNostrum 3).
+    A,
+    /// Manufacturer B (5207 DIMMs).
+    B,
+    /// Manufacturer C (13,419 DIMMs).
+    C,
+}
+
+impl Manufacturer {
+    /// All manufacturers, in declaration order.
+    pub const ALL: [Manufacturer; 3] = [Manufacturer::A, Manufacturer::B, Manufacturer::C];
+
+    /// Single-letter label used in reports and the mcelog-style format.
+    pub fn label(self) -> &'static str {
+        match self {
+            Manufacturer::A => "A",
+            Manufacturer::B => "B",
+            Manufacturer::C => "C",
+        }
+    }
+
+    /// Parse a single-letter label.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "A" => Some(Manufacturer::A),
+            "B" => Some(Manufacturer::B),
+            "C" => Some(Manufacturer::C),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Manufacturer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Physical location of a DRAM cell within a DIMM: rank, bank, row and column.
+///
+/// The production logs record this via the address-to-location mapping obtained from the
+/// memory manufacturer; here it is part of the synthetic fault model. The feature
+/// extractor counts the number of distinct ranks/banks/rows/columns with CEs (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellLocation {
+    /// DIMM rank (0–3 on DDR3 RDIMMs).
+    pub rank: u8,
+    /// Bank within the rank (0–7 on DDR3).
+    pub bank: u8,
+    /// Row address.
+    pub row: u32,
+    /// Column address.
+    pub column: u32,
+}
+
+impl CellLocation {
+    /// Construct a cell location.
+    pub fn new(rank: u8, bank: u8, row: u32, column: u32) -> Self {
+        Self {
+            rank,
+            bank,
+            row,
+            column,
+        }
+    }
+}
+
+/// A point in simulated time, stored as whole seconds since the start of the observation
+/// window (for the MareNostrum 3 logs, 1 October 2014 00:00 UTC).
+///
+/// Seconds granularity matches the production pipeline: the monitoring daemon polls the
+/// MCA registers every 100 ms but the environment merges events per minute, so nothing in
+/// the reproduction needs sub-second resolution for logged events.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub i64);
+
+impl SimTime {
+    /// One minute in seconds.
+    pub const MINUTE: i64 = 60;
+    /// One hour in seconds.
+    pub const HOUR: i64 = 3600;
+    /// One day in seconds.
+    pub const DAY: i64 = 86_400;
+    /// One week in seconds.
+    pub const WEEK: i64 = 7 * Self::DAY;
+    /// One 365-day year in seconds.
+    pub const YEAR: i64 = 365 * Self::DAY;
+
+    /// The origin of the observation window.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(secs: i64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_minutes(minutes: i64) -> Self {
+        SimTime(minutes * Self::MINUTE)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(hours: i64) -> Self {
+        SimTime(hours * Self::HOUR)
+    }
+
+    /// Construct from whole days.
+    pub fn from_days(days: i64) -> Self {
+        SimTime(days * Self::DAY)
+    }
+
+    /// Seconds since the window origin.
+    pub fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Time expressed in (possibly fractional) hours.
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / Self::HOUR as f64
+    }
+
+    /// Time expressed in (possibly fractional) days.
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / Self::DAY as f64
+    }
+
+    /// Add a number of seconds.
+    pub fn plus_secs(self, secs: i64) -> Self {
+        SimTime(self.0 + secs)
+    }
+
+    /// Difference `self - other` in seconds.
+    pub fn delta_secs(self, other: SimTime) -> i64 {
+        self.0 - other.0
+    }
+
+    /// Difference `self - other` in fractional hours.
+    pub fn delta_hours(self, other: SimTime) -> f64 {
+        self.delta_secs(other) as f64 / Self::HOUR as f64
+    }
+
+    /// The start of the minute containing this instant (events are merged per minute).
+    pub fn floor_minute(self) -> Self {
+        SimTime(self.0.div_euclid(Self::MINUTE) * Self::MINUTE)
+    }
+
+    /// Saturating maximum of two instants.
+    pub fn max(self, other: SimTime) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating minimum of two instants.
+    pub fn min(self, other: SimTime) -> Self {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl std::ops::Add<i64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: i64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl std::ops::Sub<SimTime> for SimTime {
+    type Output = i64;
+
+    fn sub(self, rhs: SimTime) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0;
+        let days = total.div_euclid(Self::DAY);
+        let rem = total.rem_euclid(Self::DAY);
+        let hours = rem / Self::HOUR;
+        let minutes = (rem % Self::HOUR) / Self::MINUTE;
+        let seconds = rem % Self::MINUTE;
+        write!(f, "d{days:03}+{hours:02}:{minutes:02}:{seconds:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_dimm_display() {
+        let n = NodeId(17);
+        assert_eq!(n.to_string(), "node-0017");
+        assert_eq!(n.index(), 17);
+        let d = DimmId::new(n, 3);
+        assert_eq!(d.to_string(), "node-0017/dimm-3");
+    }
+
+    #[test]
+    fn manufacturer_labels_round_trip() {
+        for m in Manufacturer::ALL {
+            assert_eq!(Manufacturer::from_label(m.label()), Some(m));
+        }
+        assert_eq!(Manufacturer::from_label("X"), None);
+    }
+
+    #[test]
+    fn simtime_constructors_agree() {
+        assert_eq!(SimTime::from_minutes(2), SimTime::from_secs(120));
+        assert_eq!(SimTime::from_hours(1), SimTime::from_minutes(60));
+        assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
+        assert_eq!(SimTime::WEEK, 7 * SimTime::DAY);
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_hours(5);
+        let b = SimTime::from_hours(2);
+        assert_eq!(a - b, 3 * SimTime::HOUR);
+        assert_eq!(a.delta_hours(b), 3.0);
+        assert_eq!(a.plus_secs(30).as_secs(), 5 * SimTime::HOUR + 30);
+        assert_eq!((a + 60).as_secs(), 5 * SimTime::HOUR + 60);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn simtime_minute_flooring() {
+        let t = SimTime::from_secs(3 * 60 + 42);
+        assert_eq!(t.floor_minute(), SimTime::from_minutes(3));
+        // Negative times (before the window origin) still floor downwards.
+        let neg = SimTime::from_secs(-61);
+        assert_eq!(neg.floor_minute(), SimTime::from_secs(-120));
+    }
+
+    #[test]
+    fn simtime_display_format() {
+        let t = SimTime::from_days(12) + 3 * SimTime::HOUR + 4 * SimTime::MINUTE + 5;
+        assert_eq!(t.to_string(), "d012+03:04:05");
+    }
+
+    #[test]
+    fn simtime_unit_conversions() {
+        let t = SimTime::from_hours(36);
+        assert!((t.as_days() - 1.5).abs() < 1e-12);
+        assert!((t.as_hours() - 36.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! Quickstart: the smallest end-to-end use of the library.
+//!
+//! 1. Reconstruct a (small) MareNostrum-style error log and a Slurm-style job log.
+//! 2. Preprocess the error log (retirement-bias filtering + UE burst reduction).
+//! 3. Train the RL mitigation agent on the first half of the data.
+//! 4. Compare it against Never-mitigate, Always-mitigate and the Oracle on the second
+//!    half, using the paper's cost-benefit accounting.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use uerl::core::event_stream::TimelineSet;
+use uerl::core::policies::{AlwaysMitigate, NeverMitigate, OraclePolicy};
+use uerl::core::trainer::{RlTrainer, TrainerConfig};
+use uerl::core::MitigationConfig;
+use uerl::eval::report::{format_table, node_hours, percent};
+use uerl::eval::run::run_policy;
+use uerl::jobs::schedule::NodeJobSampler;
+use uerl::jobs::{JobLogConfig, JobTraceGenerator};
+use uerl::trace::generator::{SyntheticLogConfig, TraceGenerator};
+use uerl::trace::reduction::preprocess;
+use uerl::trace::types::SimTime;
+
+fn main() {
+    // 1. Substrates: a 60-node fleet over 120 days plus a job log.
+    let error_log = TraceGenerator::new(SyntheticLogConfig::small(60, 120, 7)).generate();
+    let job_log = JobTraceGenerator::new(JobLogConfig::small(128, 60, 7)).generate();
+    println!(
+        "generated {} error-log records ({} corrected errors, {} fatal events) and {} jobs",
+        error_log.len(),
+        error_log.total_corrected_errors(),
+        error_log.total_uncorrected_errors(),
+        job_log.len()
+    );
+
+    // 2. Preprocess exactly as the paper does.
+    let preprocessed = preprocess(&error_log);
+    let timelines = TimelineSet::from_log(&preprocessed);
+    let sampler = NodeJobSampler::from_log(&job_log);
+    println!(
+        "after preprocessing: {} effective UEs across {} nodes with events",
+        timelines.total_fatal(),
+        timelines.len()
+    );
+
+    // 3. Train the agent on the first half of the window.
+    let midpoint = SimTime::from_secs(
+        (timelines.window_start().as_secs() + timelines.window_end().as_secs()) / 2,
+    );
+    let train = timelines.slice(timelines.window_start(), midpoint);
+    let test = timelines.slice(midpoint, timelines.window_end());
+    let trainer = RlTrainer::new(TrainerConfig::reduced(150).with_seed(7));
+    let outcome = trainer.train(&train, &sampler);
+    println!(
+        "trained the RL agent: {} episodes, {} decisions, {:.1} s wall clock",
+        outcome.episodes, outcome.total_steps, outcome.wall_time_secs
+    );
+    let mut rl = outcome.into_policy();
+
+    // 4. Cost-benefit comparison on the held-out half.
+    let config = MitigationConfig::paper_default();
+    let mut oracle = OraclePolicy::from_timelines(&test);
+    let runs = vec![
+        run_policy(&mut NeverMitigate, &test, &sampler, config, 7),
+        run_policy(&mut AlwaysMitigate, &test, &sampler, config, 7),
+        run_policy(&mut rl, &test, &sampler, config, 7),
+        run_policy(&mut oracle, &test, &sampler, config, 7),
+    ];
+    let never_cost = runs[0].total_cost();
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.mitigations.to_string(),
+                node_hours(r.ue_cost),
+                node_hours(r.mitigation_cost),
+                node_hours(r.total_cost()),
+                percent(1.0 - r.total_cost() / never_cost.max(1e-9)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["policy", "mitigations", "UE cost (nh)", "mitigation (nh)", "total (nh)", "saved vs Never"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,129 @@
+//! Integration and property tests of the log substrates: serialisation round-trips and
+//! the invariants of the paper's preprocessing steps.
+
+use proptest::prelude::*;
+use uerl::jobs::{sacct, JobLogConfig, JobTraceGenerator};
+use uerl::trace::events::{Detector, EventKind, LogEvent};
+use uerl::trace::fleet::FleetConfig;
+use uerl::trace::generator::{SyntheticLogConfig, TraceGenerator};
+use uerl::trace::log::ErrorLog;
+use uerl::trace::mcelog;
+use uerl::trace::reduction::{filter_retirement_bias, preprocess, reduce_ue_bursts};
+use uerl::trace::types::{DimmId, NodeId, SimTime};
+
+#[test]
+fn mcelog_and_sacct_round_trip_generated_logs() {
+    let error_log = TraceGenerator::new(SyntheticLogConfig::small(30, 45, 5)).generate();
+    let parsed = mcelog::from_text(&mcelog::to_text(&error_log), error_log.fleet().clone())
+        .expect("mcelog parses");
+    assert_eq!(parsed.events(), error_log.events());
+
+    let job_log = JobTraceGenerator::new(JobLogConfig::small(32, 20, 5)).generate();
+    let parsed_jobs = sacct::from_text(&sacct::to_text(&job_log)).expect("sacct parses");
+    assert_eq!(parsed_jobs.records(), job_log.records());
+}
+
+#[test]
+fn preprocessing_never_increases_counts() {
+    let log = TraceGenerator::new(SyntheticLogConfig::small(40, 60, 9)).generate();
+    let processed = preprocess(&log);
+    assert!(processed.len() <= log.len());
+    assert!(processed.total_uncorrected_errors() <= log.total_uncorrected_errors());
+    assert!(processed.total_corrected_errors() <= log.total_corrected_errors());
+}
+
+/// Strategy producing an arbitrary small event list on a 5-node fleet.
+fn arbitrary_events() -> impl Strategy<Value = Vec<LogEvent>> {
+    let event = (0u32..5, 0i64..(30 * SimTime::DAY), 0u8..4).prop_map(|(node, secs, kind)| {
+        let node = NodeId(node);
+        let time = SimTime::from_secs(secs);
+        let kind = match kind {
+            0 => EventKind::CorrectedError {
+                count: 1 + (secs % 7) as u32,
+                detail: None,
+            },
+            1 => EventKind::UncorrectedError {
+                dimm: DimmId::new(node, 0),
+                detector: Detector::DemandRead,
+            },
+            2 => EventKind::NodeBoot,
+            _ => EventKind::DimmRetirement { slot: 1 },
+        };
+        LogEvent::new(time, node, kind)
+    });
+    proptest::collection::vec(event, 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ue_burst_reduction_is_idempotent_and_keeps_a_week_between_fatal_events(
+        events in arbitrary_events()
+    ) {
+        let log = ErrorLog::new(
+            FleetConfig::small(5),
+            events,
+            SimTime::ZERO,
+            SimTime::from_days(31),
+        );
+        let reduced = reduce_ue_bursts(&log);
+        // Idempotence.
+        let twice = reduce_ue_bursts(&reduced);
+        prop_assert_eq!(twice.events(), reduced.events());
+        // No node keeps two fatal events within one week of each other.
+        for node in reduced.nodes_with_events() {
+            let fatal: Vec<_> = reduced
+                .events_for_node(node)
+                .filter(|e| e.is_fatal())
+                .collect();
+            for pair in fatal.windows(2) {
+                prop_assert!(pair[1].time.delta_secs(pair[0].time) > SimTime::WEEK);
+            }
+        }
+        // Non-fatal events are untouched.
+        let non_fatal_before = log.events().iter().filter(|e| !e.is_fatal()).count();
+        let non_fatal_after = reduced.events().iter().filter(|e| !e.is_fatal()).count();
+        prop_assert_eq!(non_fatal_before, non_fatal_after);
+    }
+
+    #[test]
+    fn retirement_filtering_removes_every_post_retirement_sample(
+        events in arbitrary_events()
+    ) {
+        let log = ErrorLog::new(
+            FleetConfig::small(5),
+            events,
+            SimTime::ZERO,
+            SimTime::from_days(31),
+        );
+        let filtered = filter_retirement_bias(&log);
+        // No retirement events remain, and for every node everything at or after its
+        // first retirement is gone.
+        for node in log.nodes_with_events() {
+            let first_retirement = log
+                .events_for_node(node)
+                .filter(|e| matches!(e.kind, EventKind::DimmRetirement { .. }))
+                .map(|e| e.time)
+                .min();
+            if let Some(cutoff) = first_retirement {
+                for e in filtered.events_for_node(node) {
+                    prop_assert!(e.time < cutoff);
+                }
+            }
+        }
+        prop_assert!(filtered.len() <= log.len());
+    }
+
+    #[test]
+    fn mcelog_round_trip_holds_for_arbitrary_event_lists(events in arbitrary_events()) {
+        let log = ErrorLog::new(
+            FleetConfig::small(5),
+            events,
+            SimTime::ZERO,
+            SimTime::from_days(31),
+        );
+        let parsed = mcelog::from_text(&mcelog::to_text(&log), log.fleet().clone()).unwrap();
+        prop_assert_eq!(parsed.events(), log.events());
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration tests of the model-training path: the RF baseline dataset and forest, the
+//! RL trainer, the environment's cost accounting, and the classification metrics — all
+//! exercised across crate boundaries.
+
+use proptest::prelude::*;
+use uerl::core::event_stream::TimelineSet;
+use uerl::core::policies::{NeverMitigate, ThresholdRfPolicy};
+use uerl::core::rf_dataset::build_rf_dataset_1day;
+use uerl::core::state::STATE_DIM;
+use uerl::core::trainer::{RlTrainer, TrainerConfig};
+use uerl::core::MitigationConfig;
+use uerl::core::cost::{reward, ue_cost};
+use uerl::eval::metrics::ClassificationMetrics;
+use uerl::eval::run::run_policy;
+use uerl::forest::{RandomForest, RandomForestConfig};
+use uerl::jobs::schedule::NodeJobSampler;
+use uerl::jobs::{JobLogConfig, JobTraceGenerator};
+use uerl::trace::generator::{SyntheticLogConfig, TraceGenerator};
+use uerl::trace::reduction::preprocess;
+
+fn pipeline_inputs(seed: u64) -> (TimelineSet, NodeJobSampler) {
+    let log = TraceGenerator::new(SyntheticLogConfig::small(36, 80, seed)).generate();
+    let timelines = TimelineSet::from_log(&preprocess(&log));
+    let jobs = JobTraceGenerator::new(JobLogConfig::small(64, 40, seed)).generate();
+    (timelines, NodeJobSampler::from_log(&jobs))
+}
+
+#[test]
+fn rf_baseline_trains_on_the_extracted_dataset_and_drives_a_policy() {
+    let (timelines, sampler) = pipeline_inputs(123);
+    let (dataset, origins) = build_rf_dataset_1day(&timelines);
+    assert_eq!(dataset.len(), origins.len());
+    assert_eq!(dataset.n_features(), STATE_DIM - 1);
+    assert!(dataset.len() > 50, "the synthetic log must produce enough samples");
+    assert!(dataset.positives() > 0, "some events precede a UE within one day");
+    assert!(dataset.positive_fraction() < 0.5, "UEs are the minority class");
+
+    let forest = RandomForest::fit(&dataset, &RandomForestConfig::small(1));
+    let mut policy = ThresholdRfPolicy::new(forest, 0.5, "SC20-RF");
+    let run = run_policy(
+        &mut policy,
+        &timelines,
+        &sampler,
+        MitigationConfig::paper_default(),
+        5,
+    );
+    assert_eq!(run.decisions.len() as u64, run.mitigations + run.non_mitigations);
+    let metrics = ClassificationMetrics::from_run_1day(&run);
+    assert_eq!(metrics.true_positives + metrics.false_negatives, run.ue_count);
+}
+
+#[test]
+fn rl_training_improves_over_the_untrained_agent_or_at_least_runs_cleanly() {
+    let (timelines, sampler) = pipeline_inputs(321);
+    let trained = RlTrainer::new(TrainerConfig::reduced(60).with_seed(3)).train(&timelines, &sampler);
+    assert!(trained.total_steps > 0);
+    assert!(trained.mean_episode_return <= 0.0);
+    // The policy must be usable for evaluation and carry its training cost.
+    let mut policy = trained.into_policy();
+    let run = run_policy(
+        &mut policy,
+        &timelines,
+        &sampler,
+        MitigationConfig::paper_default(),
+        5,
+    );
+    assert!(run.mitigation_cost >= 0.0);
+    let never = run_policy(
+        &mut NeverMitigate,
+        &timelines,
+        &sampler,
+        MitigationConfig::paper_default(),
+        5,
+    );
+    assert_eq!(run.ue_count, never.ue_count, "the log's UEs are policy-independent");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn equation_3_and_4_invariants(
+        nodes in 1u32..2048,
+        hours in 0.0f64..10_000.0,
+        mitigation_cost in 0.0f64..10.0,
+        mitigated in any::<bool>(),
+        ue in any::<bool>(),
+    ) {
+        let cost = ue_cost(nodes, hours);
+        prop_assert!(cost >= 0.0);
+        prop_assert!((cost - nodes as f64 * hours).abs() < 1e-9);
+        let r = reward(mitigated, mitigation_cost, ue, cost);
+        // Rewards are never positive and decompose exactly into the two cost terms.
+        prop_assert!(r <= 1e-12);
+        let expected = -(if mitigated { mitigation_cost } else { 0.0 })
+            - (if ue { cost } else { 0.0 });
+        prop_assert!((r - expected).abs() < 1e-9);
+    }
+}
