@@ -8,7 +8,9 @@ use uerl_eval::experiments::fig3;
 fn bench_fig3(c: &mut Criterion) {
     let ctx = uerl_bench::bench_context(101);
     let mut group = c.benchmark_group("fig3_total_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("all_policies_2_node_minutes", |b| {
         b.iter(|| {
             let result = fig3::run(&ctx, &[2.0]);

@@ -8,7 +8,9 @@ use uerl_eval::experiments::fig4;
 fn bench_fig4(c: &mut Criterion) {
     let ctx = uerl_bench::bench_context(102);
     let mut group = c.benchmark_group("fig4_cross_validation");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("nested_cv_all_splits", |b| {
         b.iter(|| {
             let result = fig4::run(&ctx);

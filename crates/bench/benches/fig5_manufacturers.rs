@@ -8,7 +8,9 @@ use uerl_eval::experiments::fig5;
 fn bench_fig5(c: &mut Criterion) {
     let ctx = uerl_bench::bench_context(103);
     let mut group = c.benchmark_group("fig5_manufacturers");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("all_manufacturer_scenarios", |b| {
         b.iter(|| {
             let result = fig5::run(&ctx);

@@ -8,7 +8,9 @@ use uerl_eval::experiments::fig6;
 fn bench_fig6(c: &mut Criterion) {
     let ctx = uerl_bench::bench_context(104);
     let mut group = c.benchmark_group("fig6_agent_behavior");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("behaviour_map_7x5", |b| {
         b.iter(|| {
             let result = fig6::run(&ctx, 7, 5);

@@ -8,7 +8,9 @@ use uerl_eval::experiments::fig7;
 fn bench_fig7(c: &mut Criterion) {
     let ctx = uerl_bench::bench_context(106);
     let mut group = c.benchmark_group("fig7_job_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for &scaling in &[0.1, 10.0] {
         group.bench_with_input(
             BenchmarkId::from_parameter(scaling),

@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
-use uerl_core::rf_dataset::build_rf_dataset_1day;
 use uerl_core::event_stream::TimelineSet;
+use uerl_core::rf_dataset::build_rf_dataset_1day;
 use uerl_core::state::STATE_DIM;
 use uerl_forest::{RandomForest, RandomForestConfig};
 use uerl_nn::{DuelingQNetwork, Matrix, MlpConfig};
@@ -18,7 +18,9 @@ use uerl_trace::reduction::preprocess;
 
 fn bench_substrates(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     group.bench_function("trace_generation_60_nodes_90_days", |b| {
         b.iter(|| {

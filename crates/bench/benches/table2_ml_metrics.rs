@@ -8,7 +8,9 @@ use uerl_eval::experiments::table2;
 fn bench_table2(c: &mut Criterion) {
     let ctx = uerl_bench::bench_context(105);
     let mut group = c.benchmark_group("table2_ml_metrics");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("all_approaches", |b| {
         b.iter(|| {
             let result = table2::run(&ctx);

@@ -1,0 +1,187 @@
+//! `perf_report` — the repo's perf-trajectory baseline.
+//!
+//! Times every figure/table pipeline at the selected `UERL_SCALE` (default `small`)
+//! twice — once pinned to a single thread and once with the ambient thread count — and
+//! writes `BENCH_PR1.json` with per-stage wall times, the thread count, the speedup, and
+//! whether the rendered experiment output was byte-identical across thread counts (it
+//! must be: every parallel fan-out in the engine merges in deterministic order).
+//!
+//! Usage:
+//! ```text
+//! UERL_SCALE=small cargo run --release -p uerl-bench --bin perf_report
+//! RAYON_NUM_THREADS=8 cargo run --release -p uerl-bench --bin perf_report
+//! ```
+
+use std::time::Instant;
+use uerl_bench::Scale;
+use uerl_core::rf_dataset::build_rf_dataset_1day;
+use uerl_core::state::STATE_DIM;
+use uerl_eval::experiments::{fig3, fig4, fig5, fig6, fig7, table2};
+use uerl_eval::scenario::ExperimentContext;
+use uerl_forest::{RandomForest, RandomForestConfig};
+
+struct StageReport {
+    name: &'static str,
+    serial_secs: f64,
+    parallel_secs: f64,
+    deterministic: bool,
+}
+
+impl StageReport {
+    fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.serial_secs / self.parallel_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A named pipeline stage: runs the pipeline and returns a fingerprint of its output.
+type Stage = Box<dyn Fn() -> String>;
+
+fn time_run(f: &dyn Fn() -> String) -> (f64, String) {
+    let t0 = Instant::now();
+    let output = f();
+    (t0.elapsed().as_secs_f64(), output)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = rayon::current_num_threads();
+    let ctx = uerl_bench::context(scale, 2024);
+    eprintln!(
+        "[perf_report] scale={} scenario={} threads={}",
+        scale.label(),
+        ctx.label,
+        threads
+    );
+
+    let forest_stage = |ctx: &ExperimentContext| -> String {
+        let (mut dataset, _) = build_rf_dataset_1day(&ctx.timelines);
+        if dataset.is_empty() {
+            dataset.push(vec![0.0; STATE_DIM - 1], false);
+        }
+        let mut config = RandomForestConfig::sc20(STATE_DIM - 1, ctx.seed);
+        config.n_trees = 100;
+        let forest = RandomForest::fit(&dataset, &config);
+        // Fingerprint: per-tree node counts plus a probe prediction.
+        let probe = vec![0.5; STATE_DIM - 1];
+        format!(
+            "trees={} p={:.12}",
+            forest.n_trees(),
+            forest.predict_proba(&probe)
+        )
+    };
+
+    let stages: Vec<(&'static str, Stage)> = vec![
+        ("forest_fit_100_trees", {
+            let ctx = ctx.clone();
+            Box::new(move || forest_stage(&ctx))
+        }),
+        ("fig3_total_cost", {
+            let ctx = ctx.clone();
+            Box::new(move || fig3::run(&ctx, &[2.0, 5.0, 10.0]).render())
+        }),
+        ("fig4_cross_validation", {
+            let ctx = ctx.clone();
+            Box::new(move || fig4::run(&ctx).render())
+        }),
+        ("fig5_manufacturers", {
+            let ctx = ctx.clone();
+            Box::new(move || fig5::run(&ctx).render())
+        }),
+        ("fig6_agent_behavior", {
+            let ctx = ctx.clone();
+            Box::new(move || fig6::run(&ctx, 12, 10).render())
+        }),
+        ("fig7_job_scaling", {
+            let ctx = ctx.clone();
+            Box::new(move || fig7::run(&ctx, &[0.1, 0.3, 1.0, 3.0, 10.0]).render())
+        }),
+        ("table2_ml_metrics", {
+            let ctx = ctx.clone();
+            Box::new(move || table2::run(&ctx).render())
+        }),
+    ];
+
+    let serial_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool");
+
+    let mut reports = Vec::new();
+    for (name, stage) in &stages {
+        // Untimed warm-up so neither mode pays first-run allocator/page-cache costs.
+        let _ = stage();
+        let (parallel_secs, parallel_out) = time_run(stage.as_ref());
+        let (serial_secs, serial_out) = serial_pool.install(|| time_run(stage.as_ref()));
+        let deterministic = parallel_out == serial_out;
+        let report = StageReport {
+            name,
+            serial_secs,
+            parallel_secs,
+            deterministic,
+        };
+        eprintln!(
+            "[perf_report] {:<24} serial {:>8.3}s  parallel {:>8.3}s  speedup {:>5.2}x  {}",
+            report.name,
+            report.serial_secs,
+            report.parallel_secs,
+            report.speedup(),
+            if deterministic {
+                "deterministic"
+            } else {
+                "OUTPUT DIVERGED"
+            },
+        );
+        reports.push(report);
+    }
+
+    let total_serial: f64 = reports.iter().map(|r| r.serial_secs).sum();
+    let total_parallel: f64 = reports.iter().map(|r| r.parallel_secs).sum();
+    let all_deterministic = reports.iter().all(|r| r.deterministic);
+    let overall_speedup = if total_parallel > 0.0 {
+        total_serial / total_parallel
+    } else {
+        1.0
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 1,\n");
+    json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"deterministic_across_thread_counts\": {all_deterministic},\n"
+    ));
+    json.push_str(&format!("  \"total_serial_secs\": {total_serial:.6},\n"));
+    json.push_str(&format!(
+        "  \"total_parallel_secs\": {total_parallel:.6},\n"
+    ));
+    json.push_str(&format!("  \"overall_speedup\": {overall_speedup:.4},\n"));
+    json.push_str("  \"stages\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_secs\": {:.6}, \"parallel_secs\": {:.6}, \"speedup\": {:.4}, \"deterministic\": {}}}{}\n",
+            r.name,
+            r.serial_secs,
+            r.parallel_secs,
+            r.speedup(),
+            r.deterministic,
+            if i + 1 < reports.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
+    std::fs::write(&path, &json).expect("write benchmark report");
+    eprintln!(
+        "[perf_report] overall speedup {overall_speedup:.2}x on {threads} thread(s); wrote {path}"
+    );
+    println!("{json}");
+    if !all_deterministic {
+        eprintln!("[perf_report] ERROR: output diverged across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -30,7 +30,11 @@ pub enum Scale {
 impl Scale {
     /// Read the scale from the `UERL_SCALE` environment variable.
     pub fn from_env() -> Self {
-        match std::env::var("UERL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("UERL_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "paper" => Scale::Paper,
             "laptop" => Scale::Laptop,
             _ => Scale::Small,

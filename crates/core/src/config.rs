@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn default_trait_matches_paper_default() {
-        assert_eq!(MitigationConfig::default(), MitigationConfig::paper_default());
+        assert_eq!(
+            MitigationConfig::default(),
+            MitigationConfig::paper_default()
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ mod tests {
     fn ue_cost_is_nodes_times_hours() {
         assert_eq!(ue_cost(16, 2.5), 40.0);
         assert_eq!(ue_cost(1, 0.0), 0.0);
-        assert_eq!(ue_cost(100, -5.0), 0.0, "negative elapsed time clamps to zero");
+        assert_eq!(
+            ue_cost(100, -5.0),
+            0.0,
+            "negative elapsed time clamps to zero"
+        );
     }
 
     #[test]

@@ -175,7 +175,10 @@ impl MitigationEnv {
         let (ue_cost, _) = self.potential_cost_at(t);
         self.ue_count += 1;
         self.total_ue_cost += ue_cost;
-        self.ue_records.push(UeRecord { time: t, cost: ue_cost });
+        self.ue_records.push(UeRecord {
+            time: t,
+            cost: ue_cost,
+        });
         ue_cost
     }
 
@@ -307,7 +310,10 @@ mod tests {
         let mut env = MitigationEnv::new(tl, one_big_job(), config(), true);
         let s0 = env.reset().expect("one decision point");
         assert_eq!(s0.job_nodes, 16);
-        assert!((s0.potential_ue_cost - 16.0).abs() < 1e-9, "16 node-hours at t=1h");
+        assert!(
+            (s0.potential_ue_cost - 16.0).abs() < 1e-9,
+            "16 node-hours at t=1h"
+        );
         let out = env.step(false);
         assert!(out.done);
         assert!(out.ue_occurred);
@@ -347,7 +353,11 @@ mod tests {
 
     #[test]
     fn potential_cost_grows_between_events() {
-        let tl = timeline(vec![event(60, 1, false), event(120, 1, false), event(300, 1, false)]);
+        let tl = timeline(vec![
+            event(60, 1, false),
+            event(120, 1, false),
+            event(300, 1, false),
+        ]);
         let mut env = MitigationEnv::new(tl, one_big_job(), config(), true);
         let s0 = env.reset().unwrap();
         let s1 = env.step(false).next_state.unwrap();

@@ -249,7 +249,10 @@ mod tests {
         let mid = SimTime::from_days(45);
         let early = set.slice(set.window_start(), mid);
         let late = set.slice(mid, set.window_end());
-        assert_eq!(early.total_events() + late.total_events(), set.total_events());
+        assert_eq!(
+            early.total_events() + late.total_events(),
+            set.total_events()
+        );
         for t in early.timelines() {
             assert!(t.events().iter().all(|e| e.time < mid));
         }

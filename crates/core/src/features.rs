@@ -100,7 +100,12 @@ impl FeatureExtractor {
     }
 
     /// Equation 2: `value(now) / value(now − Δt)`, or 0 when the denominator is 0.
-    fn variation(&self, now: SimTime, delta_secs: i64, select: impl Fn(&(SimTime, u64, u64)) -> u64) -> f64 {
+    fn variation(
+        &self,
+        now: SimTime,
+        delta_secs: i64,
+        select: impl Fn(&(SimTime, u64, u64)) -> u64,
+    ) -> f64 {
         let cutoff = now.plus_secs(-delta_secs);
         let past = self
             .history
@@ -164,7 +169,15 @@ mod tests {
         }
     }
 
-    fn ce_event(node: u32, minute: i64, count: u32, slot: u8, rank: u8, row: u32, col: u32) -> MergedEvent {
+    fn ce_event(
+        node: u32,
+        minute: i64,
+        count: u32,
+        slot: u8,
+        rank: u8,
+        row: u32,
+        col: u32,
+    ) -> MergedEvent {
         let mut e = merged(node, minute);
         e.ce_count = count;
         e.ce_details.push(CeDetail {

@@ -4,6 +4,7 @@ use crate::event_stream::TimelineSet;
 use crate::policy::MitigationPolicy;
 use crate::state::StateFeatures;
 use std::collections::HashSet;
+use std::sync::Arc;
 use uerl_forest::RandomForest;
 use uerl_rl::DqnAgent;
 use uerl_trace::types::{NodeId, SimTime};
@@ -17,7 +18,7 @@ impl MitigationPolicy for NeverMitigate {
         "Never-mitigate"
     }
 
-    fn decide(&mut self, _state: &StateFeatures) -> bool {
+    fn decide(&self, _state: &StateFeatures) -> bool {
         false
     }
 }
@@ -32,7 +33,7 @@ impl MitigationPolicy for AlwaysMitigate {
         "Always-mitigate"
     }
 
-    fn decide(&mut self, _state: &StateFeatures) -> bool {
+    fn decide(&self, _state: &StateFeatures) -> bool {
         true
     }
 }
@@ -74,7 +75,7 @@ impl MitigationPolicy for OraclePolicy {
         "Oracle"
     }
 
-    fn decide(&mut self, state: &StateFeatures) -> bool {
+    fn decide(&self, state: &StateFeatures) -> bool {
         self.mitigate_at.contains(&(state.node, state.time))
     }
 }
@@ -82,9 +83,12 @@ impl MitigationPolicy for OraclePolicy {
 /// *SC20-RF*: the random-forest predictor of Boixaderas et al. (SC 2020). Mitigates when
 /// the predicted UE probability exceeds a user-supplied threshold. The probability is
 /// computed from the error features only (the predictor is workload-blind).
+///
+/// The forest is held behind an [`Arc`] so the evaluator's threshold scan can run many
+/// candidate thresholds over one shared fitted forest without deep-cloning the trees.
 #[derive(Debug, Clone)]
 pub struct ThresholdRfPolicy {
-    forest: RandomForest,
+    forest: Arc<RandomForest>,
     threshold: f64,
     name: String,
     training_cost: f64,
@@ -96,7 +100,19 @@ impl ThresholdRfPolicy {
     /// # Panics
     /// Panics if the threshold is outside `[0, 1]`.
     pub fn new(forest: RandomForest, threshold: f64, name: impl Into<String>) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+        Self::shared(Arc::new(forest), threshold, name)
+    }
+
+    /// Like [`ThresholdRfPolicy::new`] but sharing an already-wrapped forest (no tree
+    /// copies; this is what the threshold grid scan uses).
+    ///
+    /// # Panics
+    /// Panics if the threshold is outside `[0, 1]`.
+    pub fn shared(forest: Arc<RandomForest>, threshold: f64, name: impl Into<String>) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
         Self {
             forest,
             threshold,
@@ -128,7 +144,7 @@ impl MitigationPolicy for ThresholdRfPolicy {
         &self.name
     }
 
-    fn decide(&mut self, state: &StateFeatures) -> bool {
+    fn decide(&self, state: &StateFeatures) -> bool {
         self.probability(state) >= self.threshold
     }
 
@@ -152,7 +168,10 @@ impl MyopicRfPolicy {
     /// # Panics
     /// Panics if the mitigation cost is negative.
     pub fn new(forest: RandomForest, mitigation_cost_node_hours: f64) -> Self {
-        assert!(mitigation_cost_node_hours >= 0.0, "mitigation cost must be non-negative");
+        assert!(
+            mitigation_cost_node_hours >= 0.0,
+            "mitigation cost must be non-negative"
+        );
         Self {
             forest,
             mitigation_cost_node_hours,
@@ -177,7 +196,7 @@ impl MitigationPolicy for MyopicRfPolicy {
         "Myopic-RF"
     }
 
-    fn decide(&mut self, state: &StateFeatures) -> bool {
+    fn decide(&self, state: &StateFeatures) -> bool {
         self.expected_ue_cost(state) > self.mitigation_cost_node_hours
     }
 
@@ -224,7 +243,7 @@ impl MitigationPolicy for RlPolicy {
         "RL"
     }
 
-    fn decide(&mut self, state: &StateFeatures) -> bool {
+    fn decide(&self, state: &StateFeatures) -> bool {
         self.agent.act_greedy(&state.to_vector()) == 1
     }
 
@@ -275,8 +294,8 @@ mod tests {
 
     #[test]
     fn never_and_always_are_constant() {
-        let mut never = NeverMitigate;
-        let mut always = AlwaysMitigate;
+        let never = NeverMitigate;
+        let always = AlwaysMitigate;
         let s = state(1, 10, 5, 100.0);
         assert!(!never.decide(&s));
         assert!(always.decide(&s));
@@ -291,15 +310,21 @@ mod tests {
             NodeId(1),
             SimTime::ZERO,
             SimTime::from_days(1),
-            vec![merged(1, 10, false), merged(1, 20, false), merged(1, 30, true)],
+            vec![
+                merged(1, 10, false),
+                merged(1, 20, false),
+                merged(1, 30, true),
+            ],
         );
-        let timelines =
-            TimelineSet::from_timelines(SimTime::ZERO, SimTime::from_days(1), vec![tl]);
-        let mut oracle = OraclePolicy::from_timelines(&timelines);
+        let timelines = TimelineSet::from_timelines(SimTime::ZERO, SimTime::from_days(1), vec![tl]);
+        let oracle = OraclePolicy::from_timelines(&timelines);
         assert_eq!(oracle.planned_mitigations(), 1);
         assert!(!oracle.decide(&state(1, 10, 1, 0.0)));
         assert!(oracle.decide(&state(1, 20, 2, 0.0)));
-        assert!(!oracle.decide(&state(2, 20, 2, 0.0)), "other nodes are untouched");
+        assert!(
+            !oracle.decide(&state(2, 20, 2, 0.0)),
+            "other nodes are untouched"
+        );
     }
 
     #[test]
@@ -311,8 +336,7 @@ mod tests {
             SimTime::from_days(1),
             vec![merged(3, 30, true), merged(3, 60, false)],
         );
-        let timelines =
-            TimelineSet::from_timelines(SimTime::ZERO, SimTime::from_days(1), vec![tl]);
+        let timelines = TimelineSet::from_timelines(SimTime::ZERO, SimTime::from_days(1), vec![tl]);
         let oracle = OraclePolicy::from_timelines(&timelines);
         assert_eq!(oracle.planned_mitigations(), 0);
     }
@@ -320,7 +344,7 @@ mod tests {
     #[test]
     fn threshold_rf_policy_follows_the_forest_and_threshold() {
         let forest = trained_forest();
-        let mut policy = ThresholdRfPolicy::new(forest, 0.5, "SC20-RF").with_training_cost(0.1);
+        let policy = ThresholdRfPolicy::new(forest, 0.5, "SC20-RF").with_training_cost(0.1);
         let quiet = state(1, 10, 0, 50.0);
         let noisy = state(1, 20, 100_000, 50.0);
         assert!(!policy.decide(&quiet));
@@ -334,7 +358,7 @@ mod tests {
     #[test]
     fn myopic_rf_weighs_cost_against_mitigation_cost() {
         let forest = trained_forest();
-        let mut policy = MyopicRfPolicy::new(forest, 2.0 / 60.0);
+        let policy = MyopicRfPolicy::new(forest, 2.0 / 60.0);
         // High probability but negligible potential cost: not worth mitigating.
         let noisy_cheap = state(1, 10, 100_000, 0.001);
         // High probability and high potential cost: mitigate.
@@ -350,7 +374,7 @@ mod tests {
     #[test]
     fn rl_policy_wraps_a_greedy_agent() {
         let agent = DqnAgent::new(AgentConfig::small(crate::state::STATE_DIM).with_seed(1));
-        let mut policy = RlPolicy::new(agent).with_training_cost(0.5);
+        let policy = RlPolicy::new(agent).with_training_cost(0.5);
         let s = state(1, 10, 5, 10.0);
         let decision = policy.decide(&s);
         let q = policy.q_values(&s);

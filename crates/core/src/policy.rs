@@ -8,12 +8,16 @@ use crate::state::StateFeatures;
 /// All eight approaches evaluated in the paper (Never/Always-mitigate, SC20-RF with
 /// optimal and perturbed thresholds, Myopic-RF, the RL agent and the Oracle) implement
 /// this trait, which is what lets the cost-benefit harness treat them uniformly.
+///
+/// `decide` takes `&self`: a policy is immutable during evaluation, which is what lets
+/// the cost-benefit harness replay a policy over thousands of node timelines in
+/// parallel from one shared reference.
 pub trait MitigationPolicy {
     /// Human-readable policy name (used in reports, tables and figures).
     fn name(&self) -> &str;
 
     /// Decide whether to mitigate given the current state.
-    fn decide(&mut self, state: &StateFeatures) -> bool;
+    fn decide(&self, state: &StateFeatures) -> bool;
 
     /// Node-hours spent training and validating this policy's model (added to the
     /// mitigation cost in the cost-benefit analysis). Zero for model-free policies.
@@ -35,14 +39,14 @@ mod tests {
             "threshold"
         }
 
-        fn decide(&mut self, state: &StateFeatures) -> bool {
+        fn decide(&self, state: &StateFeatures) -> bool {
             state.potential_ue_cost > self.0
         }
     }
 
     #[test]
     fn trait_objects_work_and_default_training_cost_is_zero() {
-        let mut policy: Box<dyn MitigationPolicy> = Box::new(Threshold(10.0));
+        let policy: Box<dyn MitigationPolicy> = Box::new(Threshold(10.0));
         let mut cheap = StateFeatures::empty(NodeId(0), SimTime::ZERO);
         cheap.potential_ue_cost = 1.0;
         let mut expensive = cheap.clone();

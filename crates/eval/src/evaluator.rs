@@ -8,16 +8,20 @@ use crate::scenario::ExperimentContext;
 use crate::splits::{nested_splits, SplitSpec};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use std::time::Instant;
+use rayon::prelude::*;
+use std::sync::Arc;
 use uerl_core::event_stream::TimelineSet;
 use uerl_core::policies::{
     AlwaysMitigate, MyopicRfPolicy, NeverMitigate, OraclePolicy, RlPolicy, ThresholdRfPolicy,
 };
+use uerl_core::policy::MitigationPolicy;
 use uerl_core::rf_dataset::build_rf_dataset_1day;
 use uerl_core::state::STATE_DIM;
 use uerl_core::trainer::{RlTrainer, TrainerConfig};
 use uerl_core::MitigationConfig;
-use uerl_forest::{perturb_threshold, RandomForest, RandomForestConfig};
+use uerl_forest::{
+    optimal_threshold, perturb_threshold, Dataset, RandomForest, RandomForestConfig,
+};
 use uerl_jobs::schedule::NodeJobSampler;
 use uerl_rl::{AgentConfig, HyperParams};
 
@@ -78,7 +82,8 @@ impl EvaluationResult {
 
     /// Total cost (node-hours) of a policy, or infinity if it was not evaluated.
     pub fn total_cost_of(&self, policy: &str) -> f64 {
-        self.total_for(policy).map_or(f64::INFINITY, PolicyRun::total_cost)
+        self.total_for(policy)
+            .map_or(f64::INFINITY, PolicyRun::total_cost)
     }
 }
 
@@ -111,7 +116,10 @@ impl Evaluator {
     /// # Panics
     /// Panics if the factor is not strictly positive and finite.
     pub fn with_job_scaling(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scaling factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scaling factor must be positive"
+        );
         self.job_scaling = factor;
         self
     }
@@ -132,23 +140,13 @@ impl Evaluator {
         );
 
         let outcomes: Vec<SplitOutcome> = if self.parallel_splits {
-            // Each split is independent; fan them out over scoped threads and collect the
-            // results through a channel so panics in workers surface as missing results.
-            let (tx, rx) = crossbeam::channel::unbounded();
-            std::thread::scope(|scope| {
-                for spec in &splits {
-                    let tx = tx.clone();
-                    let sampler = &sampler;
-                    scope.spawn(move || {
-                        let outcome = evaluate_split(ctx, sampler, *spec);
-                        tx.send((spec.index, outcome)).expect("collector alive");
-                    });
-                }
-                drop(tx);
-                let mut collected: Vec<(usize, SplitOutcome)> = rx.iter().collect();
-                collected.sort_by_key(|(idx, _)| *idx);
-                collected.into_iter().map(|(_, o)| o).collect()
-            })
+            // Each split is independent and every per-split seed derives only from
+            // (ctx.seed, split index), so the rayon fan-out preserves split order and is
+            // bit-identical to the sequential path.
+            splits
+                .par_iter()
+                .map(|spec| evaluate_split(ctx, &sampler, *spec))
+                .collect()
         } else {
             splits
                 .iter()
@@ -157,7 +155,8 @@ impl Evaluator {
         };
 
         // Merge per-policy totals across splits.
-        let mut totals: Vec<PolicyRun> = POLICY_ORDER.iter().map(|&p| PolicyRun::empty(p)).collect();
+        let mut totals: Vec<PolicyRun> =
+            POLICY_ORDER.iter().map(|&p| PolicyRun::empty(p)).collect();
         for outcome in &outcomes {
             for (total, run) in totals.iter_mut().zip(&outcome.runs) {
                 total.merge(run);
@@ -193,34 +192,64 @@ fn evaluate_split(
     }
 
     // --- Baselines -----------------------------------------------------------------
-    let forest = train_forest(ctx, &train_val_tl, seed);
+    let (forest, train_val_data) = train_forest(ctx, &train_val_tl, seed);
+    let forest = Arc::new(forest);
 
     // SC20-RF with its cost-optimal threshold ("maximum advantage"; the cost of finding
-    // this threshold is not charged, exactly as in the paper).
+    // this threshold is not charged, exactly as in the paper). Besides the uniform grid,
+    // the candidate set includes a data-driven threshold swept from the forest's own
+    // training-period probabilities via the incremental confusion-matrix optimiser.
+    let data_driven = data_driven_threshold(
+        &forest,
+        &train_val_data,
+        &train_val_tl,
+        sampler,
+        config,
+        seed,
+    );
     let (best_threshold, sc20_run) =
-        select_optimal_threshold(ctx, &forest, &test_tl, sampler, config, seed);
-
-    let run_threshold_variant = |threshold: f64, name: &str| -> PolicyRun {
-        let mut policy = ThresholdRfPolicy::new(forest.clone(), threshold, name);
-        let mut run = run_policy(&mut policy, &test_tl, sampler, config, seed);
-        run.policy = name.to_string();
-        run
-    };
-    let sc20_2 = run_threshold_variant(perturb_threshold(best_threshold, 0.02), "SC20-RF-2%");
-    let sc20_5 = run_threshold_variant(perturb_threshold(best_threshold, 0.05), "SC20-RF-5%");
-
-    let mut myopic = MyopicRfPolicy::new(forest.clone(), config.mitigation_cost_node_hours());
-    let myopic_run = run_policy(&mut myopic, &test_tl, sampler, config, seed);
+        select_optimal_threshold(ctx, &forest, data_driven, &test_tl, sampler, config, seed);
 
     // --- The RL agent ----------------------------------------------------------------
-    let mut rl_policy = train_rl_agent(ctx, &train_tl, &validate_tl, sampler, config, seed);
-    let rl_run = run_policy(&mut rl_policy, &test_tl, sampler, config, seed);
+    let rl_policy = train_rl_agent(ctx, &train_tl, &validate_tl, sampler, config, seed);
+    let rl_run = run_policy(&rl_policy, &test_tl, sampler, config, seed);
 
-    // --- Static baselines and the Oracle ----------------------------------------------
-    let never_run = run_policy(&mut NeverMitigate, &test_tl, sampler, config, seed);
-    let always_run = run_policy(&mut AlwaysMitigate, &test_tl, sampler, config, seed);
-    let mut oracle = OraclePolicy::from_timelines(&test_tl);
-    let oracle_run = run_policy(&mut oracle, &test_tl, sampler, config, seed);
+    // --- Everything else: per-policy fan-out ------------------------------------------
+    // The six remaining policies are immutable once constructed, so their replays fan
+    // out in parallel; each replay further parallelises over node timelines.
+    let oracle = OraclePolicy::from_timelines(&test_tl);
+    let sc20_2_policy = ThresholdRfPolicy::shared(
+        Arc::clone(&forest),
+        perturb_threshold(best_threshold, 0.02),
+        "SC20-RF-2%",
+    );
+    let sc20_5_policy = ThresholdRfPolicy::shared(
+        Arc::clone(&forest),
+        perturb_threshold(best_threshold, 0.05),
+        "SC20-RF-5%",
+    );
+    let myopic = MyopicRfPolicy::new(
+        Arc::unwrap_or_clone(forest),
+        config.mitigation_cost_node_hours(),
+    );
+    let policies: Vec<&(dyn MitigationPolicy + Sync)> = vec![
+        &NeverMitigate,
+        &AlwaysMitigate,
+        &sc20_2_policy,
+        &sc20_5_policy,
+        &myopic,
+        &oracle,
+    ];
+    let mut fanned: Vec<PolicyRun> = policies
+        .into_par_iter()
+        .map(|policy| run_policy(policy, &test_tl, sampler, config, seed))
+        .collect();
+    let oracle_run = fanned.pop().expect("six fanned runs");
+    let myopic_run = fanned.pop().expect("five fanned runs");
+    let sc20_5 = fanned.pop().expect("four fanned runs");
+    let sc20_2 = fanned.pop().expect("three fanned runs");
+    let always_run = fanned.pop().expect("two fanned runs");
+    let never_run = fanned.pop().expect("one fanned run");
 
     SplitOutcome {
         split: spec,
@@ -230,8 +259,14 @@ fn evaluate_split(
     }
 }
 
-/// Train the SC20-RF random forest on the training + validation data of a split.
-fn train_forest(ctx: &ExperimentContext, train_val: &TimelineSet, seed: u64) -> RandomForest {
+/// Train the SC20-RF random forest on the training + validation data of a split,
+/// returning the forest together with the supervised dataset it was fitted on (the
+/// threshold selection reuses the dataset for its data-driven candidate).
+fn train_forest(
+    ctx: &ExperimentContext,
+    train_val: &TimelineSet,
+    seed: u64,
+) -> (RandomForest, Dataset) {
     let (mut dataset, _) = build_rf_dataset_1day(train_val);
     if dataset.is_empty() {
         // Degenerate split (no events before the test part): a forest that always
@@ -244,24 +279,74 @@ fn train_forest(ctx: &ExperimentContext, train_val: &TimelineSet, seed: u64) -> 
         // Under-sampling needs at least one positive; fall back to plain bagging.
         rf_config.undersample_ratio = None;
     }
-    RandomForest::fit(&dataset, &rf_config)
+    let forest = RandomForest::fit(&dataset, &rf_config);
+    (forest, dataset)
 }
 
-/// Scan a threshold grid and return the cost-optimal threshold together with its run.
+/// A data-driven threshold candidate for the SC20-RF scan: sweep every distinct
+/// training-period probability with [`optimal_threshold`]'s incrementally updated
+/// confusion matrix, scoring `FP · mitigation cost + FN · mean UE cost` — `O(n log n)`
+/// over the training samples instead of one full fleet replay per candidate. The mean
+/// UE cost comes from a single policy-independent (Never-mitigate) replay of the
+/// training window.
+fn data_driven_threshold(
+    forest: &RandomForest,
+    train_val_data: &Dataset,
+    train_val_tl: &TimelineSet,
+    sampler: &NodeJobSampler,
+    config: MitigationConfig,
+    seed: u64,
+) -> Option<f64> {
+    if train_val_data.is_empty() || train_val_data.positives() == 0 || train_val_tl.is_empty() {
+        return None;
+    }
+    let baseline = run_policy(&NeverMitigate, train_val_tl, sampler, config, seed);
+    if baseline.ue_count == 0 {
+        return None;
+    }
+    let mean_ue_cost = baseline.ue_cost / baseline.ue_count as f64;
+    let mitigation_cost = config.mitigation_cost_node_hours();
+    let probabilities: Vec<f64> = (0..train_val_data.len())
+        .into_par_iter()
+        .map(|i| forest.predict_proba(train_val_data.features_of(i)))
+        .collect();
+    let (threshold, _) = optimal_threshold(&probabilities, train_val_data.labels(), |c| {
+        c.false_positives as f64 * mitigation_cost + c.false_negatives as f64 * mean_ue_cost
+    });
+    Some(threshold)
+}
+
+/// Scan the threshold candidates — a uniform grid plus the optional data-driven
+/// candidate — and return the cost-optimal threshold together with its run. Every
+/// candidate replays the same policy-independent workload, so the scan fans out in
+/// parallel; the argmin is reduced in candidate order (grid first), keeping ties
+/// deterministic.
 fn select_optimal_threshold(
     ctx: &ExperimentContext,
-    forest: &RandomForest,
+    forest: &Arc<RandomForest>,
+    data_driven: Option<f64>,
     test_tl: &TimelineSet,
     sampler: &NodeJobSampler,
     config: MitigationConfig,
     seed: u64,
 ) -> (f64, PolicyRun) {
     let grid = ctx.budget.threshold_grid.max(2);
+    let mut thresholds: Vec<f64> = (0..grid).map(|i| i as f64 / (grid - 1) as f64).collect();
+    if let Some(extra) = data_driven {
+        if thresholds.iter().all(|&t| (t - extra).abs() > 1e-12) {
+            thresholds.push(extra);
+        }
+    }
+    let candidates: Vec<(f64, PolicyRun)> = thresholds
+        .into_par_iter()
+        .map(|threshold| {
+            let policy = ThresholdRfPolicy::shared(Arc::clone(forest), threshold, "SC20-RF");
+            let run = run_policy(&policy, test_tl, sampler, config, seed);
+            (threshold, run)
+        })
+        .collect();
     let mut best: Option<(f64, PolicyRun)> = None;
-    for i in 0..grid {
-        let threshold = i as f64 / (grid - 1) as f64;
-        let mut policy = ThresholdRfPolicy::new(forest.clone(), threshold, "SC20-RF");
-        let run = run_policy(&mut policy, test_tl, sampler, config, seed);
+    for (threshold, run) in candidates {
         let better = best
             .as_ref()
             .map(|(_, b)| run.total_cost() < b.total_cost())
@@ -275,8 +360,10 @@ fn select_optimal_threshold(
 
 /// Train the RL agent for one split: random hyperparameter search on the training data,
 /// model selection on the validation data (or the training data if the validation range
-/// has no UEs, as in the paper), best agent kept. The wall-clock of the whole search is
-/// charged as the policy's training cost.
+/// has no UEs, as in the paper), best agent kept. The whole search — every candidate
+/// trained, not just the winner — is charged as the policy's training cost, using the
+/// deterministic step-based cost model so results are identical across runs and thread
+/// counts.
 fn train_rl_agent(
     ctx: &ExperimentContext,
     train_tl: &TimelineSet,
@@ -285,7 +372,6 @@ fn train_rl_agent(
     config: MitigationConfig,
     seed: u64,
 ) -> RlPolicy {
-    let start = Instant::now();
     let budget = ctx.budget;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
     let base_agent = AgentConfig::small(STATE_DIM);
@@ -303,28 +389,29 @@ fn train_rl_agent(
     }
 
     let mut best: Option<(HyperParams, RlPolicy, f64)> = None;
-    let evaluate_candidate = |params: HyperParams,
-                                  rng: &mut StdRng,
-                                  best: &mut Option<(HyperParams, RlPolicy, f64)>| {
-        let agent_config = params.apply_to(&base_agent).with_seed(seed);
-        let trainer_config = TrainerConfig {
-            episodes: budget.rl_episodes.max(1),
-            agent: agent_config,
-            mitigation: config,
-            seed: seed ^ u64::from(rng.next_u32()),
+    let mut search_cost_node_hours = 0.0f64;
+    let mut evaluate_candidate =
+        |params: HyperParams, rng: &mut StdRng, best: &mut Option<(HyperParams, RlPolicy, f64)>| {
+            let agent_config = params.apply_to(&base_agent).with_seed(seed);
+            let trainer_config = TrainerConfig {
+                episodes: budget.rl_episodes.max(1),
+                agent: agent_config,
+                mitigation: config,
+                seed: seed ^ u64::from(rng.next_u32()),
+            };
+            let outcome = RlTrainer::new(trainer_config).train(train_tl, sampler);
+            search_cost_node_hours += outcome.training_cost_node_hours();
+            let policy = RlPolicy::new(outcome.agent.clone());
+            let score = if selection_tl.is_empty() {
+                0.0
+            } else {
+                -run_policy(&policy, selection_tl, sampler, config, seed).total_cost()
+            };
+            let better = best.as_ref().map(|(_, _, s)| score > *s).unwrap_or(true);
+            if better {
+                *best = Some((params, RlPolicy::new(outcome.agent), score));
+            }
         };
-        let outcome = RlTrainer::new(trainer_config).train(train_tl, sampler);
-        let mut policy = RlPolicy::new(outcome.agent.clone());
-        let score = if selection_tl.is_empty() {
-            0.0
-        } else {
-            -run_policy(&mut policy, selection_tl, sampler, config, seed).total_cost()
-        };
-        let better = best.as_ref().map(|(_, _, s)| score > *s).unwrap_or(true);
-        if better {
-            *best = Some((params, RlPolicy::new(outcome.agent), score));
-        }
-    };
 
     for params in candidates {
         evaluate_candidate(params, &mut rng, &mut best);
@@ -336,9 +423,8 @@ fn train_rl_agent(
         }
     }
 
-    let training_cost = start.elapsed().as_secs_f64() / 3600.0;
     let (_, policy, _) = best.expect("at least one candidate was evaluated");
-    policy.with_training_cost(training_cost)
+    policy.with_training_cost(search_cost_node_hours)
 }
 
 #[cfg(test)]
@@ -363,7 +449,10 @@ mod tests {
         let never = result.total_for("Never-mitigate").unwrap();
         let always = result.total_for("Always-mitigate").unwrap();
         assert_eq!(never.ue_count, always.ue_count);
-        assert!(never.ue_count > 0, "the synthetic test data must contain UEs");
+        assert!(
+            never.ue_count > 0,
+            "the synthetic test data must contain UEs"
+        );
     }
 
     #[test]
@@ -413,7 +502,12 @@ mod tests {
             }
         }
         // Never-mitigate has undefined precision.
-        assert!(result.totals_for("Never-mitigate").unwrap().metrics.precision().is_none());
+        assert!(result
+            .totals_for("Never-mitigate")
+            .unwrap()
+            .metrics
+            .precision()
+            .is_none());
     }
 
     #[test]

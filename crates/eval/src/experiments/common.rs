@@ -5,6 +5,7 @@ use crate::run::run_policy;
 use crate::scenario::ExperimentContext;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use uerl_core::env::MitigationEnv;
 use uerl_core::event_stream::TimelineSet;
 use uerl_core::policies::{RlPolicy, ThresholdRfPolicy};
@@ -73,37 +74,45 @@ pub fn train_models_on_prefix(ctx: &ExperimentContext, train_fraction: f64) -> T
 
 /// The held-out timelines (after [`TrainedModels::train_end`]).
 pub fn holdout(ctx: &ExperimentContext, models: &TrainedModels) -> TimelineSet {
-    ctx.timelines.slice(models.train_end, ctx.timelines.window_end())
+    ctx.timelines
+        .slice(models.train_end, ctx.timelines.window_end())
 }
 
 /// Replay the held-out timelines without mitigating and collect every observed state.
+/// The per-node replays are independent (seeded by node id only), so they fan out over
+/// rayon; results are flattened in timeline order.
 pub fn collect_states(
     timelines: &TimelineSet,
     sampler: &NodeJobSampler,
     config: MitigationConfig,
     seed: u64,
 ) -> Vec<StateFeatures> {
-    let mut states = Vec::new();
-    for timeline in timelines.timelines() {
-        let mut rng = StdRng::seed_from_u64(seed ^ u64::from(timeline.node().0));
-        let sequence =
-            sampler.sample_sequence(timeline.window_start(), timeline.window_end(), &mut rng);
-        let mut env = MitigationEnv::new(timeline.clone(), sequence, config, false);
-        let mut state = env.reset();
-        while let Some(s) = state {
-            states.push(s.clone());
-            state = env.step(false).next_state;
-        }
-    }
-    states
+    let per_node: Vec<Vec<StateFeatures>> = timelines
+        .timelines()
+        .par_iter()
+        .map(|timeline| {
+            let mut states = Vec::new();
+            let mut rng = StdRng::seed_from_u64(seed ^ u64::from(timeline.node().0));
+            let sequence =
+                sampler.sample_sequence(timeline.window_start(), timeline.window_end(), &mut rng);
+            let mut env = MitigationEnv::new(timeline.clone(), sequence, config, false);
+            let mut state = env.reset();
+            while let Some(s) = state {
+                states.push(s.clone());
+                state = env.step(false).next_state;
+            }
+            states
+        })
+        .collect();
+    per_node.into_iter().flatten().collect()
 }
 
 /// Convenience: the total cost a trained RL policy achieves on the held-out data (used by
 /// tests to sanity-check the helpers).
-pub fn holdout_cost(ctx: &ExperimentContext, models: &mut TrainedModels) -> f64 {
+pub fn holdout_cost(ctx: &ExperimentContext, models: &TrainedModels) -> f64 {
     let holdout_tl = holdout(ctx, models);
     let sampler = ctx.job_sampler(1.0);
-    run_policy(&mut models.rl, &holdout_tl, &sampler, ctx.mitigation, ctx.seed).total_cost()
+    run_policy(&models.rl, &holdout_tl, &sampler, ctx.mitigation, ctx.seed).total_cost()
 }
 
 #[cfg(test)]
@@ -115,7 +124,7 @@ mod tests {
     #[test]
     fn prefix_training_and_state_collection_work_together() {
         let ctx = ExperimentContext::synthetic_small(30, 75, EvalBudget::tiny(), 61);
-        let mut models = train_models_on_prefix(&ctx, 0.5);
+        let models = train_models_on_prefix(&ctx, 0.5);
         assert!(models.train_end > ctx.timelines.window_start());
         assert!(models.train_end < ctx.timelines.window_end());
         assert!(models.rl.training_cost_node_hours() > 0.0);
@@ -130,7 +139,7 @@ mod tests {
         let probe = models.rf_probe();
         let p = probe.probability(&states[0]);
         assert!((0.0..=1.0).contains(&p));
-        let cost = holdout_cost(&ctx, &mut models);
+        let cost = holdout_cost(&ctx, &models);
         assert!(cost >= 0.0);
         let _ = models.rl.decide(&states[0]);
     }

@@ -5,6 +5,7 @@
 use crate::evaluator::{EvaluationResult, Evaluator, POLICY_ORDER};
 use crate::report::{format_table, node_hours, percent};
 use crate::scenario::ExperimentContext;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One bar of Figure 3.
@@ -47,7 +48,9 @@ impl Fig3Result {
     /// Section 5.1 headline: `(reduction of RL vs Never-mitigate, RL excess over Oracle)`
     /// at the given mitigation cost, both as fractions.
     pub fn headline(&self, mitigation_cost_minutes: f64) -> Option<(f64, f64)> {
-        let never = self.row("Never-mitigate", mitigation_cost_minutes)?.total_cost();
+        let never = self
+            .row("Never-mitigate", mitigation_cost_minutes)?
+            .total_cost();
         let rl = self.row("RL", mitigation_cost_minutes)?.total_cost();
         let oracle = self.row("Oracle", mitigation_cost_minutes)?.total_cost();
         if never <= 0.0 || oracle <= 0.0 {
@@ -73,7 +76,13 @@ impl Fig3Result {
             .collect();
         let mut out = format!("Figure 3 — total cost ({})\n", self.label);
         out.push_str(&format_table(
-            &["mit. cost (node-min)", "policy", "UE cost (nh)", "mitigation (nh)", "total (nh)"],
+            &[
+                "mit. cost (node-min)",
+                "policy",
+                "UE cost (nh)",
+                "mitigation (nh)",
+                "total (nh)",
+            ],
             &rows,
         ));
         if let Some((reduction, gap)) = self.headline(2.0) {
@@ -87,16 +96,23 @@ impl Fig3Result {
     }
 }
 
-/// Run Figure 3: evaluate the context at each mitigation cost.
+/// Run Figure 3: evaluate the context at each mitigation cost. The cost scenarios are
+/// independent evaluations of the same logs, so they fan out in parallel; rows keep the
+/// input cost order.
 pub fn run(ctx: &ExperimentContext, mitigation_costs_minutes: &[f64]) -> Fig3Result {
+    let per_cost: Vec<(f64, EvaluationResult)> = mitigation_costs_minutes
+        .par_iter()
+        .map(|&cost| {
+            let scenario = ctx.with_mitigation_cost_minutes(cost);
+            (cost, Evaluator::new().evaluate(&scenario))
+        })
+        .collect();
     let mut rows = Vec::new();
-    for &cost in mitigation_costs_minutes {
-        let scenario = ctx.with_mitigation_cost_minutes(cost);
-        let result: EvaluationResult = Evaluator::new().evaluate(&scenario);
+    for (cost, result) in &per_cost {
         for &policy in POLICY_ORDER.iter() {
             let run = result.total_for(policy).expect("every policy is evaluated");
             rows.push(Fig3Row {
-                mitigation_cost_minutes: cost,
+                mitigation_cost_minutes: *cost,
                 policy: policy.to_string(),
                 ue_cost: run.ue_cost,
                 mitigation_cost: run.mitigation_cost,
@@ -128,6 +144,6 @@ mod tests {
         assert!(rendered.contains("Figure 3"));
         assert!(rendered.contains("Never-mitigate"));
         let (reduction, _gap) = result.headline(2.0).unwrap();
-        assert!(reduction >= -1.0 && reduction <= 1.0);
+        assert!((-1.0..=1.0).contains(&reduction));
     }
 }

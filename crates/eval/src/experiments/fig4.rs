@@ -40,7 +40,9 @@ pub struct Fig4Result {
 impl Fig4Result {
     /// The cell for a split and policy.
     pub fn cell(&self, split: usize, policy: &str) -> Option<&Fig4Cell> {
-        self.cells.iter().find(|c| c.split == split && c.policy == policy)
+        self.cells
+            .iter()
+            .find(|c| c.split == split && c.policy == policy)
     }
 
     /// Sum over splits for one policy (matches the corresponding Figure 3 bar).

@@ -5,6 +5,7 @@
 use crate::evaluator::{Evaluator, POLICY_ORDER};
 use crate::report::{format_table, node_hours};
 use crate::scenario::ExperimentContext;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use uerl_trace::types::Manufacturer;
 
@@ -61,7 +62,13 @@ impl Fig5Result {
         format!(
             "Figure 5 — total cost per DRAM manufacturer\n{}",
             format_table(
-                &["scenario", "policy", "UE cost (nh)", "mitigation (nh)", "total (nh)"],
+                &[
+                    "scenario",
+                    "policy",
+                    "UE cost (nh)",
+                    "mitigation (nh)",
+                    "total (nh)"
+                ],
                 &rows
             )
         )
@@ -84,21 +91,30 @@ pub fn run(ctx: &ExperimentContext) -> Fig5Result {
         }
     };
 
-    let all = Evaluator::new().evaluate(ctx);
-    push_result("MN/All", &all);
-
-    let mut abc_totals: Vec<(f64, f64)> = vec![(0.0, 0.0); POLICY_ORDER.len()];
+    // The whole-fleet scenario and the per-manufacturer restrictions are independent
+    // evaluations; fan them out in parallel, keeping the scenario order.
+    let mut scenarios: Vec<ExperimentContext> = vec![ctx.clone()];
+    scenarios[0].label = "MN/All".to_string();
     for manufacturer in Manufacturer::ALL {
         let sub_ctx = ctx.restricted_to_manufacturer(manufacturer);
-        if sub_ctx.timelines.is_empty() {
-            continue;
+        if !sub_ctx.timelines.is_empty() {
+            scenarios.push(sub_ctx);
         }
-        let result = Evaluator::new().evaluate(&sub_ctx);
-        push_result(&sub_ctx.label, &result);
-        for (i, &policy) in POLICY_ORDER.iter().enumerate() {
-            if let Some(run) = result.total_for(policy) {
-                abc_totals[i].0 += run.ue_cost;
-                abc_totals[i].1 += run.mitigation_cost;
+    }
+    let results: Vec<_> = scenarios
+        .par_iter()
+        .map(|scenario| Evaluator::new().evaluate(scenario))
+        .collect();
+
+    let mut abc_totals: Vec<(f64, f64)> = vec![(0.0, 0.0); POLICY_ORDER.len()];
+    for (scenario, result) in scenarios.iter().zip(&results) {
+        push_result(&scenario.label, result);
+        if scenario.label != "MN/All" {
+            for (i, &policy) in POLICY_ORDER.iter().enumerate() {
+                if let Some(run) = result.total_for(policy) {
+                    abc_totals[i].0 += run.ue_cost;
+                    abc_totals[i].1 += run.mitigation_cost;
+                }
             }
         }
     }

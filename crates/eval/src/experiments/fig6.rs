@@ -77,7 +77,7 @@ impl Fig6Result {
 /// (the paper's 10^4–10^6 node-hour region).
 pub fn run(ctx: &ExperimentContext, cost_bins: usize, prob_bins: usize) -> Fig6Result {
     assert!(cost_bins >= 2 && prob_bins >= 2, "need at least 2x2 bins");
-    let mut models = train_models_on_prefix(ctx, 0.75);
+    let models = train_models_on_prefix(ctx, 0.75);
     let holdout_tl = holdout(ctx, &models);
     let sampler = ctx.job_sampler(1.0);
     let states = collect_states(&holdout_tl, &sampler, ctx.mitigation, ctx.seed);

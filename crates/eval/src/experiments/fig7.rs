@@ -5,6 +5,7 @@
 use crate::evaluator::{Evaluator, POLICY_ORDER};
 use crate::report::{format_table, node_hours};
 use crate::scenario::ExperimentContext;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One point of Figure 7 (one policy at one scaling factor).
@@ -69,7 +70,12 @@ impl Fig7Result {
             "Figure 7 — job-size sensitivity ({})\n{}",
             self.label,
             format_table(
-                &["scaling", "policy", "total cost (nh) [7a]", "mitigation cost (nh) [7b]"],
+                &[
+                    "scaling",
+                    "policy",
+                    "total cost (nh) [7a]",
+                    "mitigation cost (nh) [7b]"
+                ],
                 &rows
             )
         )
@@ -77,14 +83,24 @@ impl Fig7Result {
 }
 
 /// Run Figure 7 over the given scaling factors (the paper uses 0.1, 0.3, 1, 3 and 10).
+/// The scaling scenarios are independent, so they fan out in parallel; points keep the
+/// input scaling order.
 pub fn run(ctx: &ExperimentContext, scalings: &[f64]) -> Fig7Result {
+    let per_scaling: Vec<_> = scalings
+        .par_iter()
+        .map(|&scaling| {
+            (
+                scaling,
+                Evaluator::new().with_job_scaling(scaling).evaluate(ctx),
+            )
+        })
+        .collect();
     let mut points = Vec::new();
-    for &scaling in scalings {
-        let result = Evaluator::new().with_job_scaling(scaling).evaluate(ctx);
+    for (scaling, result) in &per_scaling {
         for &policy in POLICY_ORDER.iter() {
             let run = result.total_for(policy).expect("every policy is evaluated");
             points.push(Fig7Point {
-                scaling,
+                scaling: *scaling,
                 policy: policy.to_string(),
                 ue_cost: run.ue_cost,
                 mitigation_cost: run.mitigation_cost,
@@ -114,9 +130,18 @@ mod tests {
             "unmitigated cost must grow roughly with the scaling factor ({never_small} -> {never_large})"
         );
         // Static policies have scaling-independent mitigation cost; Never-mitigate's is 0.
-        assert_eq!(result.point("Never-mitigate", 3.0).unwrap().mitigation_cost, 0.0);
-        let always_small = result.point("Always-mitigate", 0.3).unwrap().mitigation_cost;
-        let always_large = result.point("Always-mitigate", 3.0).unwrap().mitigation_cost;
+        assert_eq!(
+            result.point("Never-mitigate", 3.0).unwrap().mitigation_cost,
+            0.0
+        );
+        let always_small = result
+            .point("Always-mitigate", 0.3)
+            .unwrap()
+            .mitigation_cost;
+        let always_large = result
+            .point("Always-mitigate", 3.0)
+            .unwrap()
+            .mitigation_cost;
         assert!((always_small - always_large).abs() < 1e-6);
         assert!(result.render().contains("Figure 7"));
     }

@@ -57,7 +57,16 @@ impl Table2Result {
         format!(
             "Table 2 — classical machine-learning metrics\n{}",
             format_table(
-                &["approach", "TPs", "FNs", "FPs", "TNs", "mitigations", "recall", "precision"],
+                &[
+                    "approach",
+                    "TPs",
+                    "FNs",
+                    "FPs",
+                    "TNs",
+                    "mitigations",
+                    "recall",
+                    "precision"
+                ],
                 &rows
             )
         )
@@ -105,7 +114,7 @@ pub fn run(ctx: &ExperimentContext) -> Table2Result {
 
     // Rows 7–9: the RL agent queried with potential UE costs drawn uniformly from each
     // range, mirroring the paper's "uniformly randomly distributed ranges of UE costs".
-    let mut models = train_models_on_prefix(ctx, 0.75);
+    let models = train_models_on_prefix(ctx, 0.75);
     let holdout_tl = holdout(ctx, &models);
     let sampler = ctx.job_sampler(1.0);
     let states = collect_states(&holdout_tl, &sampler, ctx.mitigation, ctx.seed);
@@ -178,9 +187,13 @@ mod tests {
             assert!(p > 0.3, "oracle precision {p}");
         }
         // All approaches saw the same number of UEs in the cross-validated rows.
-        let ue_total =
-            never.metrics.true_positives + never.metrics.false_negatives;
-        for name in ["Always-mitigate", "SC20-RF", "Myopic-RF", "RL (MN4 job distribution)"] {
+        let ue_total = never.metrics.true_positives + never.metrics.false_negatives;
+        for name in [
+            "Always-mitigate",
+            "SC20-RF",
+            "Myopic-RF",
+            "RL (MN4 job distribution)",
+        ] {
             let m = &result.row(name).unwrap().metrics;
             assert_eq!(m.true_positives + m.false_negatives, ue_total, "{name}");
         }

@@ -3,14 +3,20 @@
 //! Fairness requirement: every policy must see exactly the same workload. The job
 //! sequence assigned to a node is therefore derived from a seed that depends only on the
 //! evaluation seed and the node id, never on the policy.
+//!
+//! That same contract is what makes the rollouts embarrassingly parallel: each node's
+//! job sequence and RNG are fully determined by `(seed, node_id)`, so [`run_policy`]
+//! fans the timelines out over rayon and merges the per-node results in timeline order —
+//! the outcome is bit-identical at any thread count.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use uerl_core::env::MitigationEnv;
 use uerl_core::event_stream::TimelineSet;
 use uerl_core::policy::MitigationPolicy;
 use uerl_core::MitigationConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use uerl_jobs::schedule::NodeJobSampler;
 use uerl_trace::types::{NodeId, SimTime};
 
@@ -68,7 +74,10 @@ impl PolicyRun {
     /// # Panics
     /// Panics if the runs belong to different policies.
     pub fn merge(&mut self, other: &PolicyRun) {
-        assert_eq!(self.policy, other.policy, "cannot merge runs of different policies");
+        assert_eq!(
+            self.policy, other.policy,
+            "cannot merge runs of different policies"
+        );
         self.mitigations += other.mitigations;
         self.non_mitigations += other.non_mitigations;
         self.mitigation_cost += other.mitigation_cost;
@@ -99,13 +108,15 @@ fn node_seed(seed: u64, node: NodeId) -> u64 {
     seed ^ (u64::from(node.0).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Evaluate a policy over every timeline in `timelines`.
+/// Evaluate a policy over every timeline in `timelines`, fanning the per-node rollouts
+/// out over rayon. Results are merged in timeline order, so the run is bit-identical at
+/// any thread count.
 ///
 /// The policy's `training_cost_node_hours` is added to the mitigation cost once, as in
 /// the paper's accounting ("the total cost of the mitigation actions plus ... the cost of
 /// all training and validation used to create the model").
-pub fn run_policy(
-    policy: &mut dyn MitigationPolicy,
+pub fn run_policy<P: MitigationPolicy + Sync + ?Sized>(
+    policy: &P,
     timelines: &TimelineSet,
     jobs: &NodeJobSampler,
     config: MitigationConfig,
@@ -114,31 +125,46 @@ pub fn run_policy(
     let mut run = PolicyRun::empty(policy.name().to_string());
     run.mitigation_cost += policy.training_cost_node_hours();
 
-    for timeline in timelines.timelines() {
-        let mut rng = StdRng::seed_from_u64(node_seed(seed, timeline.node()));
-        let sequence = jobs.sample_sequence(timeline.window_start(), timeline.window_end(), &mut rng);
-        let mut env = MitigationEnv::new(timeline.clone(), sequence, config, false);
-        let mut state = env.reset();
-        while let Some(s) = state {
-            let mitigate = policy.decide(&s);
-            let outcome = env.step(mitigate);
-            state = outcome.next_state;
-        }
-        run.mitigations += env.mitigation_count();
-        run.non_mitigations += env.decisions().iter().filter(|(_, m)| !m).count() as u64;
-        run.mitigation_cost += env.total_mitigation_cost();
-        run.ue_count += env.ue_count();
-        run.ue_cost += env.total_ue_cost();
-        run.decisions.extend(env.decisions().iter().map(|&(time, mitigated)| Decision {
-            node: timeline.node(),
-            time,
-            mitigated,
-        }));
-        run.ue_events.extend(env.ue_records().iter().map(|r| UeEvent {
-            node: timeline.node(),
-            time: r.time,
-            cost: r.cost,
-        }));
+    let partials: Vec<PolicyRun> = timelines
+        .timelines()
+        .par_iter()
+        .map(|timeline| {
+            let mut partial = PolicyRun::empty(run.policy.clone());
+            let mut rng = StdRng::seed_from_u64(node_seed(seed, timeline.node()));
+            let sequence =
+                jobs.sample_sequence(timeline.window_start(), timeline.window_end(), &mut rng);
+            let mut env = MitigationEnv::new(timeline.clone(), sequence, config, false);
+            let mut state = env.reset();
+            while let Some(s) = state {
+                let mitigate = policy.decide(&s);
+                let outcome = env.step(mitigate);
+                state = outcome.next_state;
+            }
+            partial.mitigations = env.mitigation_count();
+            partial.non_mitigations = env.decisions().iter().filter(|(_, m)| !m).count() as u64;
+            partial.mitigation_cost = env.total_mitigation_cost();
+            partial.ue_count = env.ue_count();
+            partial.ue_cost = env.total_ue_cost();
+            partial
+                .decisions
+                .extend(env.decisions().iter().map(|&(time, mitigated)| Decision {
+                    node: timeline.node(),
+                    time,
+                    mitigated,
+                }));
+            partial
+                .ue_events
+                .extend(env.ue_records().iter().map(|r| UeEvent {
+                    node: timeline.node(),
+                    time: r.time,
+                    cost: r.cost,
+                }));
+            partial
+        })
+        .collect();
+
+    for partial in &partials {
+        run.merge(partial);
     }
     run
 }
@@ -146,8 +172,8 @@ pub fn run_policy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uerl_core::policies::{AlwaysMitigate, NeverMitigate, OraclePolicy};
     use uerl_core::event_stream::TimelineSet;
+    use uerl_core::policies::{AlwaysMitigate, NeverMitigate, OraclePolicy};
     use uerl_jobs::{JobLogConfig, JobTraceGenerator};
     use uerl_trace::generator::{SyntheticLogConfig, TraceGenerator};
     use uerl_trace::reduction::preprocess;
@@ -163,7 +189,7 @@ mod tests {
     fn never_mitigate_has_zero_mitigation_cost_and_full_ue_cost() {
         let (timelines, jobs) = inputs(21);
         let run = run_policy(
-            &mut NeverMitigate,
+            &NeverMitigate,
             &timelines,
             &jobs,
             MitigationConfig::paper_default(),
@@ -181,17 +207,22 @@ mod tests {
     fn always_mitigate_reduces_ue_cost_but_pays_for_every_event() {
         let (timelines, jobs) = inputs(22);
         let config = MitigationConfig::paper_default();
-        let never = run_policy(&mut NeverMitigate, &timelines, &jobs, config, 7);
-        let always = run_policy(&mut AlwaysMitigate, &timelines, &jobs, config, 7);
-        assert!(always.ue_cost < never.ue_cost, "mitigating must reduce the UE cost");
-        assert_eq!(always.ue_count, never.ue_count, "the UEs themselves still happen");
+        let never = run_policy(&NeverMitigate, &timelines, &jobs, config, 7);
+        let always = run_policy(&AlwaysMitigate, &timelines, &jobs, config, 7);
+        assert!(
+            always.ue_cost < never.ue_cost,
+            "mitigating must reduce the UE cost"
+        );
+        assert_eq!(
+            always.ue_count, never.ue_count,
+            "the UEs themselves still happen"
+        );
         assert_eq!(
             always.mitigations,
             always.decisions.len() as u64,
             "every decision is a mitigation"
         );
-        let expected_cost =
-            always.mitigations as f64 * config.mitigation_cost_node_hours();
+        let expected_cost = always.mitigations as f64 * config.mitigation_cost_node_hours();
         assert!((always.mitigation_cost - expected_cost).abs() < 1e-6);
     }
 
@@ -199,23 +230,26 @@ mod tests {
     fn same_seed_gives_identical_workloads_across_policies() {
         let (timelines, jobs) = inputs(23);
         let config = MitigationConfig::paper_default();
-        let a = run_policy(&mut NeverMitigate, &timelines, &jobs, config, 99);
-        let b = run_policy(&mut NeverMitigate, &timelines, &jobs, config, 99);
+        let a = run_policy(&NeverMitigate, &timelines, &jobs, config, 99);
+        let b = run_policy(&NeverMitigate, &timelines, &jobs, config, 99);
         assert_eq!(a, b);
         // The UE events (and their costs) must be identical for any non-mitigating pair
         // of runs with the same seed, because the workload is policy-independent.
-        let c = run_policy(&mut NeverMitigate, &timelines, &jobs, config, 100);
-        assert_ne!(a.ue_cost, c.ue_cost, "a different seed draws different jobs");
+        let c = run_policy(&NeverMitigate, &timelines, &jobs, config, 100);
+        assert_ne!(
+            a.ue_cost, c.ue_cost,
+            "a different seed draws different jobs"
+        );
     }
 
     #[test]
     fn oracle_beats_always_mitigate_on_total_cost() {
         let (timelines, jobs) = inputs(24);
         let config = MitigationConfig::paper_default();
-        let mut oracle = OraclePolicy::from_timelines(&timelines);
-        let oracle_run = run_policy(&mut oracle, &timelines, &jobs, config, 7);
-        let always = run_policy(&mut AlwaysMitigate, &timelines, &jobs, config, 7);
-        let never = run_policy(&mut NeverMitigate, &timelines, &jobs, config, 7);
+        let oracle = OraclePolicy::from_timelines(&timelines);
+        let oracle_run = run_policy(&oracle, &timelines, &jobs, config, 7);
+        let always = run_policy(&AlwaysMitigate, &timelines, &jobs, config, 7);
+        let never = run_policy(&NeverMitigate, &timelines, &jobs, config, 7);
         assert!(oracle_run.total_cost() <= always.total_cost());
         assert!(oracle_run.total_cost() <= never.total_cost());
         assert!(oracle_run.mitigations <= always.mitigations);
@@ -228,7 +262,7 @@ mod tests {
             fn name(&self) -> &str {
                 "costly"
             }
-            fn decide(&mut self, _: &uerl_core::StateFeatures) -> bool {
+            fn decide(&self, _: &uerl_core::StateFeatures) -> bool {
                 false
             }
             fn training_cost_node_hours(&self) -> f64 {
@@ -237,7 +271,7 @@ mod tests {
         }
         let (timelines, jobs) = inputs(25);
         let run = run_policy(
-            &mut Costly,
+            &Costly,
             &timelines,
             &jobs,
             MitigationConfig::paper_default(),

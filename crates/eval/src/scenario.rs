@@ -117,9 +117,11 @@ impl ExperimentContext {
     /// A small synthetic context for tests and examples: a dense-fault fleet over a few
     /// months, so every cross-validation part contains errors.
     pub fn synthetic_small(nodes: u32, days: i64, budget: EvalBudget, seed: u64) -> Self {
-        let error_log = TraceGenerator::new(SyntheticLogConfig::small(nodes, days, seed)).generate();
+        let error_log =
+            TraceGenerator::new(SyntheticLogConfig::small(nodes, days, seed)).generate();
         let job_log =
-            JobTraceGenerator::new(JobLogConfig::small(nodes.max(16), days.min(60), seed)).generate();
+            JobTraceGenerator::new(JobLogConfig::small(nodes.max(16), days.min(60), seed))
+                .generate();
         Self::from_logs(
             error_log,
             job_log,
@@ -199,7 +201,10 @@ mod tests {
         let ctx = ctx();
         assert_eq!(ctx.label, "Synthetic/Small");
         assert!(!ctx.timelines.is_empty());
-        assert!(ctx.timelines.total_fatal() > 0, "the test fleet must produce UEs");
+        assert!(
+            ctx.timelines.total_fatal() > 0,
+            "the test fleet must produce UEs"
+        );
         // Burst reduction ran: no node has two fatal events within a week.
         for t in ctx.timelines.timelines() {
             let fatal: Vec<_> = t.events().iter().filter(|e| e.fatal).collect();
@@ -222,7 +227,12 @@ mod tests {
         let base = ctx();
         let total_nodes: usize = Manufacturer::ALL
             .iter()
-            .map(|&m| base.restricted_to_manufacturer(m).error_log.fleet().node_count())
+            .map(|&m| {
+                base.restricted_to_manufacturer(m)
+                    .error_log
+                    .fleet()
+                    .node_count()
+            })
             .sum();
         assert_eq!(total_nodes, base.error_log.fleet().node_count());
         let a = base.restricted_to_manufacturer(Manufacturer::A);

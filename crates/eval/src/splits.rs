@@ -104,7 +104,11 @@ mod tests {
         assert_eq!(splits.last().unwrap().test.1, SimTime::from_days(730));
         // Each test part is roughly four months.
         for s in &splits[1..] {
-            assert!((s.test_days() - 121.0).abs() < 2.0, "part length {}", s.test_days());
+            assert!(
+                (s.test_days() - 121.0).abs() < 2.0,
+                "part length {}",
+                s.test_days()
+            );
         }
     }
 
@@ -123,7 +127,10 @@ mod tests {
         let splits = two_year_splits();
         for s in &splits[1..] {
             assert_eq!(s.train.0, SimTime::ZERO);
-            assert_eq!(s.validate.1, s.test.0, "validation ends where the test part begins");
+            assert_eq!(
+                s.validate.1, s.test.0,
+                "validation ends where the test part begins"
+            );
             // 75/25 division of the available history.
             let available = (s.test.0 - SimTime::ZERO) as f64;
             let train_len = (s.train.1 - s.train.0) as f64;

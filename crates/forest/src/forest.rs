@@ -1,11 +1,22 @@
 //! Bootstrap-aggregated random forests with probability output.
+//!
+//! Trees are fitted in parallel (rayon fan-out): each tree derives its own RNG from the
+//! forest seed and its tree index, so the fitted forest is **bit-identical at any thread
+//! count** — the per-tree work is a pure function of `(dataset, config, tree_idx)`.
+//! Per-tree under-sampling and bootstrap resampling are expressed as index views over
+//! the shared dataset; no tree ever copies the feature matrix.
 
 use crate::dataset::Dataset;
-use crate::sampling::undersample;
+use crate::sampling::undersample_indices;
 use crate::tree::{DecisionTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Golden-ratio multiplier decorrelating per-tree seeds (same mixer the evaluation
+/// harness uses for per-node job seeds).
+const TREE_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Configuration of a random forest.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -81,30 +92,44 @@ impl RandomForest {
     /// # Panics
     /// Panics if the dataset is empty or the configuration requests zero trees.
     pub fn fit(dataset: &Dataset, config: &RandomForestConfig) -> Self {
-        assert!(!dataset.is_empty(), "cannot fit a forest to an empty dataset");
+        assert!(
+            !dataset.is_empty(),
+            "cannot fit a forest to an empty dataset"
+        );
         assert!(config.n_trees > 0, "need at least one tree");
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut trees = Vec::with_capacity(config.n_trees);
-        for _ in 0..config.n_trees {
-            // Per-tree under-sampling first (keeps all positives), then bootstrap.
-            let balanced = match config.undersample_ratio {
-                Some(ratio) => undersample(dataset, ratio, &mut rng),
-                None => dataset.clone(),
-            };
-            let training = if config.bootstrap {
-                let indices: Vec<usize> = (0..balanced.len())
-                    .map(|_| rng.gen_range(0..balanced.len()))
-                    .collect();
-                balanced.subset(&indices)
-            } else {
-                balanced
-            };
-            trees.push(DecisionTree::fit(&training, &config.tree, &mut rng));
-        }
+        let trees: Vec<DecisionTree> = (0..config.n_trees)
+            .into_par_iter()
+            .map(|tree_idx| Self::fit_one_tree(dataset, config, tree_idx))
+            .collect();
         Self {
             trees,
             n_features: dataset.n_features(),
         }
+    }
+
+    /// Fit tree `tree_idx` of a forest: a pure function of `(dataset, config, tree_idx)`
+    /// so the parallel fan-out is deterministic at any thread count.
+    fn fit_one_tree(
+        dataset: &Dataset,
+        config: &RandomForestConfig,
+        tree_idx: usize,
+    ) -> DecisionTree {
+        let tree_seed = config.seed ^ (tree_idx as u64).wrapping_mul(TREE_SEED_MIX);
+        let mut rng = StdRng::seed_from_u64(tree_seed);
+        // Per-tree under-sampling first (keeps all positives), then bootstrap — both as
+        // index views over the shared dataset, never copying feature rows.
+        let balanced: Vec<usize> = match config.undersample_ratio {
+            Some(ratio) => undersample_indices(dataset, ratio, &mut rng),
+            None => (0..dataset.len()).collect(),
+        };
+        let training: Vec<usize> = if config.bootstrap {
+            (0..balanced.len())
+                .map(|_| balanced[rng.gen_range(0..balanced.len())])
+                .collect()
+        } else {
+            balanced
+        };
+        DecisionTree::fit_with_indices(dataset, &training, &config.tree, &mut rng)
     }
 
     /// Number of trees.
@@ -120,15 +145,13 @@ impl RandomForest {
     /// Predicted probability of the positive class: the mean of the per-tree leaf
     /// probabilities.
     pub fn predict_proba(&self, features: &[f64]) -> f64 {
-        let sum: f64 = self
-            .trees
-            .iter()
-            .map(|t| t.predict_proba(features))
-            .sum();
+        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(features)).sum();
         sum / self.trees.len() as f64
     }
 
-    /// Predicted probabilities for a batch of samples.
+    /// Predicted probabilities for a batch of samples. Serial on purpose: callers on
+    /// hot paths (e.g. the evaluator's data-driven threshold sweep) parallelise at
+    /// their own level, where the fan-out shape is known.
     pub fn predict_proba_batch(&self, samples: &[Vec<f64>]) -> Vec<f64> {
         samples.iter().map(|s| self.predict_proba(s)).collect()
     }
@@ -177,6 +200,26 @@ mod tests {
             let p = forest.predict_proba(&x);
             assert!((0.0..=1.0).contains(&p), "p = {p}");
         }
+    }
+
+    #[test]
+    fn fitting_is_bit_identical_across_thread_counts() {
+        let d = imbalanced(800);
+        let config = RandomForestConfig::small(9);
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let four = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let serial = one.install(|| RandomForest::fit(&d, &config));
+        let parallel = four.install(|| RandomForest::fit(&d, &config));
+        assert_eq!(
+            serial, parallel,
+            "forest must not depend on the thread count"
+        );
     }
 
     #[test]

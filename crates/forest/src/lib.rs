@@ -26,6 +26,6 @@ pub mod tree;
 
 pub use dataset::Dataset;
 pub use forest::{RandomForest, RandomForestConfig};
-pub use sampling::undersample;
-pub use threshold::{optimal_threshold, perturb_threshold};
+pub use sampling::{undersample, undersample_indices};
+pub use threshold::{optimal_threshold, perturb_threshold, Confusion};
 pub use tree::{DecisionTree, TreeConfig};

@@ -3,35 +3,63 @@
 //! The SC20-RF baseline handles the extreme UE/event class imbalance (3.5 orders of
 //! magnitude) by random under-sampling: all positive samples are kept and the negatives
 //! are randomly thinned until the requested negative:positive ratio is reached.
+//!
+//! [`undersample_indices`] is the zero-copy form used by forest fitting: it returns the
+//! kept sample indices instead of materialising a new dataset, so per-tree resamples
+//! never copy the feature matrix.
 
 use crate::dataset::Dataset;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-/// Randomly under-sample the negative class to at most `ratio` negatives per positive.
+/// Indices of an under-sampled view: all positives, plus negatives randomly thinned to
+/// at most `ratio` negatives per positive. Returned sorted ascending, matching the
+/// sample order a materialised [`undersample`] would produce.
 ///
-/// All positives are kept. If the dataset already satisfies the ratio (or has no
-/// positives at all), it is returned unchanged.
+/// If the dataset already satisfies the ratio (or has no positives at all), the identity
+/// index list is returned.
 ///
 /// # Panics
 /// Panics if `ratio` is not strictly positive.
-pub fn undersample<R: Rng + ?Sized>(dataset: &Dataset, ratio: f64, rng: &mut R) -> Dataset {
+pub fn undersample_indices<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    ratio: f64,
+    rng: &mut R,
+) -> Vec<usize> {
     assert!(ratio > 0.0 && ratio.is_finite(), "ratio must be positive");
-    let positives: Vec<usize> = (0..dataset.len()).filter(|&i| dataset.label_of(i)).collect();
-    let mut negatives: Vec<usize> = (0..dataset.len()).filter(|&i| !dataset.label_of(i)).collect();
+    let positives: Vec<usize> = (0..dataset.len())
+        .filter(|&i| dataset.label_of(i))
+        .collect();
+    let mut negatives: Vec<usize> = (0..dataset.len())
+        .filter(|&i| !dataset.label_of(i))
+        .collect();
     if positives.is_empty() {
-        return dataset.clone();
+        return (0..dataset.len()).collect();
     }
     let keep_negatives = ((positives.len() as f64 * ratio).round() as usize).max(1);
     if negatives.len() <= keep_negatives {
-        return dataset.clone();
+        return (0..dataset.len()).collect();
     }
     negatives.shuffle(rng);
     negatives.truncate(keep_negatives);
     let mut indices = positives;
     indices.extend(negatives);
     indices.sort_unstable();
-    dataset.subset(&indices)
+    indices
+}
+
+/// Randomly under-sample the negative class to at most `ratio` negatives per positive,
+/// materialising the result as a new dataset.
+///
+/// All positives are kept. If the dataset already satisfies the ratio (or has no
+/// positives at all), it is returned unchanged. Forest fitting uses the index-based
+/// [`undersample_indices`] instead, which draws the identical subsample for the same
+/// RNG state without copying any feature data.
+///
+/// # Panics
+/// Panics if `ratio` is not strictly positive.
+pub fn undersample<R: Rng + ?Sized>(dataset: &Dataset, ratio: f64, rng: &mut R) -> Dataset {
+    dataset.subset(&undersample_indices(dataset, ratio, rng))
 }
 
 #[cfg(test)]
@@ -78,11 +106,24 @@ mod tests {
     }
 
     #[test]
-    fn no_positives_returns_clone() {
+    fn no_positives_returns_identity() {
         let d = imbalanced(20, 0);
         let mut rng = StdRng::seed_from_u64(4);
         let out = undersample(&d, 1.0, &mut rng);
         assert_eq!(out.len(), 20);
+        let idx = undersample_indices(&d, 1.0, &mut StdRng::seed_from_u64(4));
+        assert_eq!(idx, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indices_match_materialised_subsample() {
+        let d = imbalanced(200, 8);
+        let idx = undersample_indices(&d, 1.0, &mut StdRng::seed_from_u64(11));
+        let materialised = undersample(&d, 1.0, &mut StdRng::seed_from_u64(11));
+        assert_eq!(d.subset(&idx), materialised);
+        // Sorted ascending and within bounds.
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.iter().all(|&i| i < d.len()));
     }
 
     #[test]

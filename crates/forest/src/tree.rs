@@ -1,4 +1,11 @@
 //! CART decision trees with Gini impurity.
+//!
+//! Fitting is allocation-lean: the tree works on an *index view* over one shared
+//! [`Dataset`] (so bootstrap/under-sampled trees never copy the feature matrix), and
+//! every feature column is sorted **once per tree**. At each split the per-feature
+//! sorted orders are maintained by a stable partition into a reused scratch buffer —
+//! `O(features · n)` per node instead of the `O(mtry · n log n)` full re-sort the
+//! previous implementation paid at every node.
 
 use crate::dataset::Dataset;
 use rand::seq::SliceRandom;
@@ -49,19 +56,38 @@ pub struct DecisionTree {
 }
 
 impl DecisionTree {
-    /// Fit a tree to a dataset.
+    /// Fit a tree to a full dataset.
     ///
     /// # Panics
     /// Panics if the dataset is empty.
     pub fn fit<R: Rng + ?Sized>(dataset: &Dataset, config: &TreeConfig, rng: &mut R) -> Self {
         assert!(!dataset.is_empty(), "cannot fit a tree to an empty dataset");
         let indices: Vec<usize> = (0..dataset.len()).collect();
-        let mut tree = Self {
-            nodes: Vec::new(),
+        Self::fit_with_indices(dataset, &indices, config, rng)
+    }
+
+    /// Fit a tree to the samples selected by `samples` (duplicates allowed — this is how
+    /// bootstrap resamples are expressed without copying the dataset).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or the dataset is empty.
+    pub fn fit_with_indices<R: Rng + ?Sized>(
+        dataset: &Dataset,
+        samples: &[usize],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit a tree to an empty dataset");
+        assert!(
+            !samples.is_empty(),
+            "cannot fit a tree to an empty sample view"
+        );
+        let mut builder = TreeBuilder::new(dataset, samples, config);
+        builder.build(0, samples.len(), 0, rng);
+        DecisionTree {
+            nodes: builder.nodes,
             n_features: dataset.n_features(),
-        };
-        tree.build(dataset, &indices, config, 0, rng);
-        tree
+        }
     }
 
     /// Number of nodes in the tree.
@@ -91,7 +117,11 @@ impl DecisionTree {
     /// # Panics
     /// Panics if the feature dimension does not match the training data.
     pub fn predict_proba(&self, features: &[f64]) -> f64 {
-        assert_eq!(features.len(), self.n_features, "feature dimension mismatch");
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature dimension mismatch"
+        );
         let mut idx = 0;
         loop {
             match self.nodes[idx] {
@@ -102,7 +132,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    idx = if features[feature] < threshold { left } else { right };
+                    idx = if features[feature] < threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -116,48 +150,127 @@ impl DecisionTree {
         let p = positives as f64 / total as f64;
         2.0 * p * (1.0 - p)
     }
+}
 
-    /// Recursively build the subtree for `indices`, returning the node index.
-    fn build<R: Rng + ?Sized>(
-        &mut self,
-        dataset: &Dataset,
-        indices: &[usize],
-        config: &TreeConfig,
-        depth: usize,
-        rng: &mut R,
-    ) -> usize {
-        let positives = indices.iter().filter(|&&i| dataset.label_of(i)).count();
-        let probability = positives as f64 / indices.len() as f64;
+/// Fitting state: per-feature sorted sample orders plus reused scratch buffers.
+///
+/// `sorted` holds one length-`m` block per feature; block `f` lists *positions* into
+/// `samples` ordered by feature `f`'s value. Every tree node owns a contiguous range
+/// `[lo, hi)` of **every** block (the same sample set, differently ordered), so a split
+/// only needs a stable two-way partition of each block's range — no sorting.
+struct TreeBuilder<'a> {
+    dataset: &'a Dataset,
+    samples: &'a [usize],
+    config: &'a TreeConfig,
+    nodes: Vec<Node>,
+    /// `n_features` blocks of `m` positions each.
+    sorted: Vec<u32>,
+    /// Scratch for the stable partition (length `m`).
+    scratch: Vec<u32>,
+    /// `side[p]` = "position `p` goes left" for the split currently being applied.
+    side: Vec<bool>,
+    /// Reused candidate-feature buffer for the per-node `mtry` draw.
+    feature_buf: Vec<usize>,
+}
 
-        // Stop if pure, too deep, or too small to split.
-        let stop = positives == 0
-            || positives == indices.len()
-            || depth >= config.max_depth
-            || indices.len() < 2 * config.min_samples_leaf;
+impl<'a> TreeBuilder<'a> {
+    fn new(dataset: &'a Dataset, samples: &'a [usize], config: &'a TreeConfig) -> Self {
+        let m = samples.len();
+        let d = dataset.n_features();
+        let mut sorted = Vec::with_capacity(d * m);
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        for f in 0..d {
+            order.clear();
+            order.extend(0..m as u32);
+            // Stable sort: ties keep position order, making the fit a pure function of
+            // (dataset, samples, config, rng) regardless of thread count.
+            order.sort_by(|&a, &b| {
+                let va = dataset.value(samples[a as usize], f);
+                let vb = dataset.value(samples[b as usize], f);
+                va.partial_cmp(&vb).expect("finite features")
+            });
+            sorted.extend_from_slice(&order);
+        }
+        Self {
+            dataset,
+            samples,
+            config,
+            nodes: Vec::new(),
+            sorted,
+            scratch: vec![0; m],
+            side: vec![false; m],
+            feature_buf: Vec::with_capacity(d),
+        }
+    }
+
+    #[inline]
+    fn m(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The sorted block of feature `f`, restricted to `[lo, hi)`.
+    #[inline]
+    fn block(&self, f: usize, lo: usize, hi: usize) -> &[u32] {
+        let base = f * self.m();
+        &self.sorted[base + lo..base + hi]
+    }
+
+    #[inline]
+    fn label_at(&self, position: u32) -> bool {
+        self.dataset.label_of(self.samples[position as usize])
+    }
+
+    #[inline]
+    fn value_at(&self, position: u32, f: usize) -> f64 {
+        self.dataset.value(self.samples[position as usize], f)
+    }
+
+    /// Recursively build the subtree for range `[lo, hi)`, returning the node index.
+    fn build<R: Rng + ?Sized>(&mut self, lo: usize, hi: usize, depth: usize, rng: &mut R) -> usize {
+        let n = hi - lo;
+        let d = self.dataset.n_features();
+        let positives = if d == 0 {
+            // No features to sort by; count labels directly over the sample view.
+            self.samples[lo..hi]
+                .iter()
+                .filter(|&&i| self.dataset.label_of(i))
+                .count()
+        } else {
+            self.block(0, lo, hi)
+                .iter()
+                .filter(|&&p| self.label_at(p))
+                .count()
+        };
+        let probability = positives as f64 / n as f64;
+
+        // Stop if pure, featureless, too deep, or too small to split.
+        let stop = d == 0
+            || positives == 0
+            || positives == n
+            || depth >= self.config.max_depth
+            || n < 2 * self.config.min_samples_leaf;
         if stop {
             self.nodes.push(Node::Leaf { probability });
             return self.nodes.len() - 1;
         }
 
-        match self.best_split(dataset, indices, config, rng) {
+        match self.best_split(lo, hi, positives, rng) {
             None => {
                 self.nodes.push(Node::Leaf { probability });
                 self.nodes.len() - 1
             }
             Some((feature, threshold)) => {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-                    .iter()
-                    .partition(|&&i| dataset.features_of(i)[feature] < threshold);
+                let n_left = self.partition(lo, hi, feature, threshold);
                 // Degenerate splits can happen with ties; fall back to a leaf.
-                if left_idx.is_empty() || right_idx.is_empty() {
+                if n_left == 0 || n_left == n {
                     self.nodes.push(Node::Leaf { probability });
                     return self.nodes.len() - 1;
                 }
                 // Reserve this node's slot, then build children.
                 let node_idx = self.nodes.len();
                 self.nodes.push(Node::Leaf { probability });
-                let left = self.build(dataset, &left_idx, config, depth + 1, rng);
-                let right = self.build(dataset, &right_idx, config, depth + 1, rng);
+                let left = self.build(lo, lo + n_left, depth + 1, rng);
+                let right = self.build(lo + n_left, hi, depth + 1, rng);
                 self.nodes[node_idx] = Node::Split {
                     feature,
                     threshold,
@@ -169,67 +282,108 @@ impl DecisionTree {
         }
     }
 
-    /// Find the `(feature, threshold)` split minimising the weighted Gini impurity, or
-    /// `None` if no split improves on the parent.
+    /// Find the `(feature, threshold)` split minimising the weighted Gini impurity over
+    /// `[lo, hi)`, or `None` if no split improves on the parent. Walks each candidate
+    /// feature's presorted order — no sorting, no allocation.
     fn best_split<R: Rng + ?Sized>(
-        &self,
-        dataset: &Dataset,
-        indices: &[usize],
-        config: &TreeConfig,
+        &mut self,
+        lo: usize,
+        hi: usize,
+        total_pos: usize,
         rng: &mut R,
     ) -> Option<(usize, f64)> {
-        let n = indices.len();
-        let total_pos = indices.iter().filter(|&&i| dataset.label_of(i)).count();
-        let parent_gini = Self::gini(total_pos, n);
+        let n = hi - lo;
+        let d = self.dataset.n_features();
+        let parent_gini = DecisionTree::gini(total_pos, n);
 
-        // Select the candidate feature subset (mtry).
-        let mut features: Vec<usize> = (0..dataset.n_features()).collect();
-        if let Some(mtry) = config.max_features {
-            features.shuffle(rng);
-            features.truncate(mtry.clamp(1, dataset.n_features()));
+        // Select the candidate feature subset (mtry) into the reused buffer.
+        self.feature_buf.clear();
+        self.feature_buf.extend(0..d);
+        if let Some(mtry) = self.config.max_features {
+            self.feature_buf.shuffle(rng);
+            self.feature_buf.truncate(mtry.clamp(1, d));
         }
+        let features = std::mem::take(&mut self.feature_buf);
 
         // Accept splits that do not increase the weighted impurity (ties with the parent
         // are allowed: problems like XOR have zero first-level Gini gain but still need
         // the split so that deeper levels can separate the classes).
-        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
+        let mut best: Option<(usize, f64)> = None;
         let mut best_gini = parent_gini + 1e-9;
         for &feature in &features {
-            // Sort the samples by this feature.
-            let mut sorted: Vec<usize> = indices.to_vec();
-            sorted.sort_by(|&a, &b| {
-                dataset.features_of(a)[feature]
-                    .partial_cmp(&dataset.features_of(b)[feature])
-                    .expect("finite features")
-            });
+            let block = self.block(feature, lo, hi);
             let mut left_pos = 0usize;
+            let mut prev_value = self.value_at(block[0], feature);
             for split_at in 1..n {
-                let prev = sorted[split_at - 1];
-                if dataset.label_of(prev) {
+                if self.label_at(block[split_at - 1]) {
                     left_pos += 1;
                 }
-                let prev_value = dataset.features_of(prev)[feature];
-                let this_value = dataset.features_of(sorted[split_at])[feature];
-                if prev_value == this_value {
+                let this_value = self.value_at(block[split_at], feature);
+                let boundary = prev_value != this_value;
+                let last_prev = prev_value;
+                prev_value = this_value;
+                if !boundary {
                     continue; // cannot split between equal values
                 }
                 let left_n = split_at;
                 let right_n = n - split_at;
-                if left_n < config.min_samples_leaf || right_n < config.min_samples_leaf {
+                if left_n < self.config.min_samples_leaf || right_n < self.config.min_samples_leaf {
                     continue;
                 }
                 let right_pos = total_pos - left_pos;
-                let weighted = (left_n as f64 * Self::gini(left_pos, left_n)
-                    + right_n as f64 * Self::gini(right_pos, right_n))
+                let weighted = (left_n as f64 * DecisionTree::gini(left_pos, left_n)
+                    + right_n as f64 * DecisionTree::gini(right_pos, right_n))
                     / n as f64;
                 if weighted < best_gini {
-                    let threshold = (prev_value + this_value) / 2.0;
-                    best = Some((feature, threshold, weighted));
+                    let threshold = (last_prev + this_value) / 2.0;
+                    best = Some((feature, threshold));
                     best_gini = weighted;
                 }
             }
         }
-        best.map(|(f, t, _)| (f, t))
+        self.feature_buf = features;
+        best
+    }
+
+    /// Stable-partition every feature's sorted range `[lo, hi)` by
+    /// `value(·, feature) < threshold`, preserving each side's sorted order. Returns the
+    /// left-side count.
+    fn partition(&mut self, lo: usize, hi: usize, feature: usize, threshold: f64) -> usize {
+        let m = self.m();
+        let d = self.dataset.n_features();
+        // Mark which side each position of this node goes to (positions are shared by
+        // every feature block).
+        let mut n_left = 0usize;
+        {
+            let base = feature * m;
+            for k in lo..hi {
+                let p = self.sorted[base + k];
+                let goes_left = self.value_at(p, feature) < threshold;
+                self.side[p as usize] = goes_left;
+                n_left += usize::from(goes_left);
+            }
+        }
+        if n_left == 0 || n_left == hi - lo {
+            return n_left;
+        }
+        // Stable two-way partition of each block through the scratch buffer.
+        for f in 0..d {
+            let base = f * m;
+            let mut left_cursor = 0usize;
+            let mut right_cursor = n_left;
+            for k in lo..hi {
+                let p = self.sorted[base + k];
+                if self.side[p as usize] {
+                    self.scratch[left_cursor] = p;
+                    left_cursor += 1;
+                } else {
+                    self.scratch[right_cursor] = p;
+                    right_cursor += 1;
+                }
+            }
+            self.sorted[base + lo..base + hi].copy_from_slice(&self.scratch[..hi - lo]);
+        }
+        n_left
     }
 }
 
@@ -336,6 +490,42 @@ mod tests {
     }
 
     #[test]
+    fn index_view_fit_matches_subset_fit() {
+        // Fitting on an index view must behave like fitting on the materialised subset:
+        // same RNG, same sample multiset, same resulting predictions.
+        let d = separable(60);
+        let view: Vec<usize> = (0..60).filter(|i| i % 3 != 0).collect();
+        let materialised = d.subset(&view);
+        let tree_view = DecisionTree::fit_with_indices(
+            &d,
+            &view,
+            &TreeConfig::default(),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let tree_mat = DecisionTree::fit(
+            &materialised,
+            &TreeConfig::default(),
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(tree_view, tree_mat);
+    }
+
+    #[test]
+    fn duplicate_indices_act_as_bootstrap_weights() {
+        // Repeating a sample shifts the leaf probability exactly as a copy would.
+        let d = separable(20);
+        let doubled: Vec<usize> = (0..20).chain(0..20).collect();
+        let tree = DecisionTree::fit_with_indices(
+            &d,
+            &doubled,
+            &TreeConfig::default(),
+            &mut StdRng::seed_from_u64(10),
+        );
+        assert!(tree.predict_proba(&[0.9, 0.3]) > 0.9);
+        assert!(tree.predict_proba(&[0.1, 0.3]) < 0.1);
+    }
+
+    #[test]
     #[should_panic(expected = "feature dimension mismatch")]
     fn wrong_dimension_rejected_at_prediction() {
         let d = separable(10);
@@ -349,5 +539,13 @@ mod tests {
     fn empty_dataset_rejected() {
         let mut rng = StdRng::seed_from_u64(8);
         DecisionTree::fit(&Dataset::new(), &TreeConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample view")]
+    fn empty_view_rejected() {
+        let d = separable(10);
+        let mut rng = StdRng::seed_from_u64(8);
+        DecisionTree::fit_with_indices(&d, &[], &TreeConfig::default(), &mut rng);
     }
 }

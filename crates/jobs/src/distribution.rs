@@ -52,7 +52,10 @@ impl JobMix {
     /// # Panics
     /// Panics if the factor is not strictly positive and finite.
     pub fn with_size_scaling(self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scaling factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scaling factor must be positive"
+        );
         Self {
             size_scaling: factor,
             ..self
@@ -65,12 +68,10 @@ impl JobMix {
         let nodes_unscaled = size.min(self.max_nodes as f64);
         let nodes = ((nodes_unscaled * self.size_scaling).round() as u32).max(1);
 
-        let wallclock_h = LogNormal::from_median_p95(
-            self.median_wallclock_hours,
-            self.p95_wallclock_hours,
-        )
-        .sample(rng)
-        .clamp(0.05, self.max_wallclock_hours);
+        let wallclock_h =
+            LogNormal::from_median_p95(self.median_wallclock_hours, self.p95_wallclock_hours)
+                .sample(rng)
+                .clamp(0.05, self.max_wallclock_hours);
         let wallclock_secs = (wallclock_h * SimTime::HOUR as f64).round() as i64;
         (nodes, wallclock_secs.max(SimTime::MINUTE))
     }

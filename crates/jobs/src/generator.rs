@@ -82,7 +82,10 @@ impl JobTraceGenerator {
     /// Panics if the window is empty, the machine has no nodes, or the target utilisation
     /// is not in `(0, 1]`.
     pub fn new(config: JobLogConfig) -> Self {
-        assert!(config.window_end > config.window_start, "window must be non-empty");
+        assert!(
+            config.window_end > config.window_start,
+            "window must be non-empty"
+        );
         assert!(config.machine_nodes > 0, "machine must have nodes");
         assert!(
             config.target_utilization > 0.0 && config.target_utilization <= 1.0,
@@ -115,7 +118,9 @@ impl JobTraceGenerator {
             let start_offset = rng.gen_range(0..latest_start);
             let start = cfg.window_start.plus_secs(start_offset);
             let end = start.plus_secs(wallclock_secs);
-            let submit = start.plus_secs(-(wait.sample(&mut rng) as i64)).max(cfg.window_start);
+            let submit = start
+                .plus_secs(-(wait.sample(&mut rng) as i64))
+                .max(cfg.window_start);
             let record = JobRecord::new(job_id, submit, start, end, nodes);
             consumed += record.node_hours();
             records.push(record);
@@ -156,7 +161,11 @@ mod tests {
         let log = small_log(2);
         // The generator overshoots by at most one job, so utilisation lands at or just
         // above 95%.
-        assert!(log.utilization() >= 0.95, "utilisation {}", log.utilization());
+        assert!(
+            log.utilization() >= 0.95,
+            "utilisation {}",
+            log.utilization()
+        );
         assert!(log.utilization() < 1.5, "utilisation {}", log.utilization());
     }
 
@@ -167,7 +176,10 @@ mod tests {
         let sizes = log.node_count_ecdf();
         assert!(sizes.max() > sizes.min(), "node counts should vary");
         let durations = log.wallclock_hours_ecdf();
-        assert!(durations.max() / durations.min() > 5.0, "durations should span a wide range");
+        assert!(
+            durations.max() / durations.min() > 5.0,
+            "durations should span a wide range"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl JobRecord {
     /// A copy of this record with the node count multiplied by `factor` (at least one
     /// node). This is the job-size scaling operation of the sensitivity analysis.
     pub fn scaled_nodes(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         Self {
             nodes: ((self.nodes as f64 * factor).round() as u32).max(1),
             ..*self
@@ -96,7 +99,10 @@ impl JobLog {
         window_end: SimTime,
         machine_nodes: u32,
     ) -> Self {
-        assert!(window_end > window_start, "job-log window must be non-empty");
+        assert!(
+            window_end > window_start,
+            "job-log window must be non-empty"
+        );
         assert!(machine_nodes > 0, "machine must have nodes");
         records.sort_by_key(|r| (r.start, r.job_id));
         Self {
@@ -178,7 +184,11 @@ impl JobLog {
     /// A copy of this log with every job's node count scaled by `factor`.
     pub fn scaled(&self, factor: f64) -> Self {
         Self {
-            records: self.records.iter().map(|r| r.scaled_nodes(factor)).collect(),
+            records: self
+                .records
+                .iter()
+                .map(|r| r.scaled_nodes(factor))
+                .collect(),
             ..*self
         }
     }

@@ -132,7 +132,10 @@ impl NodeJobSampler {
     /// # Panics
     /// Panics if the factor is not strictly positive and finite.
     pub fn with_size_scaling(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scaling factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scaling factor must be positive"
+        );
         self.size_scaling = factor;
         self
     }
@@ -169,7 +172,10 @@ impl NodeJobSampler {
         range_end: SimTime,
         rng: &mut R,
     ) -> JobSequence {
-        assert!(range_end > range_start, "job sequence range must be non-empty");
+        assert!(
+            range_end > range_start,
+            "job sequence range must be non-empty"
+        );
         let mut jobs = Vec::new();
         // Random initial phase: the first job started some time before the range.
         let (id0, nodes0, secs0) = self.sample_shape(rng);
@@ -288,9 +294,14 @@ mod tests {
         };
         assert!((j.elapsed_hours(SimTime::ZERO, SimTime::from_hours(15)) - 5.0).abs() < 1e-12);
         // A mitigation at hour 12 resets the reference.
-        assert!((j.elapsed_hours(SimTime::from_hours(12), SimTime::from_hours(15)) - 3.0).abs() < 1e-12);
+        assert!(
+            (j.elapsed_hours(SimTime::from_hours(12), SimTime::from_hours(15)) - 3.0).abs() < 1e-12
+        );
         // Reference after t clamps to zero.
-        assert_eq!(j.elapsed_hours(SimTime::from_hours(16), SimTime::from_hours(15)), 0.0);
+        assert_eq!(
+            j.elapsed_hours(SimTime::from_hours(16), SimTime::from_hours(15)),
+            0.0
+        );
         assert!((j.wallclock_hours() - 10.0).abs() < 1e-12);
     }
 

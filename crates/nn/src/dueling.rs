@@ -77,7 +77,10 @@ impl DuelingQNetwork {
 
     /// Total number of trainable parameters.
     pub fn param_count(&self) -> usize {
-        self.trunk.iter().map(DenseLayer::param_count).sum::<usize>()
+        self.trunk
+            .iter()
+            .map(DenseLayer::param_count)
+            .sum::<usize>()
             + self.value_head.param_count()
             + self.advantage_head.param_count()
     }
@@ -147,14 +150,19 @@ impl DuelingQNetwork {
     pub fn apply_gradients(&mut self, optimizer: &mut dyn Optimizer) {
         let mut next_id = 0;
         for layer in &mut self.trunk {
-            layer.visit_params(next_id, |id, params, grads| optimizer.update(id, params, grads));
+            layer.visit_params(next_id, |id, params, grads| {
+                optimizer.update(id, params, grads)
+            });
             next_id += 2;
         }
-        self.value_head
-            .visit_params(next_id, |id, params, grads| optimizer.update(id, params, grads));
+        self.value_head.visit_params(next_id, |id, params, grads| {
+            optimizer.update(id, params, grads)
+        });
         next_id += 2;
         self.advantage_head
-            .visit_params(next_id, |id, params, grads| optimizer.update(id, params, grads));
+            .visit_params(next_id, |id, params, grads| {
+                optimizer.update(id, params, grads)
+            });
         self.clear_gradients();
     }
 
@@ -174,7 +182,9 @@ impl DuelingQNetwork {
 
     /// Convenience single-state Q-value prediction.
     pub fn predict_one(&self, features: &[f64]) -> Vec<f64> {
-        self.forward(&Matrix::row_from_slice(features)).row(0).to_vec()
+        self.forward(&Matrix::row_from_slice(features))
+            .row(0)
+            .to_vec()
     }
 }
 
@@ -284,7 +294,10 @@ mod tests {
     fn predict_one_matches_batch_forward() {
         let net = small(8);
         let f = [0.9, -0.9, 0.5, 0.0];
-        assert_eq!(net.predict_one(&f), net.forward(&Matrix::row_from_slice(&f)).row(0));
+        assert_eq!(
+            net.predict_one(&f),
+            net.forward(&Matrix::row_from_slice(&f)).row(0)
+        );
     }
 
     #[test]

@@ -96,11 +96,20 @@ impl DenseLayer {
     }
 
     /// Training forward pass: caches the input and pre-activation for the backward pass.
+    /// The caches are preallocated across steps — after the first batch no forward pass
+    /// allocates for them again (batch shape permitting).
     pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
-        let mut z = input.matmul(&self.weights);
+        let mut z = match self.last_preactivation.take() {
+            Some(buffer) => buffer,
+            None => Matrix::zeros(1, 1),
+        };
+        input.matmul_into(&self.weights, &mut z);
         z.add_row_broadcast(&self.bias);
         let out = z.map(|x| self.activation.apply(x));
-        self.last_input = Some(input.clone());
+        match &mut self.last_input {
+            Some(cache) => cache.copy_from(input),
+            None => self.last_input = Some(input.clone()),
+        }
         self.last_preactivation = Some(z);
         out
     }
@@ -112,6 +121,8 @@ impl DenseLayer {
     /// Panics if no training forward pass preceded this call or the gradient shape does
     /// not match the cached batch.
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let output_dim = self.output_dim();
+        let activation = self.activation;
         let input = self
             .last_input
             .as_ref()
@@ -121,18 +132,18 @@ impl DenseLayer {
             .as_ref()
             .expect("backward called without forward_train");
         assert_eq!(grad_output.rows(), input.rows(), "batch size mismatch");
-        assert_eq!(grad_output.cols(), self.output_dim(), "gradient width mismatch");
+        assert_eq!(grad_output.cols(), output_dim, "gradient width mismatch");
 
         // dL/dz = dL/dy * act'(z)
-        let grad_z = grad_output.zip_map(z, |g, zv| g * self.activation.derivative(zv));
-        // dL/dW = input^T · dL/dz ; dL/db = column sums of dL/dz
-        let grad_w = input.transpose().matmul(&grad_z);
-        self.grad_weights.add_assign(&grad_w);
+        let grad_z = grad_output.zip_map(z, |g, zv| g * activation.derivative(zv));
+        // dL/dW += input^T · dL/dz, accumulated straight into the gradient buffer with
+        // no transposed copy and no temporary; dL/db = column sums of dL/dz.
+        input.matmul_tn_acc(&grad_z, &mut self.grad_weights);
         for (gb, s) in self.grad_bias.iter_mut().zip(grad_z.column_sums()) {
             *gb += s;
         }
-        // dL/d(input) = dL/dz · W^T
-        grad_z.matmul(&self.weights.transpose())
+        // dL/d(input) = dL/dz · W^T, again without materialising the transpose.
+        grad_z.matmul_nt(&self.weights)
     }
 
     /// Reset the accumulated gradients to zero.
@@ -146,7 +157,11 @@ impl DenseLayer {
     /// Visit `(parameters, gradients)` pairs: first the flattened weights, then the bias.
     /// The visitor receives a stable per-tensor index offset so optimizers can keep
     /// per-tensor state.
-    pub fn visit_params(&mut self, base_id: usize, mut visit: impl FnMut(usize, &mut [f64], &[f64])) {
+    pub fn visit_params(
+        &mut self,
+        base_id: usize,
+        mut visit: impl FnMut(usize, &mut [f64], &[f64]),
+    ) {
         visit(base_id, self.weights.data_mut(), self.grad_weights.data());
         visit(base_id + 1, &mut self.bias, &self.grad_bias);
     }

@@ -54,12 +54,7 @@ impl Loss {
     ///
     /// # Panics
     /// Panics if the slice lengths differ.
-    pub fn batch_value(
-        self,
-        predictions: &[f64],
-        targets: &[f64],
-        weights: Option<&[f64]>,
-    ) -> f64 {
+    pub fn batch_value(self, predictions: &[f64], targets: &[f64], weights: Option<&[f64]>) -> f64 {
         assert_eq!(predictions.len(), targets.len(), "length mismatch");
         if let Some(w) = weights {
             assert_eq!(w.len(), predictions.len(), "weight length mismatch");

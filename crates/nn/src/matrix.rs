@@ -129,6 +129,134 @@ impl Matrix {
         out
     }
 
+    /// Reshape in place to `rows × cols`, reusing the existing allocation, and zero the
+    /// contents (the shape every accumulating product expects).
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn reset_to(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copy another matrix's shape and contents into this one, reusing the allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Matrix product `self · other` written into `out` (reshaped as needed, allocation
+    /// reused). The workhorse behind [`Matrix::matmul`] for preallocated pipelines.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reset_to(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(other_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Transpose-free product `selfᵀ · other` (a `cols × other.cols` result). Equivalent
+    /// to `self.transpose().matmul(other)` without materialising the transposed copy;
+    /// this is the backward pass's `dL/dW = inputᵀ · dL/dz`.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_tn_acc(other, &mut out);
+        out
+    }
+
+    /// Accumulate `selfᵀ · other` into `acc` (which must already have the right shape).
+    /// Lets gradient accumulation write straight into the gradient buffer with no
+    /// temporary.
+    ///
+    /// # Panics
+    /// Panics if shapes are inconsistent.
+    pub fn matmul_tn_acc(&self, other: &Matrix, acc: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn dimension mismatch: {}x{}ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (acc.rows, acc.cols),
+            (self.cols, other.cols),
+            "matmul_tn accumulator shape mismatch"
+        );
+        // out[j, l] += self[i, j] * other[i, l]: walking i outermost keeps both operand
+        // rows and the output row contiguous in the inner loop.
+        for i in 0..self.rows {
+            let self_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let other_row = &other.data[i * other.cols..(i + 1) * other.cols];
+            for (j, &a) in self_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let acc_row = &mut acc.data[j * other.cols..(j + 1) * other.cols];
+                for (o, &b) in acc_row.iter_mut().zip(other_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Transpose-free product `self · otherᵀ` (a `rows × other.rows` result). Equivalent
+    /// to `self.matmul(&other.transpose())` without materialising the transposed copy;
+    /// this is the backward pass's `dL/d(input) = dL/dz · Wᵀ`.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ` written into `out` (reshaped as needed, allocation reused).
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt dimension mismatch: {}x{} · {}x{}ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reset_to(self.rows, other.rows);
+        // out[i, l] = dot(self.row(i), other.row(l)): both rows are contiguous.
+        for i in 0..self.rows {
+            let self_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (l, o) in out_row.iter_mut().enumerate() {
+                let other_row = &other.data[l * other.cols..(l + 1) * other.cols];
+                *o = self_row.iter().zip(other_row).map(|(&a, &b)| a * b).sum();
+            }
+        }
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
@@ -148,7 +276,11 @@ impl Matrix {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -166,7 +298,11 @@ impl Matrix {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -222,7 +358,10 @@ impl Matrix {
 
     /// Maximum element of row `i`.
     pub fn row_max(&self, i: usize) -> f64 {
-        self.row(i).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.row(i)
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Frobenius norm (root of the sum of squared elements).
@@ -269,6 +408,55 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_into_reuses_and_matches() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Matrix::zeros(5, 5); // wrong shape on purpose: reset_to reshapes
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Run again into the same buffer: contents must not accumulate.
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 4, (1..=12).map(f64::from).collect());
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_tn_acc_accumulates() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let mut acc = a.matmul_tn(&b);
+        a.matmul_tn_acc(&b, &mut acc);
+        let mut doubled = a.transpose().matmul(&b);
+        doubled.scale_assign(2.0);
+        assert_eq!(acc, doubled);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 0.0, -1.0]);
+        let b = Matrix::from_vec(4, 3, (1..=12).map(f64::from).collect());
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn copy_from_and_reset_reuse_the_allocation() {
+        let src = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut dst = Matrix::zeros(1, 8);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.reset_to(2, 3);
+        assert_eq!(dst.rows(), 2);
+        assert_eq!(dst.cols(), 3);
+        assert!(dst.data().iter().all(|&x| x == 0.0));
     }
 
     #[test]

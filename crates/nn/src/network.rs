@@ -110,17 +110,20 @@ impl Mlp {
 
     /// Inference-only forward pass.
     pub fn forward(&self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for layer in &self.layers {
+        let (first, rest) = self.layers.split_first().expect("networks have layers");
+        let mut x = first.forward(input);
+        for layer in rest {
             x = layer.forward(&x);
         }
         x
     }
 
-    /// Training forward pass (caches per-layer activations for the backward pass).
+    /// Training forward pass (caches per-layer activations for the backward pass; the
+    /// per-layer caches are preallocated buffers reused across steps).
     pub fn forward_train(&mut self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
+        let (first, rest) = self.layers.split_first_mut().expect("networks have layers");
+        let mut x = first.forward_train(input);
+        for layer in rest {
             x = layer.forward_train(&x);
         }
         x
@@ -129,8 +132,9 @@ impl Mlp {
     /// Backward pass from the gradient of the loss with respect to the network output.
     /// Gradients accumulate in each layer; returns the gradient with respect to the input.
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let mut grad = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let (last, rest) = self.layers.split_last_mut().expect("networks have layers");
+        let mut grad = last.backward(grad_output);
+        for layer in rest.iter_mut().rev() {
             grad = layer.backward(&grad);
         }
         grad
@@ -159,7 +163,11 @@ impl Mlp {
     /// # Panics
     /// Panics if the architectures differ.
     pub fn sync_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layers.len(), other.layers.len(), "layer count mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "layer count mismatch"
+        );
         for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
             mine.copy_params_from(theirs);
         }
@@ -167,7 +175,9 @@ impl Mlp {
 
     /// Convenience single-sample prediction.
     pub fn predict_one(&self, features: &[f64]) -> Vec<f64> {
-        self.forward(&Matrix::row_from_slice(features)).row(0).to_vec()
+        self.forward(&Matrix::row_from_slice(features))
+            .row(0)
+            .to_vec()
     }
 }
 
@@ -276,11 +286,7 @@ mod tests {
         let initial = batch_loss(&net);
         for _ in 0..500 {
             let y = net.forward_train(&inputs);
-            let grad = Matrix::from_vec(
-                4,
-                2,
-                loss.batch_gradient(y.data(), targets.data(), None),
-            );
+            let grad = Matrix::from_vec(4, 2, loss.batch_gradient(y.data(), targets.data(), None));
             let _ = net.backward(&grad);
             net.apply_gradients(&mut opt);
         }
@@ -295,8 +301,10 @@ mod tests {
     fn sync_from_copies_weights_exactly() {
         let mut a = small_net(7);
         let b = small_net(8);
-        assert_ne!(a.forward(&Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0])),
-                   b.forward(&Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0])));
+        assert_ne!(
+            a.forward(&Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0])),
+            b.forward(&Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]))
+        );
         a.sync_from(&b);
         let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
         assert_eq!(a.forward(&x), b.forward(&x));

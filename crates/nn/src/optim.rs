@@ -49,7 +49,11 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn update(&mut self, tensor_id: usize, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.momentum == 0.0 {
             for (p, &g) in params.iter_mut().zip(grads) {
                 *p -= self.lr * g;
@@ -114,7 +118,11 @@ impl RmsProp {
 
 impl Optimizer for RmsProp {
     fn update(&mut self, tensor_id: usize, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         let ms = self
             .mean_square
             .entry(tensor_id)
@@ -178,7 +186,11 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn update(&mut self, tensor_id: usize, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter/gradient length mismatch"
+        );
         // Tensor 0 marks the start of a new optimisation step so bias correction uses a
         // consistent step count across all tensors of one network update.
         if tensor_id == 0 {
@@ -196,7 +208,12 @@ impl Optimizer for Adam {
         assert_eq!(m.len(), params.len(), "tensor size changed");
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
-        for (((p, &g), mi), vi) in params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut()) {
+        for (((p, &g), mi), vi) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
+        {
             *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
             *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
             let m_hat = *mi / bias1;
@@ -295,7 +312,10 @@ mod tests {
         }
         assert!(a[0] < 0.0);
         assert!(b[0] > 0.0);
-        assert!((a[0] + b[0]).abs() < 1e-12, "symmetric histories stay symmetric");
+        assert!(
+            (a[0] + b[0]).abs() < 1e-12,
+            "symmetric histories stay symmetric"
+        );
     }
 
     #[test]

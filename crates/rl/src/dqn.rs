@@ -119,13 +119,22 @@ impl AgentConfig {
         assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0, 1]");
         assert!(self.learning_rate > 0.0, "learning rate must be positive");
         assert!(self.batch_size > 0, "batch size must be positive");
-        assert!(self.replay_capacity >= self.batch_size, "replay must hold a batch");
+        assert!(
+            self.replay_capacity >= self.batch_size,
+            "replay must hold a batch"
+        );
         assert!(self.train_every > 0, "train_every must be positive");
-        assert!(self.target_sync_every > 0, "target_sync_every must be positive");
+        assert!(
+            self.target_sync_every > 0,
+            "target_sync_every must be positive"
+        );
     }
 }
 
 /// Either of the two Q-function architectures.
+// The dueling variant is larger than the plain MLP, but agents hold exactly one
+// Q-function pair for their whole lifetime, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 enum QFunction {
     Plain(Mlp),
@@ -321,7 +330,9 @@ impl DqnAgent {
         }
         self.env_steps += 1;
         if self.replay.len() >= self.config.min_replay.max(self.config.batch_size)
-            && self.env_steps % self.config.train_every as u64 == 0
+            && self
+                .env_steps
+                .is_multiple_of(self.config.train_every as u64)
         {
             self.train_step();
         }
@@ -416,7 +427,9 @@ impl DqnAgent {
             .zip(&targets)
             .map(|(&p, &y)| p - y)
             .collect();
-        let loss_value = self.loss.batch_value(&predictions, &targets, Some(&weights));
+        let loss_value = self
+            .loss
+            .batch_value(&predictions, &targets, Some(&weights));
         let per_sample_grads = self
             .loss
             .batch_gradient(&predictions, &targets, Some(&weights));
@@ -432,7 +445,10 @@ impl DqnAgent {
             per.update_priorities(&indices, &td_errors);
         }
         self.updates += 1;
-        if self.updates % self.config.target_sync_every as u64 == 0 {
+        if self
+            .updates
+            .is_multiple_of(self.config.target_sync_every as u64)
+        {
             self.sync_target();
         }
         self.last_loss = Some(loss_value);

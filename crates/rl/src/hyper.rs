@@ -76,7 +76,8 @@ impl HyperParams {
             train_every: self.train_every,
             target_sync_every: ((jitter(rng, self.target_sync_every as f64, 0.5)) as usize).max(10),
             per_alpha: jitter(rng, self.per_alpha, 0.2).clamp(0.2, 1.0),
-            epsilon_decay_steps: (jitter(rng, self.epsilon_decay_steps as f64, 0.5) as u64).max(1_000),
+            epsilon_decay_steps: (jitter(rng, self.epsilon_decay_steps as f64, 0.5) as u64)
+                .max(1_000),
         }
     }
 

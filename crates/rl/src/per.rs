@@ -206,7 +206,10 @@ mod tests {
             .collect::<Vec<_>>();
         for &c in &counts {
             let frac = c as f64 / batch.indices.len() as f64;
-            assert!((frac - 0.25).abs() < 0.05, "uniform-ish expected, got {counts:?}");
+            assert!(
+                (frac - 0.25).abs() < 0.05,
+                "uniform-ish expected, got {counts:?}"
+            );
         }
     }
 

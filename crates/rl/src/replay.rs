@@ -118,7 +118,11 @@ mod tests {
             .iter()
             .map(|t| t.reward as i64)
             .collect();
-        assert_eq!(sampled.len(), 10, "all entries should eventually be sampled");
+        assert_eq!(
+            sampled.len(),
+            10,
+            "all entries should eventually be sampled"
+        );
     }
 
     #[test]

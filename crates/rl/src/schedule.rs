@@ -22,7 +22,10 @@ impl EpsilonSchedule {
     /// # Panics
     /// Panics unless `0 <= end <= start <= 1` and `decay_steps > 0`.
     pub fn new(start: f64, end: f64, decay_steps: u64) -> Self {
-        assert!((0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end), "ε must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end),
+            "ε must be in [0,1]"
+        );
         assert!(end <= start, "ε must not increase over time");
         assert!(decay_steps > 0, "decay_steps must be positive");
         Self {

@@ -610,7 +610,10 @@ mod tests {
         assert!(xs.iter().all(|&x| (1..=100).contains(&x)));
         let ones = xs.iter().filter(|&&x| x == 1).count();
         let tens = xs.iter().filter(|&&x| x == 10).count();
-        assert!(ones > 5 * tens, "rank 1 ({ones}) should dominate rank 10 ({tens})");
+        assert!(
+            ones > 5 * tens,
+            "rank 1 ({ones}) should dominate rank 10 ({tens})"
+        );
     }
 
     #[test]

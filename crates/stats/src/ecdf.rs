@@ -65,7 +65,10 @@ impl Ecdf {
     /// This is the "job size scaling factor" operation of the paper's sensitivity
     /// analysis: the distributional shape is preserved while the magnitude scales.
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         Self {
             sorted: self.sorted.iter().map(|&v| v * factor).collect(),
         }

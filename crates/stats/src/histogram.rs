@@ -64,7 +64,10 @@ impl Histogram {
     /// The `(low, high)` edges of bin `i`.
     pub fn bin_edges(&self, i: usize) -> (f64, f64) {
         let width = (self.high - self.low) / self.counts.len() as f64;
-        (self.low + width * i as f64, self.low + width * (i + 1) as f64)
+        (
+            self.low + width * i as f64,
+            self.low + width * (i + 1) as f64,
+        )
     }
 
     /// Mid-point of bin `i`.

@@ -19,8 +19,8 @@ pub mod histogram;
 pub mod summary;
 
 pub use distributions::{
-    Bernoulli, Categorical, Distribution, Exponential, LogNormal, Normal, Pareto, Poisson,
-    Uniform, Zipf,
+    Bernoulli, Categorical, Distribution, Exponential, LogNormal, Normal, Pareto, Poisson, Uniform,
+    Zipf,
 };
 pub use ecdf::Ecdf;
 pub use histogram::{Histogram, LogHistogram};

@@ -214,7 +214,10 @@ mod tests {
 
     #[test]
     fn warning_labels_round_trip() {
-        for w in [WarningReason::CeLoggingLimit, WarningReason::ThermalThrottle] {
+        for w in [
+            WarningReason::CeLoggingLimit,
+            WarningReason::ThermalThrottle,
+        ] {
             assert_eq!(WarningReason::from_label(w.label()), Some(w));
         }
         assert_eq!(WarningReason::from_label("bogus"), None);

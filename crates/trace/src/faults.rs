@@ -80,9 +80,7 @@ impl FaultRegion {
                 rng.gen_range(0..32_768),
                 rng.gen_range(0..1024),
             ),
-            FaultClass::StuckCell => {
-                CellLocation::new(self.rank, self.bank, self.row, self.column)
-            }
+            FaultClass::StuckCell => CellLocation::new(self.rank, self.bank, self.row, self.column),
             FaultClass::RowFault => {
                 CellLocation::new(self.rank, self.bank, self.row, rng.gen_range(0..1024))
             }
@@ -256,7 +254,10 @@ impl FaultSampler {
     /// # Panics
     /// Panics if the window is empty.
     pub fn new(rates: FaultRates, window_start: SimTime, window_end: SimTime) -> Self {
-        assert!(window_end > window_start, "observation window must be non-empty");
+        assert!(
+            window_end > window_start,
+            "observation window must be non-empty"
+        );
         Self {
             rates,
             window_start,
@@ -270,7 +271,11 @@ impl FaultSampler {
     }
 
     /// Sample the faults developed by one DIMM during the window (possibly none).
-    pub fn sample_for_dimm<R: Rng + ?Sized>(&self, dimm: DimmId, rng: &mut R) -> Vec<FaultInstance> {
+    pub fn sample_for_dimm<R: Rng + ?Sized>(
+        &self,
+        dimm: DimmId,
+        rng: &mut R,
+    ) -> Vec<FaultInstance> {
         let mut faults = Vec::new();
         for class in FaultClass::ALL {
             let p = self.rates.incidence(class);
@@ -309,13 +314,16 @@ impl FaultSampler {
                     Exponential::from_mean(self.rates.mean_precursor_lead_days).sample(rng);
                 let lead_secs = (lead_days * SimTime::DAY as f64).max(SimTime::HOUR as f64) as i64;
                 let first_ue = (onset + lead_secs).min(self.window_end.plus_secs(-1));
-                let burst_len = 1 + Exponential::from_mean(
-                    (self.rates.mean_ue_burst_len - 1.0).max(0.1),
-                )
-                .sample(rng)
-                .round() as u32;
+                let burst_len =
+                    1 + Exponential::from_mean((self.rates.mean_ue_burst_len - 1.0).max(0.1))
+                        .sample(rng)
+                        .round() as u32;
                 let warns = !silent && Bernoulli::new(self.rates.p_ue_warning).sample(rng);
-                let rate = if silent { 0.0 } else { self.rates.precursor_rate };
+                let rate = if silent {
+                    0.0
+                } else {
+                    self.rates.precursor_rate
+                };
                 (
                     first_ue,
                     rate,
@@ -403,17 +411,26 @@ mod tests {
         let s = sampler(FaultRates::dense_for_tests());
         let mut rng = StdRng::seed_from_u64(5);
         let stuck = s.sample_fault(dimm(), FaultClass::StuckCell, &mut rng);
-        let l1 = stuck.region.sample_location(FaultClass::StuckCell, &mut rng);
-        let l2 = stuck.region.sample_location(FaultClass::StuckCell, &mut rng);
+        let l1 = stuck
+            .region
+            .sample_location(FaultClass::StuckCell, &mut rng);
+        let l2 = stuck
+            .region
+            .sample_location(FaultClass::StuckCell, &mut rng);
         assert_eq!(l1, l2, "stuck cell must always hit the same cell");
 
         let row = s.sample_fault(dimm(), FaultClass::RowFault, &mut rng);
         let locs: Vec<_> = (0..50)
             .map(|_| row.region.sample_location(FaultClass::RowFault, &mut rng))
             .collect();
-        assert!(locs.iter().all(|l| l.row == row.region.row && l.bank == row.region.bank));
+        assert!(locs
+            .iter()
+            .all(|l| l.row == row.region.row && l.bank == row.region.bank));
         let distinct_cols: std::collections::HashSet<_> = locs.iter().map(|l| l.column).collect();
-        assert!(distinct_cols.len() > 5, "row fault should spread over columns");
+        assert!(
+            distinct_cols.len() > 5,
+            "row fault should spread over columns"
+        );
     }
 
     #[test]

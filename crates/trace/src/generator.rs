@@ -140,12 +140,7 @@ impl TraceGenerator {
         self.generate_retirements(&mut rng, &mut events);
         self.generate_overtemps(&mut rng, &mut events);
 
-        ErrorLog::new(
-            cfg.fleet.clone(),
-            events,
-            cfg.window_start,
-            cfg.window_end,
-        )
+        ErrorLog::new(cfg.fleet.clone(), events, cfg.window_start, cfg.window_end)
     }
 
     /// Scheduled/maintenance node boots: a Poisson process per node, plus one boot at the
@@ -155,7 +150,11 @@ impl TraceGenerator {
         let mean_gap_secs = SimTime::YEAR as f64 / cfg.reboots_per_node_year.max(0.1);
         let gap = Exponential::from_mean(mean_gap_secs);
         for node in cfg.fleet.nodes() {
-            events.push(LogEvent::new(cfg.window_start, node.id, EventKind::NodeBoot));
+            events.push(LogEvent::new(
+                cfg.window_start,
+                node.id,
+                EventKind::NodeBoot,
+            ));
             let mut t = cfg.window_start;
             loop {
                 t = t.plus_secs(gap.sample(rng) as i64);

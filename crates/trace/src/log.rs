@@ -27,7 +27,10 @@ impl ErrorLog {
         window_start: SimTime,
         window_end: SimTime,
     ) -> Self {
-        assert!(window_end > window_start, "observation window must be non-empty");
+        assert!(
+            window_end > window_start,
+            "observation window must be non-empty"
+        );
         events.sort_by_key(|e| e.sort_key());
         Self {
             fleet,
@@ -119,8 +122,7 @@ impl ErrorLog {
     /// MN/A, MN/B and MN/C scenarios (Section 4.5).
     pub fn restrict_to_manufacturer(&self, manufacturer: Manufacturer) -> Self {
         let fleet = self.fleet.restricted_to(manufacturer);
-        let keep: std::collections::HashSet<NodeId> =
-            fleet.nodes().iter().map(|n| n.id).collect();
+        let keep: std::collections::HashSet<NodeId> = fleet.nodes().iter().map(|n| n.id).collect();
         Self {
             fleet,
             window_start: self.window_start,

@@ -113,14 +113,16 @@ fn event_to_line(event: &LogEvent) -> String {
     let t = event.time.as_secs();
     let node = event.node.0;
     match &event.kind {
-        EventKind::CorrectedError { count, detail } => match detail {
-            Some(d) => format!(
+        EventKind::CorrectedError { count, detail } => {
+            match detail {
+                Some(d) => format!(
                 "{t} node-{node:04} CE count={count} dimm={} rank={} bank={} row={} col={} det={}",
                 d.dimm.slot, d.location.rank, d.location.bank, d.location.row, d.location.column,
                 d.detector.label()
             ),
-            None => format!("{t} node-{node:04} CE count={count}"),
-        },
+                None => format!("{t} node-{node:04} CE count={count}"),
+            }
+        }
         EventKind::UncorrectedError { dimm, detector } => format!(
             "{t} node-{node:04} UE dimm={} det={}",
             dimm.slot,
@@ -231,7 +233,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let text = "# uerl-trace v1 nodes=3 dimms=12 window=0..86400\n\n# comment\n60 node-0001 BOOT\n";
+        let text =
+            "# uerl-trace v1 nodes=3 dimms=12 window=0..86400\n\n# comment\n60 node-0001 BOOT\n";
         let log = from_text(text, FleetConfig::small(3)).unwrap();
         assert_eq!(log.len(), 1);
         assert_eq!(log.events()[0].kind, EventKind::NodeBoot);

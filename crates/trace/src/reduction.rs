@@ -136,10 +136,10 @@ mod tests {
         let day = SimTime::DAY;
         let l = log(vec![
             ue(1, 0),
-            ue(1, day),         // same burst (within a week)
-            ue(1, 3 * day),     // same burst
-            ue(1, 10 * day),    // new burst (>1 week after the last kept UE)
-            ue(2, 2 * day),     // different node: its own burst
+            ue(1, day),      // same burst (within a week)
+            ue(1, 3 * day),  // same burst
+            ue(1, 10 * day), // new burst (>1 week after the last kept UE)
+            ue(2, 2 * day),  // different node: its own burst
         ]);
         let reduced = reduce_ue_bursts(&l);
         assert_eq!(reduced.total_uncorrected_errors(), 3);
@@ -193,7 +193,10 @@ mod tests {
     fn retirement_filter_uses_earliest_retirement() {
         let l = log(vec![retire(1, 100), retire(1, 10), ce(1, 50)]);
         let filtered = filter_retirement_bias(&l);
-        assert!(filtered.is_empty(), "event at t=50 is after the t=10 retirement");
+        assert!(
+            filtered.is_empty(),
+            "event at t=50 is after the t=10 retirement"
+        );
     }
 
     #[test]

@@ -202,7 +202,9 @@ mod tests {
         let events = d.record_burst(&burst(523, 1), &mut rng);
         for e in &events {
             match e.kind {
-                EventKind::CorrectedError { detail: Some(det), .. } => {
+                EventKind::CorrectedError {
+                    detail: Some(det), ..
+                } => {
                     assert_eq!(det.dimm, DimmId::new(NodeId(2), 1));
                     assert_eq!(det.location.row, 42, "row fault keeps the faulty row");
                 }

@@ -77,7 +77,10 @@ impl LogStatistics {
         // before it. Walk per-node event times once.
         let mut events_by_node: HashMap<NodeId, Vec<SimTime>> = HashMap::new();
         for event in log.events() {
-            events_by_node.entry(event.node).or_default().push(event.time);
+            events_by_node
+                .entry(event.node)
+                .or_default()
+                .push(event.time);
         }
         let silent_ue_count = fatal_events
             .iter()
@@ -206,11 +209,7 @@ mod tests {
         // Node 2: UE with nothing before it -> silent.
         let log = ErrorLog::new(
             fleet,
-            vec![
-                detailed_ce(1, 0, (day / 2) as i64, 1),
-                ue(1, day),
-                ue(2, 5 * day),
-            ],
+            vec![detailed_ce(1, 0, day / 2, 1), ue(1, day), ue(2, 5 * day)],
             SimTime::ZERO,
             SimTime::from_days(10),
         );

@@ -10,9 +10,9 @@
 
 use uerl::jobs::{sacct, JobLogConfig, JobTraceGenerator};
 use uerl::trace::generator::{SyntheticLogConfig, TraceGenerator};
+use uerl::trace::mcelog;
 use uerl::trace::reduction::{filter_retirement_bias, reduce_ue_bursts};
 use uerl::trace::stats::LogStatistics;
-use uerl::trace::mcelog;
 
 fn main() {
     // A site would read these from disk; here we synthesise and round-trip them to show
@@ -35,12 +35,17 @@ fn main() {
     assert_eq!(parsed_jobs.records(), job_log.records());
     println!("round-trip verified: parsed logs are identical to the originals");
 
-    println!("\n--- raw log ---\n{}", LogStatistics::compute(&parsed_errors).report());
+    println!(
+        "\n--- raw log ---\n{}",
+        LogStatistics::compute(&parsed_errors).report()
+    );
 
     let filtered = filter_retirement_bias(&parsed_errors);
     let reduced = reduce_ue_bursts(&filtered);
-    println!("--- after retirement filtering + UE burst reduction ---\n{}",
-        LogStatistics::compute(&reduced).report());
+    println!(
+        "--- after retirement filtering + UE burst reduction ---\n{}",
+        LogStatistics::compute(&reduced).report()
+    );
 
     println!(
         "job log: {} jobs, utilisation {:.1}%, largest job {:.0} node-hours",

@@ -54,16 +54,16 @@ fn main() {
         "trained the RL agent: {} episodes, {} decisions, {:.1} s wall clock",
         outcome.episodes, outcome.total_steps, outcome.wall_time_secs
     );
-    let mut rl = outcome.into_policy();
+    let rl = outcome.into_policy();
 
     // 4. Cost-benefit comparison on the held-out half.
     let config = MitigationConfig::paper_default();
-    let mut oracle = OraclePolicy::from_timelines(&test);
-    let runs = vec![
-        run_policy(&mut NeverMitigate, &test, &sampler, config, 7),
-        run_policy(&mut AlwaysMitigate, &test, &sampler, config, 7),
-        run_policy(&mut rl, &test, &sampler, config, 7),
-        run_policy(&mut oracle, &test, &sampler, config, 7),
+    let oracle = OraclePolicy::from_timelines(&test);
+    let runs = [
+        run_policy(&NeverMitigate, &test, &sampler, config, 7),
+        run_policy(&AlwaysMitigate, &test, &sampler, config, 7),
+        run_policy(&rl, &test, &sampler, config, 7),
+        run_policy(&oracle, &test, &sampler, config, 7),
     ];
     let never_cost = runs[0].total_cost();
     let rows: Vec<Vec<String>> = runs
@@ -82,7 +82,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["policy", "mitigations", "UE cost (nh)", "mitigation (nh)", "total (nh)", "saved vs Never"],
+            &[
+                "policy",
+                "mitigations",
+                "UE cost (nh)",
+                "mitigation (nh)",
+                "total (nh)",
+                "saved vs Never"
+            ],
             &rows
         )
     );

@@ -1,0 +1,88 @@
+//! Thread-count determinism: every parallel fan-out in the engine (forest fitting,
+//! per-node rollouts, per-policy and per-split evaluation, figure drivers) must produce
+//! **bit-identical** results whether it runs on one thread or many.
+//!
+//! The tests pin the thread count with `rayon::ThreadPool::install`, which is the same
+//! mechanism the `RAYON_NUM_THREADS` environment variable feeds; running the whole
+//! suite under `RAYON_NUM_THREADS=1` therefore exercises the same single-thread path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uerl::eval::evaluator::Evaluator;
+use uerl::eval::experiments::fig3;
+use uerl::eval::scenario::{EvalBudget, ExperimentContext};
+use uerl::forest::{Dataset, RandomForest, RandomForestConfig};
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+}
+
+/// An imbalanced but learnable dataset, the shape the SC20-RF baseline sees.
+fn rf_dataset(n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut d = Dataset::new();
+    for _ in 0..n {
+        let x0: f64 = rng.gen();
+        let x1: f64 = rng.gen();
+        let x2: f64 = rng.gen();
+        let positive = x0 + x1 > 1.5;
+        if !positive || rng.gen::<f64>() < 0.4 {
+            d.push(vec![x0, x1, x2], positive);
+        }
+    }
+    d
+}
+
+#[test]
+fn forest_fit_is_bit_identical_across_thread_counts() {
+    let data = rf_dataset(1500);
+    let config = RandomForestConfig::sc20(3, 4242);
+    let serial = pool(1).install(|| RandomForest::fit(&data, &config));
+    let two = pool(2).install(|| RandomForest::fit(&data, &config));
+    let eight = pool(8).install(|| RandomForest::fit(&data, &config));
+    // `RandomForest` derives `PartialEq` over every fitted tree, so this compares the
+    // full structure, not just a probe prediction.
+    assert_eq!(serial, two);
+    assert_eq!(serial, eight);
+}
+
+#[test]
+fn full_evaluation_is_bit_identical_across_thread_counts() {
+    let ctx = ExperimentContext::synthetic_small(30, 75, EvalBudget::tiny(), 1234);
+    let serial = pool(1).install(|| Evaluator::new().evaluate(&ctx));
+    let parallel = pool(4).install(|| Evaluator::new().evaluate(&ctx));
+    assert_eq!(serial.totals, parallel.totals);
+    assert_eq!(serial.per_split.len(), parallel.per_split.len());
+    for (a, b) in serial.per_split.iter().zip(&parallel.per_split) {
+        assert_eq!(
+            a.runs, b.runs,
+            "split {:?} diverged across thread counts",
+            a.split
+        );
+    }
+}
+
+#[test]
+fn figure3_smoke_output_is_byte_identical_across_thread_counts() {
+    let ctx = ExperimentContext::synthetic_small(25, 60, EvalBudget::tiny(), 77);
+    let serial = pool(1).install(|| fig3::run(&ctx, &[2.0, 5.0]).render());
+    let parallel = pool(4).install(|| fig3::run(&ctx, &[2.0, 5.0]).render());
+    assert_eq!(
+        serial, parallel,
+        "rendered figure must not depend on the thread count"
+    );
+    assert!(serial.contains("Figure 3"));
+}
+
+#[test]
+fn sequential_evaluator_mode_matches_parallel_mode_exactly() {
+    // Beyond thread counts: the evaluator's explicit `.sequential()` escape hatch must
+    // agree bit-for-bit with the rayon path.
+    let ctx = ExperimentContext::synthetic_small(25, 60, EvalBudget::tiny(), 555);
+    let par = Evaluator::new().evaluate(&ctx);
+    let seq = Evaluator::new().sequential().evaluate(&ctx);
+    assert_eq!(par.totals, seq.totals);
+}

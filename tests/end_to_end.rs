@@ -23,10 +23,14 @@ fn full_pipeline_reproduces_the_papers_cost_ordering() {
     // Shape assertions that mirror the paper's qualitative findings and hold even with a
     // deliberately tiny training budget:
     assert!(never > 0.0, "doing nothing must lose node-hours");
-    assert!(oracle <= never && oracle <= always && oracle <= sc20 && oracle <= rl + 1e-9,
-        "the Oracle bounds every other policy");
-    assert!(sc20 <= never.max(always) + 1e-9,
-        "a cost-optimal threshold cannot lose to both static baselines");
+    assert!(
+        oracle <= never && oracle <= always && oracle <= sc20 && oracle <= rl + 1e-9,
+        "the Oracle bounds every other policy"
+    );
+    assert!(
+        sc20 <= never.max(always) + 1e-9,
+        "a cost-optimal threshold cannot lose to both static baselines"
+    );
 
     // Every policy accounts the same uncorrected errors.
     let ue_counts: Vec<u64> = result.totals.iter().map(|r| r.ue_count).collect();

@@ -3,13 +3,13 @@
 //! exercised across crate boundaries.
 
 use proptest::prelude::*;
+use uerl::core::cost::{reward, ue_cost};
 use uerl::core::event_stream::TimelineSet;
 use uerl::core::policies::{NeverMitigate, ThresholdRfPolicy};
 use uerl::core::rf_dataset::build_rf_dataset_1day;
 use uerl::core::state::STATE_DIM;
 use uerl::core::trainer::{RlTrainer, TrainerConfig};
 use uerl::core::MitigationConfig;
-use uerl::core::cost::{reward, ue_cost};
 use uerl::eval::metrics::ClassificationMetrics;
 use uerl::eval::run::run_policy;
 use uerl::forest::{RandomForest, RandomForestConfig};
@@ -31,34 +31,50 @@ fn rf_baseline_trains_on_the_extracted_dataset_and_drives_a_policy() {
     let (dataset, origins) = build_rf_dataset_1day(&timelines);
     assert_eq!(dataset.len(), origins.len());
     assert_eq!(dataset.n_features(), STATE_DIM - 1);
-    assert!(dataset.len() > 50, "the synthetic log must produce enough samples");
-    assert!(dataset.positives() > 0, "some events precede a UE within one day");
-    assert!(dataset.positive_fraction() < 0.5, "UEs are the minority class");
+    assert!(
+        dataset.len() > 50,
+        "the synthetic log must produce enough samples"
+    );
+    assert!(
+        dataset.positives() > 0,
+        "some events precede a UE within one day"
+    );
+    assert!(
+        dataset.positive_fraction() < 0.5,
+        "UEs are the minority class"
+    );
 
     let forest = RandomForest::fit(&dataset, &RandomForestConfig::small(1));
-    let mut policy = ThresholdRfPolicy::new(forest, 0.5, "SC20-RF");
+    let policy = ThresholdRfPolicy::new(forest, 0.5, "SC20-RF");
     let run = run_policy(
-        &mut policy,
+        &policy,
         &timelines,
         &sampler,
         MitigationConfig::paper_default(),
         5,
     );
-    assert_eq!(run.decisions.len() as u64, run.mitigations + run.non_mitigations);
+    assert_eq!(
+        run.decisions.len() as u64,
+        run.mitigations + run.non_mitigations
+    );
     let metrics = ClassificationMetrics::from_run_1day(&run);
-    assert_eq!(metrics.true_positives + metrics.false_negatives, run.ue_count);
+    assert_eq!(
+        metrics.true_positives + metrics.false_negatives,
+        run.ue_count
+    );
 }
 
 #[test]
 fn rl_training_improves_over_the_untrained_agent_or_at_least_runs_cleanly() {
     let (timelines, sampler) = pipeline_inputs(321);
-    let trained = RlTrainer::new(TrainerConfig::reduced(60).with_seed(3)).train(&timelines, &sampler);
+    let trained =
+        RlTrainer::new(TrainerConfig::reduced(60).with_seed(3)).train(&timelines, &sampler);
     assert!(trained.total_steps > 0);
     assert!(trained.mean_episode_return <= 0.0);
     // The policy must be usable for evaluation and carry its training cost.
-    let mut policy = trained.into_policy();
+    let policy = trained.into_policy();
     let run = run_policy(
-        &mut policy,
+        &policy,
         &timelines,
         &sampler,
         MitigationConfig::paper_default(),
@@ -66,13 +82,16 @@ fn rl_training_improves_over_the_untrained_agent_or_at_least_runs_cleanly() {
     );
     assert!(run.mitigation_cost >= 0.0);
     let never = run_policy(
-        &mut NeverMitigate,
+        &NeverMitigate,
         &timelines,
         &sampler,
         MitigationConfig::paper_default(),
         5,
     );
-    assert_eq!(run.ue_count, never.ue_count, "the log's UEs are policy-independent");
+    assert_eq!(
+        run.ue_count, never.ue_count,
+        "the log's UEs are policy-independent"
+    );
 }
 
 proptest! {

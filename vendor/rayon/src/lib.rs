@@ -1,0 +1,487 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no registry access, so the workspace vendors the surface
+//! it uses: `par_iter()` / `into_par_iter()` with `map` + `collect`/`for_each`,
+//! `current_num_threads`, and `ThreadPoolBuilder` → `ThreadPool::install` for scoped
+//! thread-count overrides.
+//!
+//! Execution model: eager chunked fork-join on `std::thread::scope` rather than a
+//! work-stealing pool. Each parallel call splits its items into at most
+//! [`current_num_threads`] contiguous chunks, runs them on scoped threads, and joins in
+//! index order — so **results are always in input order and independent of the thread
+//! count**, which is exactly the determinism contract the UERL engine relies on. Worker
+//! panics are propagated with `resume_unwind`.
+//!
+//! Thread-count resolution order: innermost `ThreadPool::install` override, then the
+//! `RAYON_NUM_THREADS` environment variable, then `std::thread::available_parallelism`.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = no override.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel calls on this thread will currently fan out to.
+pub fn current_num_threads() -> usize {
+    let over = THREAD_OVERRIDE.with(Cell::get);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` (only `num_threads` is supported).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never actually produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (ambient) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of threads (0 = ambient default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in this implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override, mirroring `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count installed for every parallel call `f`
+    /// makes (directly or nested) on this thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads));
+        let guard = RestoreOverride(prev);
+        let result = f();
+        drop(guard);
+        result
+    }
+
+    /// The configured thread count (0 = ambient default).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+struct RestoreOverride(usize);
+
+impl Drop for RestoreOverride {
+    fn drop(&mut self) {
+        let prev = self.0;
+        THREAD_OVERRIDE.with(|c| c.set(prev));
+    }
+}
+
+/// Run `f` over `0..len`, fanning out to at most [`current_num_threads`] scoped threads.
+/// Results are returned in index order regardless of the thread count.
+pub fn execute_indexed<U: Send>(len: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let budget = current_num_threads();
+    let threads = budget.clamp(1, len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    // Divide the thread budget among the workers so nested parallel calls cannot
+    // multiply OS threads: a worker's own fan-outs share its slice of the budget,
+    // keeping the total number of live threads near the top-level budget at any
+    // nesting depth.
+    let child_budget = (budget / threads).max(1);
+    let mut out: Vec<U> = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                THREAD_OVERRIDE.with(|c| c.set(child_budget));
+                (start..end).map(f).collect::<Vec<U>>()
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+/// Like [`execute_indexed`] but consuming owned items, preserving order.
+pub fn execute_owned<I: Send, U: Send>(items: Vec<I>, f: impl Fn(I) -> U + Sync) -> Vec<U> {
+    let len = items.len();
+    let budget = current_num_threads();
+    let threads = budget.clamp(1, len.max(1));
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    // Same nesting discipline as `execute_indexed`: children split the budget.
+    let child_budget = (budget / threads).max(1);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let mut out: Vec<U> = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks.len());
+        for part in chunks {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                THREAD_OVERRIDE.with(|c| c.set(child_budget));
+                part.into_iter().map(f).collect::<Vec<U>>()
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+pub mod iter {
+    //! The parallel-iterator subset: `par_iter` / `into_par_iter` → `map` →
+    //! `collect` / `for_each` / `sum`.
+
+    use super::{execute_indexed, execute_owned};
+
+    /// Borrowing parallel iteration (`par_iter`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed item type.
+        type Item: Sync + 'a;
+        /// The concrete parallel iterator.
+        type Iter;
+        /// Borrowing parallel iterator over the collection.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        type Iter = ParSlice<'a, T>;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        type Iter = ParSlice<'a, T>;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    /// Consuming parallel iteration (`into_par_iter`).
+    pub trait IntoParallelIterator {
+        /// The owned item type.
+        type Item: Send;
+        /// The concrete parallel iterator.
+        type Iter;
+        /// Consuming parallel iterator over the collection.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParVec<T>;
+        fn into_par_iter(self) -> ParVec<T> {
+            ParVec { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    /// Parallel iterator over a borrowed slice.
+    pub struct ParSlice<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParSlice<'a, T> {
+        /// Map each borrowed item.
+        pub fn map<U: Send, F: Fn(&'a T) -> U + Sync>(self, f: F) -> MapSlice<'a, T, F> {
+            MapSlice {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    /// Mapped parallel slice iterator.
+    pub struct MapSlice<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync, F> MapSlice<'a, T, F> {
+        /// Execute in parallel and collect in input order.
+        pub fn collect<C, U>(self) -> C
+        where
+            U: Send,
+            F: Fn(&'a T) -> U + Sync,
+            C: FromParallelIterator<U>,
+        {
+            let slice = self.slice;
+            let f = self.f;
+            C::from_vec(execute_indexed(slice.len(), |i| f(&slice[i])))
+        }
+
+        /// Execute in parallel for side effects.
+        pub fn for_each<U>(self)
+        where
+            U: Send,
+            F: Fn(&'a T) -> U + Sync,
+        {
+            let _: Vec<U> = {
+                let slice = self.slice;
+                let f = self.f;
+                execute_indexed(slice.len(), |i| f(&slice[i]))
+            };
+        }
+
+        /// Execute in parallel and sum the results.
+        pub fn sum<U>(self) -> U
+        where
+            U: Send + std::iter::Sum<U>,
+            F: Fn(&'a T) -> U + Sync,
+        {
+            let slice = self.slice;
+            let f = self.f;
+            execute_indexed(slice.len(), |i| f(&slice[i]))
+                .into_iter()
+                .sum()
+        }
+    }
+
+    /// Parallel iterator over an owned vector.
+    pub struct ParVec<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParVec<T> {
+        /// Map each owned item.
+        pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> MapVec<T, F> {
+            MapVec {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// Mapped parallel owned-vector iterator.
+    pub struct MapVec<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send, F> MapVec<T, F> {
+        /// Execute in parallel and collect in input order.
+        pub fn collect<C, U>(self) -> C
+        where
+            U: Send,
+            F: Fn(T) -> U + Sync,
+            C: FromParallelIterator<U>,
+        {
+            C::from_vec(execute_owned(self.items, self.f))
+        }
+    }
+
+    /// Parallel iterator over a `usize` range.
+    pub struct ParRange {
+        range: std::ops::Range<usize>,
+    }
+
+    impl ParRange {
+        /// Map each index.
+        pub fn map<U: Send, F: Fn(usize) -> U + Sync>(self, f: F) -> MapRange<F> {
+            MapRange {
+                range: self.range,
+                f,
+            }
+        }
+    }
+
+    /// Mapped parallel range iterator.
+    pub struct MapRange<F> {
+        range: std::ops::Range<usize>,
+        f: F,
+    }
+
+    impl<F> MapRange<F> {
+        /// Execute in parallel and collect in input order.
+        pub fn collect<C, U>(self) -> C
+        where
+            U: Send,
+            F: Fn(usize) -> U + Sync,
+            C: FromParallelIterator<U>,
+        {
+            let start = self.range.start;
+            let f = self.f;
+            C::from_vec(execute_indexed(self.range.end.saturating_sub(start), |i| {
+                f(start + i)
+            }))
+        }
+    }
+
+    /// Collections constructible from an ordered parallel result.
+    pub trait FromParallelIterator<U> {
+        /// Build the collection from the in-order results.
+        fn from_vec(v: Vec<U>) -> Self;
+    }
+
+    impl<U> FromParallelIterator<U> for Vec<U> {
+        fn from_vec(v: Vec<U>) -> Self {
+            v
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable parallel-iterator traits, mirroring `rayon::prelude`.
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn indexed_execution_preserves_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_matches_serial() {
+        let data: Vec<u64> = (0..1000).collect();
+        let par: Vec<u64> = data.par_iter().map(|&x| x * x).collect();
+        let ser: Vec<u64> = data.iter().map(|&x| x * x).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn owned_execution_preserves_order() {
+        let data: Vec<String> = (0..50).map(|i| format!("item{i}")).collect();
+        let par: Vec<usize> = data.clone().into_par_iter().map(|s| s.len()).collect();
+        let ser: Vec<usize> = data.iter().map(|s| s.len()).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn install_overrides_thread_count_and_restores() {
+        let ambient = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 1);
+        assert_eq!(current_num_threads(), ambient);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let work = |i: usize| (i as f64).sqrt() * 3.0 + i as f64;
+        let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let four = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let a: Vec<f64> = one.install(|| (0..500).into_par_iter().map(work).collect());
+        let b: Vec<f64> = four.install(|| (0..500).into_par_iter().map(work).collect());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workers_split_the_installed_budget() {
+        // A 6-thread budget fanned out over 3 workers leaves each worker a 2-thread
+        // slice; with 3 workers on a 3-thread budget each worker drops to 1 (serial),
+        // so nested fan-outs cannot multiply OS threads.
+        let pool = ThreadPoolBuilder::new().num_threads(6).build().unwrap();
+        let counts: Vec<usize> = pool.install(|| {
+            (0..3)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(counts.iter().all(|&c| c == 2), "workers saw {counts:?}");
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let counts: Vec<usize> = pool.install(|| {
+            (0..6)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(counts.iter().all(|&c| c == 1), "workers saw {counts:?}");
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..16)
+                .into_par_iter()
+                .map(|i| if i == 7 { panic!("boom") } else { i })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 4950);
+    }
+}

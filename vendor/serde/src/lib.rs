@@ -1,0 +1,9 @@
+//! Offline vendored `serde` facade.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations compile without a registry. No code
+//! in this workspace serialises through serde yet (report output is hand-formatted
+//! text/JSON); when a registry is reachable, replacing this crate with the real serde
+//! is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline vendored no-op derive macros for `Serialize` / `Deserialize`.
+//!
+//! The workspace's types carry serde derives so that swapping in the real `serde`
+//! crate (once a registry is reachable) is a manifest-only change. Until then no code
+//! path serialises anything, so the derives expand to nothing; the `#[serde(...)]`
+//! helper attribute is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
