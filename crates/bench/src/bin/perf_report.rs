@@ -1,10 +1,11 @@
 //! `perf_report` — the repo's perf-trajectory baseline.
 //!
-//! Times every figure/table pipeline at the selected `UERL_SCALE` (default `small`)
-//! twice — once pinned to a single thread and once with the ambient thread count — and
-//! writes `BENCH_PR1.json` with per-stage wall times, the thread count, the speedup, and
-//! whether the rendered experiment output was byte-identical across thread counts (it
-//! must be: every parallel fan-out in the engine merges in deterministic order).
+//! Times every figure/table pipeline plus the two-round RL hyperparameter search at the
+//! selected `UERL_SCALE` (default `small`) twice — once pinned to a single thread and
+//! once with the ambient thread count — and writes `BENCH_PR2.json` with per-stage wall
+//! times, the thread count, the speedup, and whether the stage output was byte-identical
+//! across thread counts (it must be: every parallel fan-out in the engine merges in
+//! deterministic order).
 //!
 //! Usage:
 //! ```text
@@ -12,13 +13,17 @@
 //! RAYON_NUM_THREADS=8 cargo run --release -p uerl-bench --bin perf_report
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 use uerl_bench::Scale;
 use uerl_core::rf_dataset::build_rf_dataset_1day;
 use uerl_core::state::STATE_DIM;
+use uerl_eval::evaluator::dqn_candidate_evaluator;
 use uerl_eval::experiments::{fig3, fig4, fig5, fig6, fig7, table2};
 use uerl_eval::scenario::ExperimentContext;
 use uerl_forest::{RandomForest, RandomForestConfig};
+use uerl_rl::HyperSearch;
 
 struct StageReport {
     name: &'static str,
@@ -74,10 +79,47 @@ fn main() {
         )
     };
 
+    // The parallel two-round hyperparameter search (the per-split RL stage of the
+    // evaluation protocol): enough candidates to expose the fan-out even at the small
+    // scale, with a fingerprint covering the winner, the charged search cost and a
+    // probe of the winning network's Q-values.
+    let hyper_stage = |ctx: &ExperimentContext| -> String {
+        let sampler = ctx.job_sampler(1.0);
+        let seed = ctx.seed ^ 0x5EA7;
+        let search = HyperSearch::reduced(8, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = search.run_parallel(
+            &mut rng,
+            dqn_candidate_evaluator(
+                &ctx.timelines,
+                &ctx.timelines,
+                &sampler,
+                ctx.mitigation,
+                seed,
+                ctx.budget.rl_episodes,
+            ),
+        );
+        let probe = vec![0.25; STATE_DIM];
+        let q = outcome.best.agent().q_values(&probe);
+        format!(
+            "candidates={} best={} lr={:.12e} score={:.12} cost={:.12} q={:?}",
+            outcome.candidates.len(),
+            outcome.best_index,
+            outcome.best_params.learning_rate,
+            outcome.best_score,
+            outcome.total_cost,
+            q
+        )
+    };
+
     let stages: Vec<(&'static str, Stage)> = vec![
         ("forest_fit_100_trees", {
             let ctx = ctx.clone();
             Box::new(move || forest_stage(&ctx))
+        }),
+        ("hyper_search_rl", {
+            let ctx = ctx.clone();
+            Box::new(move || hyper_stage(&ctx))
         }),
         ("fig3_total_cost", {
             let ctx = ctx.clone();
@@ -149,7 +191,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"pr\": 1,\n");
+    json.push_str("  \"pr\": 2,\n");
     json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!(
@@ -174,7 +216,7 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
+    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
     std::fs::write(&path, &json).expect("write benchmark report");
     eprintln!(
         "[perf_report] overall speedup {overall_speedup:.2}x on {threads} thread(s); wrote {path}"

@@ -7,7 +7,7 @@ use crate::run::{run_policy, PolicyRun};
 use crate::scenario::ExperimentContext;
 use crate::splits::{nested_splits, SplitSpec};
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::SeedableRng;
 use rayon::prelude::*;
 use std::sync::Arc;
 use uerl_core::event_stream::TimelineSet;
@@ -23,7 +23,7 @@ use uerl_forest::{
     optimal_threshold, perturb_threshold, Dataset, RandomForest, RandomForestConfig,
 };
 use uerl_jobs::schedule::NodeJobSampler;
-use uerl_rl::{AgentConfig, HyperParams};
+use uerl_rl::{AgentConfig, HyperParams, HyperSearch, SearchOutcome};
 
 /// The canonical policy ordering used in every figure and table.
 pub const POLICY_ORDER: [&str; 8] = [
@@ -372,9 +372,26 @@ fn train_rl_agent(
     config: MitigationConfig,
     seed: u64,
 ) -> RlPolicy {
+    let outcome = rl_hyper_search(ctx, train_tl, validate_tl, sampler, config, seed);
+    outcome.best.with_training_cost(outcome.total_cost)
+}
+
+/// The split-level hyperparameter search behind [`train_rl_agent`], exposed with its
+/// full candidate trace for the cost-accounting and determinism tests.
+///
+/// Candidate parameters and per-candidate trainer seeds are pre-drawn by the generic
+/// two-round driver ([`HyperSearch::run_parallel`]), so the candidates of a round train
+/// and score in parallel while the outcome stays bit-identical at any thread count.
+fn rl_hyper_search(
+    ctx: &ExperimentContext,
+    train_tl: &TimelineSet,
+    validate_tl: &TimelineSet,
+    sampler: &NodeJobSampler,
+    config: MitigationConfig,
+    seed: u64,
+) -> SearchOutcome<RlPolicy> {
     let budget = ctx.budget;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
-    let base_agent = AgentConfig::small(STATE_DIM);
 
     // Model selection set: validation if it contains UEs, training otherwise.
     let selection_tl = if validate_tl.total_fatal() > 0 {
@@ -383,48 +400,56 @@ fn train_rl_agent(
         train_tl
     };
 
-    let mut candidates = vec![HyperParams::default_point()];
-    for _ in 1..budget.hyper_initial.max(1) {
-        candidates.push(HyperParams::sample(&mut rng));
-    }
+    let search = HyperSearch::reduced(budget.hyper_initial, budget.hyper_refined);
+    search.run_parallel(
+        &mut rng,
+        dqn_candidate_evaluator(
+            train_tl,
+            selection_tl,
+            sampler,
+            config,
+            seed,
+            budget.rl_episodes,
+        ),
+    )
+}
 
-    let mut best: Option<(HyperParams, RlPolicy, f64)> = None;
-    let mut search_cost_node_hours = 0.0f64;
-    let mut evaluate_candidate =
-        |params: HyperParams, rng: &mut StdRng, best: &mut Option<(HyperParams, RlPolicy, f64)>| {
-            let agent_config = params.apply_to(&base_agent).with_seed(seed);
-            let trainer_config = TrainerConfig {
-                episodes: budget.rl_episodes.max(1),
-                agent: agent_config,
-                mitigation: config,
-                seed: seed ^ u64::from(rng.next_u32()),
-            };
-            let outcome = RlTrainer::new(trainer_config).train(train_tl, sampler);
-            search_cost_node_hours += outcome.training_cost_node_hours();
-            let policy = RlPolicy::new(outcome.agent.clone());
-            let score = if selection_tl.is_empty() {
-                0.0
-            } else {
-                -run_policy(&policy, selection_tl, sampler, config, seed).total_cost()
-            };
-            let better = best.as_ref().map(|(_, _, s)| score > *s).unwrap_or(true);
-            if better {
-                *best = Some((params, RlPolicy::new(outcome.agent), score));
-            }
+/// The candidate-evaluation closure every hyper-search call site feeds to
+/// [`HyperSearch::run_parallel`]: train a DQN with the candidate's hyperparameters
+/// (trainer seed mixed as `seed ^ seed_draw`), score it as the negated total cost of a
+/// replay on `selection_tl`, and charge the deterministic step-based training cost.
+/// Centralised so the evaluator, the figure pipelines and the benchmarks cannot drift
+/// apart in seed-mixing or scoring semantics.
+pub fn dqn_candidate_evaluator<'a>(
+    train_tl: &'a TimelineSet,
+    selection_tl: &'a TimelineSet,
+    sampler: &'a NodeJobSampler,
+    config: MitigationConfig,
+    seed: u64,
+    episodes: usize,
+) -> impl Fn(&HyperParams, u64) -> (RlPolicy, f64, f64) + Sync + 'a {
+    let base_agent = AgentConfig::small(STATE_DIM);
+    move |params, seed_draw| {
+        let trainer_config = TrainerConfig {
+            episodes: episodes.max(1),
+            agent: params.apply_to(&base_agent).with_seed(seed),
+            mitigation: config,
+            seed: seed ^ seed_draw,
         };
-
-    for params in candidates {
-        evaluate_candidate(params, &mut rng, &mut best);
+        let outcome = RlTrainer::new(trainer_config).train(train_tl, sampler);
+        let cost = outcome.training_cost_node_hours();
+        // Compact before wrapping: a round of candidates is held alive until the
+        // reduction, and the filled replay buffer dominates each agent's footprint.
+        let mut agent = outcome.agent;
+        agent.compact_for_inference();
+        let policy = RlPolicy::new(agent);
+        let score = if selection_tl.is_empty() {
+            0.0
+        } else {
+            -run_policy(&policy, selection_tl, sampler, config, seed).total_cost()
+        };
+        (policy, score, cost)
     }
-    if let Some((anchor, _, _)) = best.clone() {
-        for _ in 0..budget.hyper_refined {
-            let params = anchor.narrowed(&mut rng);
-            evaluate_candidate(params, &mut rng, &mut best);
-        }
-    }
-
-    let (_, policy, _) = best.expect("at least one candidate was evaluated");
-    policy.with_training_cost(search_cost_node_hours)
 }
 
 #[cfg(test)]
@@ -508,6 +533,78 @@ mod tests {
             .metrics
             .precision()
             .is_none());
+    }
+
+    #[test]
+    fn search_cost_is_the_sum_over_all_candidates_in_candidate_order() {
+        // Multiple candidates in both rounds, tiny training budget.
+        let budget = EvalBudget {
+            rl_episodes: 8,
+            hyper_initial: 3,
+            hyper_refined: 2,
+            rf_trees: 4,
+            cv_parts: 3,
+            threshold_grid: 4,
+        };
+        let ctx = ExperimentContext::synthetic_small(20, 60, budget, 71);
+        let sampler = ctx.job_sampler(1.0);
+        let window = ctx.timelines.window_end() - ctx.timelines.window_start();
+        let mid = ctx
+            .timelines
+            .window_start()
+            .plus_secs((window as f64 * 0.7) as i64);
+        let train_tl = ctx.timelines.slice(ctx.timelines.window_start(), mid);
+        let validate_tl = ctx.timelines.slice(mid, ctx.timelines.window_end());
+        let seed = 1234u64;
+
+        let outcome = rl_hyper_search(
+            &ctx,
+            &train_tl,
+            &validate_tl,
+            &sampler,
+            ctx.mitigation,
+            seed,
+        );
+        // The paper's budget semantics: the default point counts as one of
+        // `hyper_initial`, so exactly initial + refined candidates are trained.
+        assert_eq!(
+            outcome.candidates.len(),
+            budget.hyper_initial + budget.hyper_refined
+        );
+
+        // The charged search cost is the in-order sum of the per-candidate costs, and
+        // each recorded cost is reproducible by retraining that candidate from its
+        // recorded parameters and pre-drawn trainer seed.
+        let base_agent = AgentConfig::small(STATE_DIM);
+        let mut recomputed = 0.0f64;
+        for candidate in &outcome.candidates {
+            let trainer_config = TrainerConfig {
+                episodes: budget.rl_episodes,
+                agent: candidate.params.apply_to(&base_agent).with_seed(seed),
+                mitigation: ctx.mitigation,
+                seed: seed ^ candidate.trainer_seed,
+            };
+            let trained = RlTrainer::new(trainer_config).train(&train_tl, &sampler);
+            let cost = trained.training_cost_node_hours();
+            assert_eq!(cost.to_bits(), candidate.cost.to_bits());
+            recomputed += cost;
+        }
+        assert_eq!(outcome.total_cost.to_bits(), recomputed.to_bits());
+        assert!(outcome.total_cost > 0.0);
+
+        // And `train_rl_agent` charges exactly that cost to the returned policy.
+        let policy = train_rl_agent(
+            &ctx,
+            &train_tl,
+            &validate_tl,
+            &sampler,
+            ctx.mitigation,
+            seed,
+        );
+        assert_eq!(
+            policy.training_cost_node_hours().to_bits(),
+            outcome.total_cost.to_bits()
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Shared helpers for the experiment drivers that need a trained agent outside the
 //! cross-validation loop (Figure 6's behaviour map and Table 2's cost-conditioned rows).
 
+use crate::evaluator::dqn_candidate_evaluator;
 use crate::run::run_policy;
 use crate::scenario::ExperimentContext;
 use rand::rngs::StdRng;
@@ -11,11 +12,10 @@ use uerl_core::event_stream::TimelineSet;
 use uerl_core::policies::{RlPolicy, ThresholdRfPolicy};
 use uerl_core::rf_dataset::build_rf_dataset_1day;
 use uerl_core::state::{StateFeatures, STATE_DIM};
-use uerl_core::trainer::{RlTrainer, TrainerConfig};
 use uerl_core::MitigationConfig;
 use uerl_forest::{RandomForest, RandomForestConfig};
 use uerl_jobs::schedule::NodeJobSampler;
-use uerl_rl::AgentConfig;
+use uerl_rl::HyperSearch;
 use uerl_trace::types::SimTime;
 
 /// Models trained on the leading fraction of the observation window, plus the boundary.
@@ -36,6 +36,13 @@ impl TrainedModels {
 }
 
 /// Train the forest and the RL agent on the first `train_fraction` of the window.
+///
+/// The RL agent goes through the same two-round random hyperparameter search as the
+/// cross-validation protocol ([`HyperSearch::run_parallel`], `budget.hyper_initial`
+/// broad + `budget.hyper_refined` narrowed candidates, trained in parallel). Model
+/// selection scores candidates on the training prefix itself — the held-out remainder
+/// of the window is the figures' evaluation data and must stay unseen — and the whole
+/// search, not just the winner, is charged as the policy's training cost.
 pub fn train_models_on_prefix(ctx: &ExperimentContext, train_fraction: f64) -> TrainedModels {
     let window = ctx.timelines.window_end() - ctx.timelines.window_start();
     let train_end = ctx
@@ -57,17 +64,23 @@ pub fn train_models_on_prefix(ctx: &ExperimentContext, train_fraction: f64) -> T
     }
     let forest = RandomForest::fit(&dataset, &rf_config);
 
-    // RL agent on the same prefix.
-    let trainer_config = TrainerConfig {
-        episodes: ctx.budget.rl_episodes.max(1),
-        agent: AgentConfig::small(STATE_DIM).with_seed(ctx.seed),
-        mitigation: ctx.mitigation,
-        seed: ctx.seed,
-    };
-    let outcome = RlTrainer::new(trainer_config).train(&train_tl, &sampler);
+    // RL agent on the same prefix, with the full two-round hyperparameter search.
+    let search = HyperSearch::reduced(ctx.budget.hyper_initial, ctx.budget.hyper_refined);
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x0F16);
+    let outcome = search.run_parallel(
+        &mut rng,
+        dqn_candidate_evaluator(
+            &train_tl,
+            &train_tl,
+            &sampler,
+            ctx.mitigation,
+            ctx.seed,
+            ctx.budget.rl_episodes,
+        ),
+    );
     TrainedModels {
         forest,
-        rl: outcome.into_policy(),
+        rl: outcome.best.with_training_cost(outcome.total_cost),
         train_end,
     }
 }

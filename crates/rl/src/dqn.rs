@@ -235,6 +235,7 @@ pub struct DqnAgent {
     updates: u64,
     loss: Loss,
     last_loss: Option<f64>,
+    compacted: bool,
 }
 
 impl DqnAgent {
@@ -268,6 +269,7 @@ impl DqnAgent {
             updates: 0,
             loss: Loss::huber(),
             last_loss: None,
+            compacted: false,
         }
     }
 
@@ -276,9 +278,28 @@ impl DqnAgent {
         &self.config
     }
 
+    /// Shrink a trained agent to its inference footprint by dropping the accumulated
+    /// replay memory (a fresh minimal buffer keeps the agent valid). Greedy inference
+    /// (`q_values` / `act_greedy`) is unaffected; only further training would differ.
+    /// The parallel hyperparameter search compacts every candidate policy so a round
+    /// of trained agents does not pin one filled replay buffer per candidate.
+    pub fn compact_for_inference(&mut self) {
+        self.replay = if self.config.prioritized {
+            ReplayMemory::Prioritized(PrioritizedReplay::new(1, self.config.per_alpha))
+        } else {
+            ReplayMemory::Uniform(UniformReplay::new(1))
+        };
+        self.compacted = true;
+    }
+
     /// Number of environment steps observed so far.
     pub fn env_steps(&self) -> u64 {
         self.env_steps
+    }
+
+    /// Number of transitions currently held in the replay memory.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
     }
 
     /// Number of gradient updates performed so far.
@@ -323,6 +344,10 @@ impl DqnAgent {
 
     /// Store one transition and, when due, run a training step.
     pub fn observe(&mut self, transition: Transition) {
+        debug_assert!(
+            !self.compacted,
+            "agent was compacted for inference; training would sample a 1-slot replay"
+        );
         debug_assert_eq!(transition.state_dim(), self.config.state_dim);
         match &mut self.replay {
             ReplayMemory::Uniform(r) => r.push(transition),
@@ -346,6 +371,10 @@ impl DqnAgent {
     /// Run one gradient update on a replayed mini-batch. Returns the batch loss, or
     /// `None` if the replay memory does not yet hold enough transitions.
     pub fn train_step(&mut self) -> Option<f64> {
+        debug_assert!(
+            !self.compacted,
+            "agent was compacted for inference; training would sample a 1-slot replay"
+        );
         let batch_size = self.config.batch_size;
         if self.replay.len() < batch_size {
             return None;
@@ -482,6 +511,22 @@ mod tests {
         assert_eq!(agent.act_greedy(&[0.0, 1.0]), 1);
         assert!(agent.updates() > 0);
         assert!(agent.last_loss().is_some());
+    }
+
+    #[test]
+    fn compaction_drops_the_replay_but_preserves_inference() {
+        let mut agent = train_bandit(AgentConfig::small(2).with_seed(6), 1_000);
+        assert!(agent.replay_len() > 0);
+        let q0 = agent.q_values(&[1.0, 0.0]);
+        let q1 = agent.q_values(&[0.0, 1.0]);
+        agent.compact_for_inference();
+        assert_eq!(agent.replay_len(), 0);
+        for (a, b) in q0.iter().zip(&agent.q_values(&[1.0, 0.0])) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in q1.iter().zip(&agent.q_values(&[0.0, 1.0])) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

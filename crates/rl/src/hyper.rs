@@ -99,10 +99,44 @@ impl HyperParams {
     }
 }
 
+/// One evaluated configuration in the search trace, in evaluation order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedCandidate {
+    /// The hyperparameters that were evaluated.
+    pub params: HyperParams,
+    /// The pre-drawn seed material handed to the evaluation closure.
+    pub trainer_seed: u64,
+    /// The candidate's score (higher is better).
+    pub score: f64,
+    /// The cost charged for evaluating this candidate (e.g. training node-hours).
+    pub cost: f64,
+    /// Whether the candidate belongs to the narrowed second round.
+    pub refined: bool,
+}
+
+/// The result of a two-round search: the winning artifact plus the full candidate trace.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome<P> {
+    /// The artifact (e.g. trained policy) returned by the winning candidate.
+    pub best: P,
+    /// The winning hyperparameters.
+    pub best_params: HyperParams,
+    /// The winning score.
+    pub best_score: f64,
+    /// Index of the winner in [`SearchOutcome::candidates`].
+    pub best_index: usize,
+    /// Sum of every candidate's cost, accumulated in candidate order (the whole
+    /// search is charged, not just the winner).
+    pub total_cost: f64,
+    /// Every evaluated candidate, in evaluation order (broad round first).
+    pub candidates: Vec<EvaluatedCandidate>,
+}
+
 /// A two-round random hyperparameter search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HyperSearch {
-    /// Number of configurations drawn in the broad first round (60 in the paper).
+    /// Total configurations evaluated in the broad first round, *including* the
+    /// default point (60 in the paper).
     pub initial_round: usize,
     /// Number of configurations drawn in the narrowed second round.
     pub refined_round: usize,
@@ -125,35 +159,123 @@ impl HyperSearch {
         }
     }
 
-    /// Run the search: evaluate each candidate with `score` (higher is better) and return
-    /// the best hyperparameters together with their score.
+    /// Run the search with a parallel fan-out over the candidates of each round.
+    ///
+    /// Every candidate's parameters and per-candidate seed material are pre-drawn from
+    /// `rng` up front (in candidate order, parameters before seed), so the evaluation
+    /// closure never touches the shared RNG and the candidates of a round are
+    /// embarrassingly parallel. `evaluate` maps a candidate and its pre-drawn seed to
+    /// `(artifact, score, cost)`; higher scores win, ties keep the earliest candidate,
+    /// and costs are accumulated in candidate order — the outcome is **bit-identical at
+    /// any thread count** and identical to a serial evaluation.
+    ///
+    /// The default point counts as the first of the `initial_round` broad candidates,
+    /// so exactly `initial_round + refined_round` configurations are evaluated.
+    pub fn run_parallel<P, R, F>(&self, rng: &mut R, evaluate: F) -> SearchOutcome<P>
+    where
+        P: Send,
+        R: Rng + ?Sized,
+        F: Fn(&HyperParams, u64) -> (P, f64, f64) + Sync,
+    {
+        let initial = self.initial_round.max(1);
+        let mut candidates = Vec::with_capacity(initial + self.refined_round);
+        let mut total_cost = 0.0f64;
+        let mut best: Option<(usize, P, f64)> = None;
+
+        // Broad round: the default point plus `initial - 1` samples from the full space.
+        let mut round: Vec<(HyperParams, u64)> = Vec::with_capacity(initial);
+        let default = HyperParams::default_point();
+        round.push((default, rng.next_u64()));
+        for _ in 1..initial {
+            let params = HyperParams::sample(rng);
+            round.push((params, rng.next_u64()));
+        }
+        reduce_round(
+            &round,
+            false,
+            &evaluate,
+            &mut candidates,
+            &mut total_cost,
+            &mut best,
+        );
+
+        // Narrowed round, anchored at the broad round's winner.
+        let anchor = best
+            .as_ref()
+            .map(|&(i, _, _)| candidates[i].params)
+            .expect("the broad round evaluated at least one candidate");
+        let mut round: Vec<(HyperParams, u64)> = Vec::with_capacity(self.refined_round);
+        for _ in 0..self.refined_round {
+            let params = anchor.narrowed(rng);
+            round.push((params, rng.next_u64()));
+        }
+        reduce_round(
+            &round,
+            true,
+            &evaluate,
+            &mut candidates,
+            &mut total_cost,
+            &mut best,
+        );
+
+        let (best_index, best_artifact, best_score) = best.expect("at least one candidate");
+        SearchOutcome {
+            best: best_artifact,
+            best_params: candidates[best_index].params,
+            best_score,
+            best_index,
+            total_cost,
+            candidates,
+        }
+    }
+
+    /// Run the search with a score-only closure (higher is better) and return the best
+    /// hyperparameters together with their score. Convenience wrapper over
+    /// [`HyperSearch::run_parallel`] with no artifact and no cost accounting.
     ///
     /// The search is deterministic given `rng` and a deterministic scoring closure.
     pub fn run<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
-        mut score: impl FnMut(&HyperParams) -> f64,
+        score: impl Fn(&HyperParams) -> f64 + Sync,
     ) -> (HyperParams, f64) {
-        let mut best = HyperParams::default_point();
-        let mut best_score = score(&best);
-        for _ in 0..self.initial_round {
-            let candidate = HyperParams::sample(rng);
-            let s = score(&candidate);
-            if s > best_score {
-                best_score = s;
-                best = candidate;
-            }
+        let outcome = self.run_parallel(rng, |params, _seed| ((), score(params), 0.0));
+        (outcome.best_params, outcome.best_score)
+    }
+}
+
+/// Evaluate one pre-drawn round in parallel and fold it into the running search state in
+/// candidate order (deterministic best selection and cost accumulation).
+fn reduce_round<P, F>(
+    round: &[(HyperParams, u64)],
+    refined: bool,
+    evaluate: &F,
+    candidates: &mut Vec<EvaluatedCandidate>,
+    total_cost: &mut f64,
+    best: &mut Option<(usize, P, f64)>,
+) where
+    P: Send,
+    F: Fn(&HyperParams, u64) -> (P, f64, f64) + Sync,
+{
+    use rayon::prelude::*;
+    let evaluated: Vec<(P, f64, f64)> = round
+        .par_iter()
+        .map(|(params, seed)| evaluate(params, *seed))
+        .collect();
+    for ((params, seed), (artifact, score, cost)) in round.iter().zip(evaluated) {
+        let index = candidates.len();
+        *total_cost += cost;
+        candidates.push(EvaluatedCandidate {
+            params: *params,
+            trainer_seed: *seed,
+            score,
+            cost,
+            refined,
+        });
+        let better = best.as_ref().map(|&(_, _, s)| score > s).unwrap_or(true);
+        if better {
+            *best = Some((index, artifact, score));
         }
-        let anchor = best;
-        for _ in 0..self.refined_round {
-            let candidate = anchor.narrowed(rng);
-            let s = score(&candidate);
-            if s > best_score {
-                best_score = s;
-                best = candidate;
-            }
-        }
-        (best, best_score)
     }
 }
 
@@ -242,5 +364,83 @@ mod tests {
     #[test]
     fn paper_budget_is_sixty_initial() {
         assert_eq!(HyperSearch::paper().initial_round, 60);
+    }
+
+    #[test]
+    fn budget_counts_the_default_point_inside_the_broad_round() {
+        // Paper semantics: `initial_round` is the *total* broad-round budget, with the
+        // default point as candidate 0 — not one extra candidate on top of it.
+        let mut rng = StdRng::seed_from_u64(11);
+        let search = HyperSearch::reduced(5, 3);
+        let outcome = search.run_parallel(&mut rng, |h, _| ((), h.gamma, 1.0));
+        assert_eq!(outcome.candidates.len(), 5 + 3);
+        assert_eq!(outcome.candidates[0].params, HyperParams::default_point());
+        assert!(outcome.candidates[..5].iter().all(|c| !c.refined));
+        assert!(outcome.candidates[5..].iter().all(|c| c.refined));
+        let paper = HyperSearch::paper();
+        let outcome = paper.run_parallel(&mut StdRng::seed_from_u64(12), |h, _| ((), h.gamma, 0.0));
+        assert_eq!(outcome.candidates.len(), 60 + 20);
+        assert_eq!(
+            outcome.candidates.iter().filter(|c| !c.refined).count(),
+            60,
+            "the broad round must evaluate exactly 60 candidates including the default"
+        );
+    }
+
+    #[test]
+    fn equal_scores_keep_the_earliest_candidate() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let search = HyperSearch::reduced(8, 4);
+        let outcome = search.run_parallel(&mut rng, |_, _| ((), 1.0, 0.0));
+        assert_eq!(outcome.best_index, 0);
+        assert_eq!(outcome.best_params, HyperParams::default_point());
+    }
+
+    #[test]
+    fn cost_accumulates_over_every_candidate_in_order() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let search = HyperSearch::reduced(7, 5);
+        let cost_of = |h: &HyperParams| h.learning_rate * 1e3 + h.per_alpha;
+        let outcome = search.run_parallel(&mut rng, |h, _| ((), -h.gamma, cost_of(h)));
+        let mut expected = 0.0f64;
+        for c in &outcome.candidates {
+            expected += cost_of(&c.params);
+        }
+        assert_eq!(
+            outcome.total_cost.to_bits(),
+            expected.to_bits(),
+            "total cost must be the in-order sum over all candidates"
+        );
+        assert!(outcome
+            .candidates
+            .iter()
+            .all(|c| c.cost == cost_of(&c.params)));
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_across_thread_counts() {
+        let search = HyperSearch::reduced(12, 6);
+        let score = |h: &HyperParams, seed: u64| {
+            // A deterministic, seed-sensitive score so any RNG-order or reduction-order
+            // difference across thread counts would show up.
+            -((h.learning_rate.log10() + 3.0).powi(2)) - ((seed % 997) as f64) * 1e-6
+        };
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                let mut rng = StdRng::seed_from_u64(15);
+                search.run_parallel(&mut rng, |h, s| ((), score(h, s), h.gamma))
+            })
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.best_index, four.best_index);
+        assert_eq!(one.best_params, four.best_params);
+        assert_eq!(one.best_score.to_bits(), four.best_score.to_bits());
+        assert_eq!(one.total_cost.to_bits(), four.total_cost.to_bits());
+        assert_eq!(one.candidates, four.candidates);
     }
 }

@@ -26,7 +26,7 @@ pub mod sumtree;
 pub mod transition;
 
 pub use dqn::{AgentConfig, DqnAgent};
-pub use hyper::{HyperParams, HyperSearch};
+pub use hyper::{EvaluatedCandidate, HyperParams, HyperSearch, SearchOutcome};
 pub use per::PrioritizedReplay;
 pub use replay::UniformReplay;
 pub use schedule::{BetaSchedule, EpsilonSchedule};

@@ -74,6 +74,25 @@ impl PrioritizedReplay {
         self.alpha
     }
 
+    /// Override the priority floor (the minimum TD-error magnitude credited to a
+    /// transition so nothing starves; default `1e-4`).
+    ///
+    /// # Panics
+    /// Panics if the floor is not strictly positive and finite.
+    pub fn with_priority_floor(mut self, floor: f64) -> Self {
+        assert!(
+            floor.is_finite() && floor > 0.0,
+            "priority floor must be positive and finite"
+        );
+        self.priority_floor = floor;
+        self
+    }
+
+    /// The stored (post-exponentiation) priority of a slot, for diagnostics and tests.
+    pub fn priority_of(&self, slot: usize) -> f64 {
+        self.tree.get(slot)
+    }
+
     /// Add a transition with the maximum priority seen so far, so every new experience is
     /// replayed at least once soon after being stored.
     pub fn push(&mut self, transition: Transition) {
@@ -85,8 +104,10 @@ impl PrioritizedReplay {
             self.next
         };
         self.next = (slot + 1) % self.capacity;
-        let priority = self.max_priority.powf(self.alpha).max(self.priority_floor);
-        self.tree.set(slot, priority);
+        // Floor the raw magnitude *before* exponentiation, matching `update_priorities`:
+        // the floor lives in TD-error space, not in priority (`magnitude^alpha`) space.
+        let magnitude = self.max_priority.max(self.priority_floor);
+        self.tree.set(slot, magnitude.powf(self.alpha));
     }
 
     /// Sample `batch` transitions proportionally to priority; `beta` controls the
@@ -260,9 +281,47 @@ mod tests {
     }
 
     #[test]
+    fn push_floors_the_raw_magnitude_before_exponentiation() {
+        // Regression: `push` used to floor *after* exponentiation
+        // (`max_priority^alpha` then `.max(floor)`) while `update_priorities` floors the
+        // raw magnitude first. Both paths must agree that the floor lives in TD-error
+        // space: a floor above the running max priority yields `floor^alpha`, not
+        // `floor`.
+        let alpha = 0.5;
+        let floor = 2.0;
+        let mut per = PrioritizedReplay::new(4, alpha).with_priority_floor(floor);
+        per.push(t(0.0)); // max_priority = 1.0 < floor
+        assert!(
+            (per.priority_of(0) - floor.powf(alpha)).abs() < 1e-15,
+            "push stored {}, want floor^alpha = {}",
+            per.priority_of(0),
+            floor.powf(alpha)
+        );
+        // `update_priorities` with a sub-floor error must store the same value.
+        per.push(t(1.0));
+        per.update_priorities(&[1], &[0.0]);
+        assert_eq!(per.priority_of(0).to_bits(), per.priority_of(1).to_bits());
+    }
+
+    #[test]
+    fn sub_floor_td_errors_are_floored_consistently() {
+        let mut per = PrioritizedReplay::new(2, 0.6);
+        per.push(t(0.0));
+        per.update_priorities(&[0], &[1e-9]);
+        let expected = 1e-4f64.powf(0.6);
+        assert!((per.priority_of(0) - expected).abs() < 1e-15);
+    }
+
+    #[test]
     #[should_panic(expected = "alpha must be in")]
     fn bad_alpha_rejected() {
         PrioritizedReplay::new(4, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority floor must be positive")]
+    fn bad_floor_rejected() {
+        let _ = PrioritizedReplay::new(4, 0.5).with_priority_floor(0.0);
     }
 
     #[test]

@@ -51,11 +51,13 @@ impl SumTree {
             "priority must be non-negative and finite (got {priority})"
         );
         let mut pos = self.capacity + index;
-        let delta = priority - self.tree[pos];
         self.tree[pos] = priority;
+        // Recompute each parent from its children instead of propagating the
+        // floating-point delta: same O(log n) cost, but exact — `total()` can never
+        // drift from the true leaf sum, no matter how many updates the tree absorbs.
         while pos > 1 {
             pos /= 2;
-            self.tree[pos] += delta;
+            self.tree[pos] = self.tree[2 * pos] + self.tree[2 * pos + 1];
         }
     }
 
@@ -173,6 +175,38 @@ mod tests {
         t.set(3, 0.5);
         assert_eq!(t.max_priority(), 2.0);
         assert_eq!(t.min_nonzero_priority(), Some(0.5));
+    }
+
+    #[test]
+    fn totals_do_not_drift_over_many_mixed_magnitude_updates() {
+        // Regression: `set` used to propagate a floating-point *delta* up the tree, so
+        // rounding error accumulated in `total()` over millions of updates. Recomputing
+        // parents from their children makes the internal nodes a pure function of the
+        // final leaf values: after any update history the tree must be bit-identical to
+        // a freshly built tree holding the same leaves.
+        let capacity = 37; // non-power-of-two on purpose
+        let mut t = SumTree::new(capacity);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..500_000 {
+            let slot = rng.gen_range(0..capacity);
+            // Mixed magnitudes spanning ~24 decades make delta propagation drift fast.
+            let exp = rng.gen_range(-12.0..12.0);
+            t.set(slot, 10f64.powf(exp));
+        }
+        let mut fresh = SumTree::new(capacity);
+        for i in 0..capacity {
+            fresh.set(i, t.get(i));
+        }
+        assert_eq!(
+            t.total().to_bits(),
+            fresh.total().to_bits(),
+            "total drifted from the true leaf sum: {} vs {}",
+            t.total(),
+            fresh.total()
+        );
+        // And sampling still lands in bounds at both ends of the cumulative range.
+        assert!(t.find(0.0) < capacity);
+        assert!(t.find(t.total()) < capacity);
     }
 
     #[test]

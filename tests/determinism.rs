@@ -8,10 +8,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use uerl::eval::evaluator::Evaluator;
+use uerl::core::policies::RlPolicy;
+use uerl::core::state::STATE_DIM;
+use uerl::eval::evaluator::{dqn_candidate_evaluator, Evaluator};
 use uerl::eval::experiments::fig3;
 use uerl::eval::scenario::{EvalBudget, ExperimentContext};
 use uerl::forest::{Dataset, RandomForest, RandomForestConfig};
+use uerl::rl::{HyperSearch, SearchOutcome};
 
 fn pool(threads: usize) -> rayon::ThreadPool {
     rayon::ThreadPoolBuilder::new()
@@ -75,6 +78,56 @@ fn figure3_smoke_output_is_byte_identical_across_thread_counts() {
         "rendered figure must not depend on the thread count"
     );
     assert!(serial.contains("Figure 3"));
+}
+
+/// The two-round hyperparameter search with the production DQN candidate-evaluation
+/// closure ([`dqn_candidate_evaluator`]), at a fixed thread count. This is exactly what
+/// the evaluator's RL stage runs per split.
+fn run_hyper_search(ctx: &ExperimentContext, threads: usize) -> SearchOutcome<RlPolicy> {
+    let sampler = ctx.job_sampler(1.0);
+    let seed = 4711u64;
+    let search = HyperSearch::reduced(4, 2);
+    pool(threads).install(|| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        search.run_parallel(
+            &mut rng,
+            dqn_candidate_evaluator(
+                &ctx.timelines,
+                &ctx.timelines,
+                &sampler,
+                ctx.mitigation,
+                seed,
+                6,
+            ),
+        )
+    })
+}
+
+#[test]
+fn parallel_hyper_search_is_bit_identical_across_thread_counts() {
+    let ctx = ExperimentContext::synthetic_small(18, 50, EvalBudget::tiny(), 2026);
+    let one = run_hyper_search(&ctx, 1);
+    let four = run_hyper_search(&ctx, 4);
+
+    // Same winner, same score, same search cost — to the bit.
+    assert_eq!(one.best_index, four.best_index);
+    assert_eq!(one.best_params, four.best_params);
+    assert_eq!(one.best_score.to_bits(), four.best_score.to_bits());
+    assert_eq!(one.total_cost.to_bits(), four.total_cost.to_bits());
+    assert_eq!(one.candidates, four.candidates, "candidate traces diverged");
+
+    // Same trained network: the winning policy's Q-values agree bit-for-bit on a
+    // grid of probe states.
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..16 {
+        let probe: Vec<f64> = (0..STATE_DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let qa = one.best.agent().q_values(&probe);
+        let qb = four.best.agent().q_values(&probe);
+        assert_eq!(qa.len(), qb.len());
+        for (a, b) in qa.iter().zip(&qb) {
+            assert_eq!(a.to_bits(), b.to_bits(), "Q-values diverged: {a} vs {b}");
+        }
+    }
 }
 
 #[test]

@@ -13,13 +13,36 @@
 //! panics are propagated with `resume_unwind`.
 //!
 //! Thread-count resolution order: innermost `ThreadPool::install` override, then the
-//! `RAYON_NUM_THREADS` environment variable, then `std::thread::available_parallelism`.
+//! `RAYON_NUM_THREADS` environment variable, then `std::thread::available_parallelism`;
+//! the ambient (non-override) resolution is performed once and cached, like the real
+//! rayon's global pool size.
 
 use std::cell::Cell;
+use std::sync::OnceLock;
 
 thread_local! {
     /// Per-thread override installed by [`ThreadPool::install`]; 0 = no override.
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The ambient thread count (`RAYON_NUM_THREADS`, else available parallelism), resolved
+/// once: the real rayon also fixes its global pool size at first use, and re-reading the
+/// environment on every parallel call costs a lock + string parse on the hot path.
+static AMBIENT_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn ambient_num_threads() -> usize {
+    *AMBIENT_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// The number of threads parallel calls on this thread will currently fan out to.
@@ -28,16 +51,7 @@ pub fn current_num_threads() -> usize {
     if over > 0 {
         return over;
     }
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    ambient_num_threads()
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder` (only `num_threads` is supported).
@@ -465,6 +479,18 @@ mod tests {
                 .collect()
         });
         assert!(counts.iter().all(|&c| c == 1), "workers saw {counts:?}");
+    }
+
+    #[test]
+    fn ambient_thread_count_is_cached_after_first_use() {
+        // The first call pins the ambient resolution in the `OnceLock`; every later
+        // call must serve the cached value without re-reading the environment
+        // (`install` overrides remain the way to change the count). No env mutation
+        // here: setenv is unsafe under the multi-threaded test harness.
+        let first = current_num_threads();
+        assert!(first >= 1);
+        assert_eq!(super::AMBIENT_THREADS.get().copied(), Some(first));
+        assert_eq!(current_num_threads(), first);
     }
 
     #[test]
