@@ -1,11 +1,16 @@
 //! `perf_report` — the repo's perf-trajectory baseline.
 //!
-//! Times every figure/table pipeline plus the two-round RL hyperparameter search at the
-//! selected `UERL_SCALE` (default `small`) twice — once pinned to a single thread and
-//! once with the ambient thread count — and writes `BENCH_PR2.json` with per-stage wall
-//! times, the thread count, the speedup, and whether the stage output was byte-identical
-//! across thread counts (it must be: every parallel fan-out in the engine merges in
-//! deterministic order).
+//! Times a `pool_overhead` microbench (many tiny parallel calls through the persistent
+//! work-stealing pool), every figure/table pipeline, and the two-round RL
+//! hyperparameter search at the selected `UERL_SCALE` (default `small`) twice — once
+//! pinned to a single thread and once with the ambient thread count — and writes
+//! `BENCH_PR3.json` with per-stage wall times, the thread count, the speedup, and
+//! whether the stage output was byte-identical across thread counts (it must be: every
+//! parallel fan-out in the engine merges in deterministic order).
+//!
+//! The checked-in baseline may come from a **single-core container**, where every
+//! parallel call short-circuits to the serial path (speedup ≈ 1.0 by construction);
+//! re-run on a multi-core box for real numbers.
 //!
 //! Usage:
 //! ```text
@@ -15,11 +20,13 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use std::time::Instant;
 use uerl_bench::Scale;
 use uerl_core::rf_dataset::build_rf_dataset_1day;
 use uerl_core::state::STATE_DIM;
 use uerl_eval::evaluator::dqn_candidate_evaluator;
+use uerl_eval::experiments::common::clear_prefix_cache;
 use uerl_eval::experiments::{fig3, fig4, fig5, fig6, fig7, table2};
 use uerl_eval::scenario::ExperimentContext;
 use uerl_forest::{RandomForest, RandomForestConfig};
@@ -112,7 +119,43 @@ fn main() {
         )
     };
 
+    // Pool-overhead microbench: many tiny parallel calls, the pattern that made the old
+    // per-call fork-join (a thread spawn + join per `par_iter`) hurt most. With the
+    // persistent pool each call is queue traffic only, so the serial/pooled gap here
+    // isolates dispatch overhead from real work. Two flavors: indexed fan-outs
+    // (join-splitting under the hood) and scope/spawn bursts. The fingerprint is an
+    // accumulated sum that any dropped or double-run item would change; the spawn sum
+    // goes through wrapping u64 addition, which commutes, so the digest is independent
+    // of the (intentionally unordered) spawn schedule.
+    let pool_overhead_stage = || -> String {
+        let mut acc = 0u64;
+        for round in 0..256u64 {
+            let out: Vec<u64> = (0..64)
+                .into_par_iter()
+                .map(|i| (i as u64).wrapping_mul(round + 1).rotate_left(7))
+                .collect();
+            acc = acc.wrapping_add(out.into_iter().sum::<u64>());
+        }
+        for round in 0..64u64 {
+            let sum = std::sync::atomic::AtomicU64::new(0);
+            rayon::scope(|s| {
+                for i in 0..64u64 {
+                    let sum = &sum;
+                    s.spawn(move |_| {
+                        sum.fetch_add(
+                            i.wrapping_mul(round + 1).rotate_left(11),
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    });
+                }
+            });
+            acc = acc.wrapping_add(sum.into_inner());
+        }
+        format!("acc={acc}")
+    };
+
     let stages: Vec<(&'static str, Stage)> = vec![
+        ("pool_overhead", Box::new(pool_overhead_stage)),
         ("forest_fit_100_trees", {
             let ctx = ctx.clone();
             Box::new(move || forest_stage(&ctx))
@@ -156,7 +199,12 @@ fn main() {
     for (name, stage) in &stages {
         // Untimed warm-up so neither mode pays first-run allocator/page-cache costs.
         let _ = stage();
+        // Each timed run must pay the full pipeline cost, including the prefix hyper
+        // search that fig6/table2 memoize — and the serial/parallel byte-compare must
+        // re-train, not replay the other mode's cached models.
+        clear_prefix_cache();
         let (parallel_secs, parallel_out) = time_run(stage.as_ref());
+        clear_prefix_cache();
         let (serial_secs, serial_out) = serial_pool.install(|| time_run(stage.as_ref()));
         let deterministic = parallel_out == serial_out;
         let report = StageReport {
@@ -191,7 +239,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"pr\": 2,\n");
+    json.push_str("  \"pr\": 3,\n");
     json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!(
@@ -216,7 +264,7 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
     std::fs::write(&path, &json).expect("write benchmark report");
     eprintln!(
         "[perf_report] overall speedup {overall_speedup:.2}x on {threads} thread(s); wrote {path}"

@@ -191,28 +191,38 @@ fn evaluate_split(
         };
     }
 
-    // --- Baselines -----------------------------------------------------------------
+    // --- Baselines + RL --------------------------------------------------------------
     let (forest, train_val_data) = train_forest(ctx, &train_val_tl, seed);
     let forest = Arc::new(forest);
 
-    // SC20-RF with its cost-optimal threshold ("maximum advantage"; the cost of finding
-    // this threshold is not charged, exactly as in the paper). Besides the uniform grid,
-    // the candidate set includes a data-driven threshold swept from the forest's own
-    // training-period probabilities via the incremental confusion-matrix optimiser.
-    let data_driven = data_driven_threshold(
-        &forest,
-        &train_val_data,
-        &train_val_tl,
-        sampler,
-        config,
-        seed,
+    // The two expensive split stages — the SC20-RF threshold selection and the RL
+    // hyperparameter search — are independent, so they run as the two branches of a
+    // `rayon::join`: the work-stealing pool interleaves threshold-scan replays with RL
+    // candidate training instead of serializing the stages (and without dividing a
+    // static thread budget across nesting levels, as the pre-pool fork-join had to).
+    // Each branch is deterministic on its own, so the overlap cannot change results.
+    let ((best_threshold, sc20_run), rl_run) = rayon::join(
+        || {
+            // SC20-RF with its cost-optimal threshold ("maximum advantage"; the cost of
+            // finding this threshold is not charged, exactly as in the paper). Besides
+            // the uniform grid, the candidate set includes a data-driven threshold
+            // swept from the forest's own training-period probabilities via the
+            // incremental confusion-matrix optimiser.
+            let data_driven = data_driven_threshold(
+                &forest,
+                &train_val_data,
+                &train_val_tl,
+                sampler,
+                config,
+                seed,
+            );
+            select_optimal_threshold(ctx, &forest, data_driven, &test_tl, sampler, config, seed)
+        },
+        || {
+            let rl_policy = train_rl_agent(ctx, &train_tl, &validate_tl, sampler, config, seed);
+            run_policy(&rl_policy, &test_tl, sampler, config, seed)
+        },
     );
-    let (best_threshold, sc20_run) =
-        select_optimal_threshold(ctx, &forest, data_driven, &test_tl, sampler, config, seed);
-
-    // --- The RL agent ----------------------------------------------------------------
-    let rl_policy = train_rl_agent(ctx, &train_tl, &validate_tl, sampler, config, seed);
-    let rl_run = run_policy(&rl_policy, &test_tl, sampler, config, seed);
 
     // --- Everything else: per-policy fan-out ------------------------------------------
     // The six remaining policies are immutable once constructed, so their replays fan

@@ -1,17 +1,20 @@
 //! Bootstrap-aggregated random forests with probability output.
 //!
-//! Trees are fitted in parallel (rayon fan-out): each tree derives its own RNG from the
-//! forest seed and its tree index, so the fitted forest is **bit-identical at any thread
-//! count** — the per-tree work is a pure function of `(dataset, config, tree_idx)`.
-//! Per-tree under-sampling and bootstrap resampling are expressed as index views over
-//! the shared dataset; no tree ever copies the feature matrix.
+//! Trees are fitted in parallel by recursive [`rayon::join`] splitting over the tree
+//! index range: the range halves until single trees remain, and the work-stealing pool
+//! balances the halves across workers (tree costs vary with the bootstrap draw, so
+//! stealing beats static chunking). Each tree derives its own RNG from the forest seed
+//! and its tree index and writes its result into its own index slot, so the fitted
+//! forest is **bit-identical at any thread count** — the per-tree work is a pure
+//! function of `(dataset, config, tree_idx)`. Per-tree under-sampling and bootstrap
+//! resampling are expressed as index views over the shared dataset; no tree ever copies
+//! the feature matrix.
 
 use crate::dataset::Dataset;
 use crate::sampling::undersample_indices;
 use crate::tree::{DecisionTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Golden-ratio multiplier decorrelating per-tree seeds (same mixer the evaluation
@@ -97,13 +100,38 @@ impl RandomForest {
             "cannot fit a forest to an empty dataset"
         );
         assert!(config.n_trees > 0, "need at least one tree");
-        let trees: Vec<DecisionTree> = (0..config.n_trees)
-            .into_par_iter()
-            .map(|tree_idx| Self::fit_one_tree(dataset, config, tree_idx))
+        let mut slots: Vec<Option<DecisionTree>> = (0..config.n_trees).map(|_| None).collect();
+        Self::fit_tree_range(dataset, config, 0, &mut slots);
+        let trees = slots
+            .into_iter()
+            .map(|slot| slot.expect("every tree slot filled"))
             .collect();
         Self {
             trees,
             n_features: dataset.n_features(),
+        }
+    }
+
+    /// Fit the trees whose indices start at `first_idx` into `out`, halving the range
+    /// via `rayon::join` so the work-stealing pool balances the halves. Each slot is
+    /// filled by tree index, keeping the forest independent of who ran what.
+    fn fit_tree_range(
+        dataset: &Dataset,
+        config: &RandomForestConfig,
+        first_idx: usize,
+        out: &mut [Option<DecisionTree>],
+    ) {
+        match out {
+            [] => {}
+            [slot] => *slot = Some(Self::fit_one_tree(dataset, config, first_idx)),
+            _ => {
+                let mid = out.len() / 2;
+                let (left, right) = out.split_at_mut(mid);
+                rayon::join(
+                    || Self::fit_tree_range(dataset, config, first_idx, left),
+                    || Self::fit_tree_range(dataset, config, first_idx + mid, right),
+                );
+            }
         }
     }
 

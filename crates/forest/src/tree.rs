@@ -6,6 +6,12 @@
 //! sorted orders are maintained by a stable partition into a reused scratch buffer —
 //! `O(features · n)` per node instead of the `O(mtry · n log n)` full re-sort the
 //! previous implementation paid at every node.
+//!
+//! On nodes with at least [`PARALLEL_SPLIT_MIN_SAMPLES`] samples, the candidate
+//! features of `best_split` are evaluated in parallel via recursive [`rayon::join`]
+//! over the (already rng-drawn) feature list; per-feature minima are reduced in
+//! feature order with earlier features winning ties, so the chosen split — and hence
+//! the whole tree — is bit-identical to the serial scan at any thread count.
 
 use crate::dataset::Dataset;
 use rand::seq::SliceRandom;
@@ -152,6 +158,12 @@ impl DecisionTree {
     }
 }
 
+/// Nodes smaller than this keep the serial feature scan: below it, the per-feature work
+/// is too small to beat the queue round-trip of a `join`. The parallel reduction is
+/// bit-identical to the serial scan, so neither this cutoff nor the thread-count
+/// fast-path in the gate can affect results.
+const PARALLEL_SPLIT_MIN_SAMPLES: usize = 2048;
+
 /// Fitting state: per-feature sorted sample orders plus reused scratch buffers.
 ///
 /// `sorted` holds one length-`m` block per feature; block `f` lists *positions* into
@@ -284,7 +296,9 @@ impl<'a> TreeBuilder<'a> {
 
     /// Find the `(feature, threshold)` split minimising the weighted Gini impurity over
     /// `[lo, hi)`, or `None` if no split improves on the parent. Walks each candidate
-    /// feature's presorted order — no sorting, no allocation.
+    /// feature's presorted order — no sorting, no allocation. Large nodes fan the
+    /// feature scans out over the work-stealing pool; the reduction keeps the earliest
+    /// feature on ties, so the result matches the serial scan bit-for-bit.
     fn best_split<R: Rng + ?Sized>(
         &mut self,
         lo: usize,
@@ -296,7 +310,8 @@ impl<'a> TreeBuilder<'a> {
         let d = self.dataset.n_features();
         let parent_gini = DecisionTree::gini(total_pos, n);
 
-        // Select the candidate feature subset (mtry) into the reused buffer.
+        // Select the candidate feature subset (mtry) into the reused buffer. This is the
+        // only rng-dependent step, so it stays serial and the scans below are pure.
         self.feature_buf.clear();
         self.feature_buf.extend(0..d);
         if let Some(mtry) = self.config.max_features {
@@ -308,40 +323,103 @@ impl<'a> TreeBuilder<'a> {
         // Accept splits that do not increase the weighted impurity (ties with the parent
         // are allowed: problems like XOR have zero first-level Gini gain but still need
         // the split so that deeper levels can separate the classes).
-        let mut best: Option<(usize, f64)> = None;
-        let mut best_gini = parent_gini + 1e-9;
-        for &feature in &features {
-            let block = self.block(feature, lo, hi);
-            let mut left_pos = 0usize;
-            let mut prev_value = self.value_at(block[0], feature);
-            for split_at in 1..n {
-                if self.label_at(block[split_at - 1]) {
-                    left_pos += 1;
-                }
-                let this_value = self.value_at(block[split_at], feature);
-                let boundary = prev_value != this_value;
-                let last_prev = prev_value;
-                prev_value = this_value;
-                if !boundary {
-                    continue; // cannot split between equal values
-                }
-                let left_n = split_at;
-                let right_n = n - split_at;
-                if left_n < self.config.min_samples_leaf || right_n < self.config.min_samples_leaf {
-                    continue;
-                }
-                let right_pos = total_pos - left_pos;
-                let weighted = (left_n as f64 * DecisionTree::gini(left_pos, left_n)
-                    + right_n as f64 * DecisionTree::gini(right_pos, right_n))
-                    / n as f64;
-                if weighted < best_gini {
-                    let threshold = (last_prev + this_value) / 2.0;
-                    best = Some((feature, threshold));
-                    best_gini = weighted;
+        let bound = parent_gini + 1e-9;
+        let best = if n >= PARALLEL_SPLIT_MIN_SAMPLES
+            && features.len() >= 2
+            && rayon::current_num_threads() > 1
+        {
+            self.best_over_features(&features, lo, hi, total_pos, bound)
+        } else {
+            let mut best: Option<(usize, f64, f64)> = None;
+            for &feature in &features {
+                if let Some((weighted, threshold)) =
+                    self.eval_feature(feature, lo, hi, total_pos, bound)
+                {
+                    if best.map(|(_, w, _)| weighted < w).unwrap_or(true) {
+                        best = Some((feature, weighted, threshold));
+                    }
                 }
             }
-        }
+            best
+        };
         self.feature_buf = features;
+        best.map(|(feature, _, threshold)| (feature, threshold))
+    }
+
+    /// The per-feature minimum of [`Self::eval_feature`] over `features`, reduced by
+    /// recursive `rayon::join` halving. The combine prefers the left (earlier) half on
+    /// equal impurity, which is exactly the tie-break of a serial left-to-right scan
+    /// with strict improvement — so the parallel reduction is bit-identical to it.
+    fn best_over_features(
+        &self,
+        features: &[usize],
+        lo: usize,
+        hi: usize,
+        total_pos: usize,
+        bound: f64,
+    ) -> Option<(usize, f64, f64)> {
+        if features.len() <= 1 {
+            let feature = *features.first()?;
+            return self
+                .eval_feature(feature, lo, hi, total_pos, bound)
+                .map(|(weighted, threshold)| (feature, weighted, threshold));
+        }
+        let mid = features.len() / 2;
+        let (left_features, right_features) = features.split_at(mid);
+        let (left, right) = rayon::join(
+            || self.best_over_features(left_features, lo, hi, total_pos, bound),
+            || self.best_over_features(right_features, lo, hi, total_pos, bound),
+        );
+        match (left, right) {
+            (Some(l), Some(r)) => Some(if l.1 <= r.1 { l } else { r }),
+            (l, r) => l.or(r),
+        }
+    }
+
+    /// Scan one feature's presorted order over `[lo, hi)` for its impurity-minimal
+    /// valid split strictly below `bound`, returning `(weighted_gini, threshold)` of
+    /// the first position achieving that minimum. Pure (`&self`), so candidate features
+    /// can scan concurrently.
+    fn eval_feature(
+        &self,
+        feature: usize,
+        lo: usize,
+        hi: usize,
+        total_pos: usize,
+        bound: f64,
+    ) -> Option<(f64, f64)> {
+        let n = hi - lo;
+        let block = self.block(feature, lo, hi);
+        let mut best: Option<(f64, f64)> = None;
+        let mut best_gini = bound;
+        let mut left_pos = 0usize;
+        let mut prev_value = self.value_at(block[0], feature);
+        for split_at in 1..n {
+            if self.label_at(block[split_at - 1]) {
+                left_pos += 1;
+            }
+            let this_value = self.value_at(block[split_at], feature);
+            let boundary = prev_value != this_value;
+            let last_prev = prev_value;
+            prev_value = this_value;
+            if !boundary {
+                continue; // cannot split between equal values
+            }
+            let left_n = split_at;
+            let right_n = n - split_at;
+            if left_n < self.config.min_samples_leaf || right_n < self.config.min_samples_leaf {
+                continue;
+            }
+            let right_pos = total_pos - left_pos;
+            let weighted = (left_n as f64 * DecisionTree::gini(left_pos, left_n)
+                + right_n as f64 * DecisionTree::gini(right_pos, right_n))
+                / n as f64;
+            if weighted < best_gini {
+                let threshold = (last_prev + this_value) / 2.0;
+                best = Some((weighted, threshold));
+                best_gini = weighted;
+            }
+        }
         best
     }
 

@@ -164,10 +164,14 @@ impl HyperSearch {
     /// Every candidate's parameters and per-candidate seed material are pre-drawn from
     /// `rng` up front (in candidate order, parameters before seed), so the evaluation
     /// closure never touches the shared RNG and the candidates of a round are
-    /// embarrassingly parallel. `evaluate` maps a candidate and its pre-drawn seed to
-    /// `(artifact, score, cost)`; higher scores win, ties keep the earliest candidate,
-    /// and costs are accumulated in candidate order — the outcome is **bit-identical at
-    /// any thread count** and identical to a serial evaluation.
+    /// embarrassingly parallel: each round is one plain indexed fan-out over the
+    /// persistent work-stealing pool, which also balances the search against whatever
+    /// else is running (e.g. the evaluator trains it concurrently with the SC20-RF
+    /// threshold scan, and every candidate's rollouts nest inside it) without any
+    /// per-level thread budgeting. `evaluate` maps a candidate and its pre-drawn seed
+    /// to `(artifact, score, cost)`; higher scores win, ties keep the earliest
+    /// candidate, and costs are accumulated in candidate order — the outcome is
+    /// **bit-identical at any thread count** and identical to a serial evaluation.
     ///
     /// The default point counts as the first of the `initial_round` broad candidates,
     /// so exactly `initial_round + refined_round` configurations are evaluated.
@@ -244,8 +248,10 @@ impl HyperSearch {
     }
 }
 
-/// Evaluate one pre-drawn round in parallel and fold it into the running search state in
-/// candidate order (deterministic best selection and cost accumulation).
+/// Evaluate one pre-drawn round as a plain indexed fan-out over the work-stealing pool
+/// and fold it into the running search state in candidate order (deterministic best
+/// selection and cost accumulation). Results land in candidate-index slots, so the
+/// fold order never depends on which worker trained which candidate.
 fn reduce_round<P, F>(
     round: &[(HyperParams, u64)],
     refined: bool,
@@ -257,11 +263,8 @@ fn reduce_round<P, F>(
     P: Send,
     F: Fn(&HyperParams, u64) -> (P, f64, f64) + Sync,
 {
-    use rayon::prelude::*;
-    let evaluated: Vec<(P, f64, f64)> = round
-        .par_iter()
-        .map(|(params, seed)| evaluate(params, *seed))
-        .collect();
+    let evaluated: Vec<(P, f64, f64)> =
+        rayon::execute_indexed(round.len(), |i| evaluate(&round[i].0, round[i].1));
     for ((params, seed), (artifact, score, cost)) in round.iter().zip(evaluated) {
         let index = candidates.len();
         *total_cost += cost;

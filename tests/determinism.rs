@@ -1,10 +1,13 @@
 //! Thread-count determinism: every parallel fan-out in the engine (forest fitting,
 //! per-node rollouts, per-policy and per-split evaluation, figure drivers) must produce
-//! **bit-identical** results whether it runs on one thread or many.
+//! **bit-identical** results whether it runs on one thread or many — including under
+//! the persistent work-stealing pool, where *which worker* runs a chunk is a race but
+//! results are always reduced in input-index order.
 //!
 //! The tests pin the thread count with `rayon::ThreadPool::install`, which is the same
 //! mechanism the `RAYON_NUM_THREADS` environment variable feeds; running the whole
-//! suite under `RAYON_NUM_THREADS=1` therefore exercises the same single-thread path.
+//! suite under `RAYON_NUM_THREADS=1` therefore exercises the same single-thread path,
+//! and CI re-runs it under `RAYON_NUM_THREADS=4` to exercise actual stealing.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -127,6 +130,49 @@ fn parallel_hyper_search_is_bit_identical_across_thread_counts() {
         for (a, b) in qa.iter().zip(&qb) {
             assert_eq!(a.to_bits(), b.to_bits(), "Q-values diverged: {a} vs {b}");
         }
+    }
+}
+
+#[test]
+fn work_stealing_pool_is_reused_not_respawned() {
+    // Prime the pool with a real engine workload, then run every kind of parallel call
+    // the engine makes (flat fan-out, nested join recursion, install overrides): the
+    // worker-spawn counter must not move — parallel calls after pool init spawn zero
+    // new OS threads, whatever the nesting.
+    let data = rf_dataset(400);
+    let config = RandomForestConfig::small(7);
+    let _ = RandomForest::fit(&data, &config);
+    let spawned_after_init = rayon::pool_worker_threads_spawned();
+    assert_eq!(
+        spawned_after_init,
+        rayon::pool_size(),
+        "every spawned worker belongs to the sized pool"
+    );
+    for round in 0..8 {
+        let _ = RandomForest::fit(&data, &config);
+        let _ = pool(4).install(|| RandomForest::fit(&data, &config));
+        let (a, b) = rayon::join(|| round * 2, || round * 3);
+        assert_eq!(a + b, round * 5);
+    }
+    assert_eq!(
+        rayon::pool_worker_threads_spawned(),
+        spawned_after_init,
+        "parallel calls after pool init must spawn zero new OS threads"
+    );
+}
+
+#[test]
+fn join_based_forest_recursion_is_bit_identical_under_stealing() {
+    // The forest fans out through recursive `rayon::join` halving (not flat chunks);
+    // under work stealing the halves land on arbitrary workers, so this pins that the
+    // assembled forest is still bit-identical between the serial path and a stealing
+    // pool, and stable across repeated stolen executions.
+    let data = rf_dataset(1200);
+    let config = RandomForestConfig::sc20(3, 99);
+    let serial = pool(1).install(|| RandomForest::fit(&data, &config));
+    for _ in 0..3 {
+        let stolen = pool(4).install(|| RandomForest::fit(&data, &config));
+        assert_eq!(serial, stolen, "stealing changed the fitted forest");
     }
 }
 

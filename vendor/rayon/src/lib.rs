@@ -1,28 +1,72 @@
-//! Offline vendored subset of the `rayon` API.
+//! Offline vendored subset of the `rayon` API, backed by a persistent work-stealing
+//! thread pool.
 //!
 //! The build environment has no registry access, so the workspace vendors the surface
-//! it uses: `par_iter()` / `into_par_iter()` with `map` + `collect`/`for_each`,
-//! `current_num_threads`, and `ThreadPoolBuilder` → `ThreadPool::install` for scoped
-//! thread-count overrides.
+//! it uses: [`join`] for recursive fork-join splitting, [`scope`] / [`Scope::spawn`]
+//! for dynamic task sets, `par_iter()` / `into_par_iter()` with `map` +
+//! `collect`/`for_each`/`sum`, [`current_num_threads`], and `ThreadPoolBuilder` →
+//! [`ThreadPool::install`] for scoped thread-count overrides.
 //!
-//! Execution model: eager chunked fork-join on `std::thread::scope` rather than a
-//! work-stealing pool. Each parallel call splits its items into at most
-//! [`current_num_threads`] contiguous chunks, runs them on scoped threads, and joins in
-//! index order — so **results are always in input order and independent of the thread
-//! count**, which is exactly the determinism contract the UERL engine relies on. Worker
-//! panics are propagated with `resume_unwind`.
+//! # Execution model
 //!
-//! Thread-count resolution order: innermost `ThreadPool::install` override, then the
-//! `RAYON_NUM_THREADS` environment variable, then `std::thread::available_parallelism`;
-//! the ambient (non-override) resolution is performed once and cached, like the real
-//! rayon's global pool size.
+//! Earlier revisions ran every parallel call as an eager fork-join on
+//! `std::thread::scope`, paying thread-spawn latency at every nesting level. This
+//! version amortizes the workers once, like the real rayon:
+//!
+//! * A **global registry** is created lazily on the first parallel call. It owns one
+//!   FIFO *injector* queue for jobs submitted from non-worker threads and one deque per
+//!   worker thread. `ambient_threads - 1` workers are spawned exactly once (the calling
+//!   thread is the extra participant); later parallel calls reuse them — see
+//!   [`pool_worker_threads_spawned`], which test suites use to pin the no-thread-growth
+//!   guarantee.
+//! * [`join`] pushes the second closure as a *stack job* (a type-erased pointer into
+//!   the caller's frame), runs the first closure inline, then either pops the second
+//!   back (nobody stole it) or **steals other work** while waiting for the thief to
+//!   finish — callers are never idle while their children run elsewhere.
+//! * Workers pop their own deque LIFO (locality) and steal from the injector and from
+//!   other workers FIFO (oldest job first, like rayon's breadth-first steals).
+//! * [`scope`] spawns heap jobs whose lifetime is erased to the scope's; the scope
+//!   blocks (stealing, never idling) until its pending-job counter drains, which is
+//!   what makes the lifetime erasure sound.
+//!
+//! # Determinism contract
+//!
+//! Work stealing randomizes *where* a job runs, never *what* it computes or how results
+//! are combined: the parallel-iterator layer splits an index range recursively via
+//! [`join`] and writes each item's result into its input slot, so **results are always
+//! reduced in input-index order regardless of which worker ran them** — bit-identical
+//! at any thread count, which is exactly the determinism contract the UERL engine
+//! relies on. Panics from any branch are captured and re-thrown on the calling thread
+//! with `resume_unwind` after every sibling finished (so no job ever outlives the frame
+//! it points into).
+//!
+//! # Thread-count resolution
+//!
+//! Innermost [`ThreadPool::install`] override, then the `RAYON_NUM_THREADS` environment
+//! variable, then `std::thread::available_parallelism`; the ambient (non-override)
+//! resolution is performed once and cached, like the real rayon's global pool size.
+//! Overrides are **carried with submitted jobs** — each job captures the override in
+//! effect where it was created and reinstalls it while it executes — so nested parallel
+//! calls inside stolen work still honor the `install` that wrapped them, instead of
+//! seeing the thief's (unrelated) thread-local state. An override of 1 short-circuits
+//! every primitive to the serial path.
 
-use std::cell::Cell;
-use std::sync::OnceLock;
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, Once, OnceLock};
+use std::time::Duration;
 
 thread_local! {
-    /// Per-thread override installed by [`ThreadPool::install`]; 0 = no override.
+    /// Per-thread override installed by [`ThreadPool::install`] or reinstalled while a
+    /// job created under an override executes; 0 = no override.
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+
+    /// Index of this thread's deque in the registry; `usize::MAX` for non-workers.
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
 /// The ambient thread count (`RAYON_NUM_THREADS`, else available parallelism), resolved
@@ -45,14 +89,575 @@ fn ambient_num_threads() -> usize {
     })
 }
 
+fn current_override() -> usize {
+    THREAD_OVERRIDE.with(Cell::get)
+}
+
+fn current_worker_index() -> Option<usize> {
+    let idx = WORKER_INDEX.with(Cell::get);
+    (idx != usize::MAX).then_some(idx)
+}
+
 /// The number of threads parallel calls on this thread will currently fan out to.
 pub fn current_num_threads() -> usize {
-    let over = THREAD_OVERRIDE.with(Cell::get);
+    let over = current_override();
     if over > 0 {
         return over;
     }
     ambient_num_threads()
 }
+
+// --------------------------------------------------------------------------------------
+// Jobs
+// --------------------------------------------------------------------------------------
+
+/// A type-erased pointer to a job. For [`join`] the pointee is a [`StackJob`] in the
+/// waiting caller's frame; for [`Scope::spawn`] it is a leaked [`HeapJob`] reclaimed by
+/// its executor. Either way the pointee outlives execution: stack-job creators block on
+/// the job's latch and scopes block on their pending counter before the frame exits.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// Safety: `JobRef` is only ever created for pointees designed for cross-thread
+// execution (results handed back through latches/atomics), and the creator keeps the
+// pointee alive until the executor signals completion.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Run the job. Job implementations catch user panics internally (they are
+    /// re-thrown at the fork point), so this never unwinds into queue machinery.
+    unsafe fn execute(self) {
+        (self.execute)(self.data)
+    }
+}
+
+/// Completion flag for a [`StackJob`], set by the executor *after* the result is
+/// stored and probed by the waiting creator. `SeqCst` on both sides: the monitor's
+/// no-sleeper fast path relies on a single total order over "publish event, then load
+/// sleeper count" (setter) vs "announce sleep, then re-probe" (waiter).
+struct Latch {
+    done: std::sync::atomic::AtomicBool,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Self {
+            done: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    fn set(&self, registry: &Registry) {
+        self.done.store(true, Ordering::SeqCst);
+        registry.monitor.bump();
+    }
+}
+
+/// A [`join`] branch living in the caller's stack frame, executed exactly once by
+/// whichever thread gets to it first (the caller popping it back, or a thief).
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+    /// The `install` override in effect at the fork point, reinstalled for the job's
+    /// execution wherever it runs (override propagation to stolen work).
+    override_threads: usize,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F, override_threads: usize) -> Self {
+        Self {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+            override_threads,
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    /// # Safety
+    /// `ptr` must come from [`Self::as_job_ref`] on a live `StackJob` that has not been
+    /// executed yet, and no other thread may execute the same job concurrently (queue
+    /// removal is the exclusivity token).
+    unsafe fn execute_erased(ptr: *const ()) {
+        let job = &*(ptr as *const Self);
+        let func = (*job.func.get()).take().expect("stack job executed twice");
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(job.override_threads));
+        let result = catch_unwind(AssertUnwindSafe(func));
+        THREAD_OVERRIDE.with(|c| c.set(prev));
+        *job.result.get() = Some(result);
+        // The latch is the last access: once set, the creator may read the result and
+        // pop the frame.
+        job.latch.set(global_registry());
+    }
+
+    /// Consume the job after its latch is set (or after executing it inline).
+    fn into_result(self) -> std::thread::Result<R> {
+        self.result
+            .into_inner()
+            .expect("stack job result missing after completion")
+    }
+}
+
+/// A [`Scope::spawn`] task: a lifetime-erased boxed closure. The closure itself carries
+/// the scope pointer, override reinstall, panic capture and pending-counter decrement,
+/// so executing it is just "call it".
+struct HeapJob {
+    task: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl HeapJob {
+    /// # Safety
+    /// `ptr` must come from `Box::into_raw(Box<HeapJob>)` and be executed exactly once.
+    unsafe fn execute_erased(ptr: *const ()) {
+        let mut job = Box::from_raw(ptr as *mut HeapJob);
+        let task = job.task.take().expect("heap job executed twice");
+        task();
+    }
+}
+
+// --------------------------------------------------------------------------------------
+// Registry: injector + per-worker deques + sleep/wake monitor
+// --------------------------------------------------------------------------------------
+
+/// Wake-up channel shared by all queues and latches.
+///
+/// Sleeping is a two-phase announce-then-recheck protocol. A would-be sleeper first
+/// calls [`Monitor::start_sleep`] (registering in `sleepers` and reading the
+/// generation), then **re-checks its wake condition** (queues, latch, counter), and
+/// only then parks with [`Monitor::sleep`] — or backs out with
+/// [`Monitor::cancel_sleep`]. Publishers call [`Monitor::bump`] *after* publishing
+/// their event; the `SeqCst` pairing of the publish + `sleepers` load against the
+/// sleeper's registration + re-check makes the protocol lossless: either the publisher
+/// sees the registered sleeper and bumps the generation (waking it), or the sleeper's
+/// re-check sees the published event. The payoff is the hot-path fast-out in `bump` —
+/// with nobody asleep (the common case on a busy pool), a push or latch completion
+/// touches one atomic load instead of a global mutex + `notify_all` thundering herd.
+/// The wait timeout is belt-and-braces only.
+struct Monitor {
+    generation: Mutex<u64>,
+    cv: Condvar,
+    sleepers: AtomicUsize,
+}
+
+impl Monitor {
+    fn new() -> Self {
+        Self {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Announce sleep intent and snapshot the generation. Pair with [`Monitor::sleep`]
+    /// or [`Monitor::cancel_sleep`]; re-check the wake condition in between.
+    fn start_sleep(&self) -> u64 {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        *self.generation.lock().expect("monitor poisoned")
+    }
+
+    /// Back out of an announced sleep (the re-check found work or completion).
+    fn cancel_sleep(&self) {
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Park until the generation moves past the [`Monitor::start_sleep`] snapshot (or
+    /// the safety timeout fires).
+    fn sleep(&self, seen: u64) {
+        {
+            let g = self.generation.lock().expect("monitor poisoned");
+            if *g == seen {
+                let _ = self
+                    .cv
+                    .wait_timeout(g, Duration::from_millis(25))
+                    .expect("monitor poisoned");
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wake sleepers after publishing an event (job push, latch set, counter drain).
+    /// Callers must publish *before* bumping.
+    fn bump(&self) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut g = self.generation.lock().expect("monitor poisoned");
+        *g = g.wrapping_add(1);
+        self.cv.notify_all();
+    }
+}
+
+/// Where a job was pushed, so a `join` caller can try to take its own job back.
+#[derive(Clone, Copy)]
+enum PushedTo {
+    Worker(usize),
+    Injector,
+}
+
+/// The global pool state: the shared injector, one deque per worker, and the monitor.
+struct Registry {
+    injector: Mutex<VecDeque<JobRef>>,
+    worker_queues: Vec<Mutex<VecDeque<JobRef>>>,
+    monitor: Monitor,
+    /// Worker threads ever spawned — must equal `worker_queues.len()` forever after
+    /// initialization (the pool-reuse guarantee; exposed via
+    /// [`pool_worker_threads_spawned`]).
+    spawned: AtomicUsize,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+static WORKERS_STARTED: Once = Once::new();
+
+/// The lazily-initialized global registry. The first call builds the queues and spawns
+/// the workers; every later call is a cheap read.
+fn global_registry() -> &'static Registry {
+    let registry = REGISTRY.get_or_init(|| {
+        let n_workers = ambient_num_threads().saturating_sub(1);
+        Registry {
+            injector: Mutex::new(VecDeque::new()),
+            worker_queues: (0..n_workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            monitor: Monitor::new(),
+            spawned: AtomicUsize::new(0),
+        }
+    });
+    WORKERS_STARTED.call_once(|| {
+        for index in 0..registry.worker_queues.len() {
+            registry.spawned.fetch_add(1, Ordering::SeqCst);
+            std::thread::Builder::new()
+                .name(format!("uerl-rayon-{index}"))
+                .spawn(move || worker_loop(global_registry(), index))
+                .expect("spawn pool worker");
+        }
+    });
+    registry
+}
+
+/// Pool workers live for the whole process (daemon threads), sleeping on the monitor
+/// when no work is findable (announce, re-scan, park — see [`Monitor`]).
+fn worker_loop(registry: &'static Registry, index: usize) {
+    WORKER_INDEX.with(|c| c.set(index));
+    loop {
+        if let Some(job) = registry.find_work() {
+            unsafe { job.execute() };
+            continue;
+        }
+        let gen = registry.monitor.start_sleep();
+        match registry.find_work() {
+            Some(job) => {
+                registry.monitor.cancel_sleep();
+                unsafe { job.execute() };
+            }
+            None => registry.monitor.sleep(gen),
+        }
+    }
+}
+
+impl Registry {
+    /// Push a job: onto the calling worker's own deque, or the injector for external
+    /// threads. Returns where, so `join` can attempt to take it back.
+    fn push(&self, job: JobRef) -> PushedTo {
+        let pushed = match current_worker_index() {
+            Some(i) if i < self.worker_queues.len() => {
+                self.worker_queues[i]
+                    .lock()
+                    .expect("worker queue poisoned")
+                    .push_back(job);
+                PushedTo::Worker(i)
+            }
+            _ => {
+                self.injector
+                    .lock()
+                    .expect("injector poisoned")
+                    .push_back(job);
+                PushedTo::Injector
+            }
+        };
+        self.monitor.bump();
+        pushed
+    }
+
+    /// Try to remove the exact job (pointer identity) from the queue it was pushed to.
+    /// Success means nobody stole it and the caller now owns its execution.
+    fn take_back(&self, pushed: PushedTo, job: JobRef) -> bool {
+        let queue = match pushed {
+            PushedTo::Worker(i) => &self.worker_queues[i],
+            PushedTo::Injector => &self.injector,
+        };
+        let mut q = queue.lock().expect("queue poisoned");
+        match q.iter().rposition(|j| std::ptr::eq(j.data, job.data)) {
+            Some(pos) => {
+                q.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Find one job: own deque LIFO first (locality), then the injector, then steal
+    /// from other workers FIFO.
+    fn find_work(&self) -> Option<JobRef> {
+        let me = current_worker_index();
+        if let Some(i) = me {
+            if let Some(job) = self.worker_queues[i]
+                .lock()
+                .expect("worker queue poisoned")
+                .pop_back()
+            {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
+            return Some(job);
+        }
+        for (i, queue) in self.worker_queues.iter().enumerate() {
+            if Some(i) == me {
+                continue;
+            }
+            if let Some(job) = queue.lock().expect("worker queue poisoned").pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Work-stealing wait: execute other jobs until `done()` holds, sleeping on the
+    /// monitor only when no work is findable (announce, re-check, park — see
+    /// [`Monitor`]). This is what keeps every thread busy while its fork-join children
+    /// run elsewhere — and what makes blocking deadlock free (a waiter always advances
+    /// someone's pending work if there is any).
+    fn steal_until(&self, done: impl Fn() -> bool) {
+        loop {
+            if done() {
+                return;
+            }
+            if let Some(job) = self.find_work() {
+                unsafe { job.execute() };
+                continue;
+            }
+            let gen = self.monitor.start_sleep();
+            if done() {
+                self.monitor.cancel_sleep();
+                return;
+            }
+            if let Some(job) = self.find_work() {
+                self.monitor.cancel_sleep();
+                unsafe { job.execute() };
+                continue;
+            }
+            self.monitor.sleep(gen);
+        }
+    }
+}
+
+/// Number of worker threads the global pool was sized to (0 until first use on a
+/// single-core ambient, where every primitive short-circuits to the serial path).
+pub fn pool_size() -> usize {
+    REGISTRY.get().map_or(0, |r| r.worker_queues.len())
+}
+
+/// Total pool worker threads ever spawned over the process lifetime. After the first
+/// parallel call this equals [`pool_size`] and **never grows again** — the regression
+/// hook for the "parallel calls reuse the pool" guarantee.
+pub fn pool_worker_threads_spawned() -> usize {
+    REGISTRY
+        .get()
+        .map_or(0, |r| r.spawned.load(Ordering::SeqCst))
+}
+
+// --------------------------------------------------------------------------------------
+// join
+// --------------------------------------------------------------------------------------
+
+/// Run both closures, potentially in parallel, and return both results. Mirrors
+/// `rayon::join`: `oper_b` is made stealable while the calling thread runs `oper_a`
+/// inline, then the caller either runs `oper_b` itself (nobody stole it) or steals
+/// other work until the thief finishes. Panics from either closure are re-thrown on the
+/// calling thread — `oper_a`'s first if both panicked — and only after both branches
+/// have settled, so no branch ever outlives the frame.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (oper_a(), oper_b());
+    }
+    let registry = global_registry();
+    if registry.worker_queues.is_empty() {
+        // Single-core ambient: the pool has no workers, so queueing would only add
+        // overhead with nobody to steal.
+        return (oper_a(), oper_b());
+    }
+
+    let job_b = StackJob::new(oper_b, current_override());
+    let job_ref = job_b.as_job_ref();
+    let pushed = registry.push(job_ref);
+
+    // Run `a` inline, capturing a panic so `b` is still driven to completion first
+    // (its StackJob points into this frame).
+    let result_a = catch_unwind(AssertUnwindSafe(oper_a));
+
+    if registry.take_back(pushed, job_ref) {
+        // Nobody stole `b`: run it inline (same path as a thief would take, including
+        // the override reinstall).
+        unsafe { job_ref.execute() };
+    } else {
+        registry.steal_until(|| job_b.latch.probe());
+    }
+
+    let result_b = job_b.into_result();
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(panic_a), _) => resume_unwind(panic_a),
+        (Ok(_), Err(panic_b)) => resume_unwind(panic_b),
+    }
+}
+
+// --------------------------------------------------------------------------------------
+// scope
+// --------------------------------------------------------------------------------------
+
+/// A fork-join scope handed to the [`scope`] closure; [`Scope::spawn`] tasks may borrow
+/// anything outliving the `scope` call, which blocks until every task finished.
+pub struct Scope<'scope> {
+    registry: &'static Registry,
+    /// Tasks spawned but not yet finished. The scope exit blocks (stealing) until this
+    /// drains to zero, which is what makes the `'scope` lifetime erasure sound.
+    pending: AtomicUsize,
+    /// First panic raised by any spawned task, re-thrown at scope exit.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant over `'scope` (mirrors rayon): spawned tasks may borrow from it.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Raw scope pointer smuggled into lifetime-erased tasks.
+struct ScopePtr(*const ());
+
+// Safety: the pointee is a `Scope` whose shared state (atomics, mutexes) is
+// thread-safe, and it outlives every task (the scope exit waits on `pending`).
+unsafe impl Send for ScopePtr {}
+
+impl ScopePtr {
+    /// Accessor (rather than field access) so closures capture the whole `Send`
+    /// wrapper under edition-2021 disjoint capture, not the bare raw pointer.
+    fn get(&self) -> *const () {
+        self.0
+    }
+}
+
+/// Create a fork-join scope: `op` may call [`Scope::spawn`] with closures borrowing
+/// data that outlives the `scope` call; `scope` returns only after every spawned task
+/// (including transitively spawned ones) finished. The first task panic — or `op`'s own
+/// — is re-thrown here.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        registry: global_registry(),
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&s)));
+    // Drain every spawned task before the scope frame can go away, stealing work
+    // (often the scope's own tasks) instead of idling.
+    // SeqCst load: pairs with the finishing task's decrement + the monitor's
+    // no-sleeper fast path (see `Monitor`).
+    s.registry
+        .steal_until(|| s.pending.load(Ordering::SeqCst) == 0);
+    let task_panic = s.panic.lock().expect("scope panic slot poisoned").take();
+    match result {
+        Err(op_panic) => resume_unwind(op_panic),
+        Ok(value) => match task_panic {
+            Some(panic) => resume_unwind(panic),
+            None => value,
+        },
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task into the scope. The task may borrow anything `'scope` covers and
+    /// may spawn further tasks onto the same scope. Under a serial override (or a
+    /// worker-less pool) the task runs inline, which keeps spawn usable — though
+    /// unordered by contract — on any thread count.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let override_now = current_override();
+        if current_num_threads() <= 1 || self.registry.worker_queues.is_empty() {
+            run_spawned(self, f, override_now);
+            return;
+        }
+        let scope_ptr = ScopePtr(self as *const Scope<'scope> as *const ());
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // Safety: the scope outlives the task (scope exit waits on `pending`).
+            let scope = unsafe { &*(scope_ptr.get() as *const Scope<'scope>) };
+            run_spawned(scope, f, override_now);
+        });
+        // Safety: erase `'scope` to store the task in the 'static queues; the scope
+        // exit's `steal_until` on `pending` guarantees the closure (and everything it
+        // borrows) is gone before `'scope` ends.
+        let task: Box<dyn FnOnce() + Send + 'static> =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, _>(task) };
+        let data = Box::into_raw(Box::new(HeapJob { task: Some(task) })) as *const ();
+        self.registry.push(JobRef {
+            data,
+            execute: HeapJob::execute_erased,
+        });
+    }
+
+    fn record_panic(&self, panic: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+        slot.get_or_insert(panic);
+    }
+}
+
+/// Run one spawned task: reinstall the spawn-point override, capture panics into the
+/// scope, and decrement the pending counter **as the very last scope access** (after
+/// the decrement the scope frame may legally disappear).
+fn run_spawned<'scope, F>(scope: &Scope<'scope>, f: F, override_threads: usize)
+where
+    F: FnOnce(&Scope<'scope>),
+{
+    let registry = scope.registry;
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(override_threads));
+    let result = catch_unwind(AssertUnwindSafe(|| f(scope)));
+    THREAD_OVERRIDE.with(|c| c.set(prev));
+    if let Err(panic) = result {
+        scope.record_panic(panic);
+    }
+    if scope.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        registry.monitor.bump();
+    }
+}
+
+// --------------------------------------------------------------------------------------
+// ThreadPool: scoped overrides
+// --------------------------------------------------------------------------------------
 
 /// Builder mirroring `rayon::ThreadPoolBuilder` (only `num_threads` is supported).
 #[derive(Debug, Default)]
@@ -84,7 +689,9 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Build the pool. Infallible in this implementation.
+    /// Build the pool handle. Infallible in this implementation: `ThreadPool` is a
+    /// scoped parallelism-degree override executed on the shared global pool, not a
+    /// separate set of OS threads.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
             num_threads: self.num_threads,
@@ -92,7 +699,10 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A scoped thread-count override, mirroring `rayon::ThreadPool`.
+/// A scoped thread-count override, mirroring `rayon::ThreadPool`. Parallel calls under
+/// [`ThreadPool::install`] split to this degree (1 = serial) but still execute on the
+/// shared global worker pool; the override travels with every job the wrapped code
+/// submits, so stolen work honors it too.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
@@ -100,7 +710,9 @@ pub struct ThreadPool {
 
 impl ThreadPool {
     /// Run `f` with this pool's thread count installed for every parallel call `f`
-    /// makes (directly or nested) on this thread.
+    /// makes — directly, nested, or from work stolen onto other pool threads (the
+    /// override is captured into each submitted job, not left behind in a caller-only
+    /// thread-local).
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
         let prev = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads));
         let guard = RestoreOverride(prev);
@@ -128,81 +740,89 @@ impl Drop for RestoreOverride {
     }
 }
 
-/// Run `f` over `0..len`, fanning out to at most [`current_num_threads`] scoped threads.
-/// Results are returned in index order regardless of the thread count.
+// --------------------------------------------------------------------------------------
+// Indexed execution: the substrate of the parallel-iterator layer
+// --------------------------------------------------------------------------------------
+
+/// Each parallel call over `len` items splits into roughly `threads * OVERSPLIT`
+/// leaves, giving the stealing slack to balance uneven item costs without paying a
+/// queue round-trip per item.
+const OVERSPLIT: usize = 4;
+
+fn grain_for(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.saturating_mul(OVERSPLIT).max(1))
+        .max(1)
+}
+
+/// Run `f` over `0..len` on the work-stealing pool via recursive [`join`] splitting.
+/// Each item's result is written into its input-index slot, so the output is in input
+/// order — bit-identical at any thread count.
 pub fn execute_indexed<U: Send>(len: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
-    let budget = current_num_threads();
-    let threads = budget.clamp(1, len.max(1));
+    let threads = current_num_threads();
     if threads <= 1 || len <= 1 {
         return (0..len).map(f).collect();
     }
-    let chunk = len.div_ceil(threads);
-    // Divide the thread budget among the workers so nested parallel calls cannot
-    // multiply OS threads: a worker's own fan-outs share its slice of the budget,
-    // keeping the total number of live threads near the top-level budget at any
-    // nesting depth.
-    let child_budget = (budget / threads).max(1);
-    let mut out: Vec<U> = Vec::with_capacity(len);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(len);
-            if start >= end {
-                break;
-            }
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                THREAD_OVERRIDE.with(|c| c.set(child_budget));
-                (start..end).map(f).collect::<Vec<U>>()
-            }));
+    let mut out: Vec<Option<U>> = (0..len).map(|_| None).collect();
+    fill_indexed(0, &mut out, grain_for(len, threads), &f);
+    out.into_iter()
+        .map(|slot| slot.expect("parallel leaf filled every slot"))
+        .collect()
+}
+
+fn fill_indexed<U: Send>(
+    start: usize,
+    out: &mut [Option<U>],
+    grain: usize,
+    f: &(impl Fn(usize) -> U + Sync),
+) {
+    if out.len() <= grain {
+        for (offset, slot) in out.iter_mut().enumerate() {
+            *slot = Some(f(start + offset));
         }
-        for handle in handles {
-            match handle.join() {
-                Ok(part) => out.extend(part),
-                Err(panic) => std::panic::resume_unwind(panic),
-            }
-        }
-    });
-    out
+        return;
+    }
+    let mid = out.len() / 2;
+    let (left, right) = out.split_at_mut(mid);
+    join(
+        || fill_indexed(start, left, grain, f),
+        || fill_indexed(start + mid, right, grain, f),
+    );
 }
 
 /// Like [`execute_indexed`] but consuming owned items, preserving order.
 pub fn execute_owned<I: Send, U: Send>(items: Vec<I>, f: impl Fn(I) -> U + Sync) -> Vec<U> {
     let len = items.len();
-    let budget = current_num_threads();
-    let threads = budget.clamp(1, len.max(1));
+    let threads = current_num_threads();
     if threads <= 1 || len <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk = len.div_ceil(threads);
-    // Same nesting discipline as `execute_indexed`: children split the budget.
-    let child_budget = (budget / threads).max(1);
-    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
-    let mut rest = items;
-    while rest.len() > chunk {
-        let tail = rest.split_off(chunk);
-        chunks.push(std::mem::replace(&mut rest, tail));
+    let mut input: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<U>> = (0..len).map(|_| None).collect();
+    fill_owned(&mut input, &mut out, grain_for(len, threads), &f);
+    out.into_iter()
+        .map(|slot| slot.expect("parallel leaf filled every slot"))
+        .collect()
+}
+
+fn fill_owned<I: Send, U: Send>(
+    input: &mut [Option<I>],
+    out: &mut [Option<U>],
+    grain: usize,
+    f: &(impl Fn(I) -> U + Sync),
+) {
+    if input.len() <= grain {
+        for (item, slot) in input.iter_mut().zip(out.iter_mut()) {
+            *slot = Some(f(item.take().expect("owned item consumed twice")));
+        }
+        return;
     }
-    chunks.push(rest);
-    let mut out: Vec<U> = Vec::with_capacity(len);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(chunks.len());
-        for part in chunks {
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                THREAD_OVERRIDE.with(|c| c.set(child_budget));
-                part.into_iter().map(f).collect::<Vec<U>>()
-            }));
-        }
-        for handle in handles {
-            match handle.join() {
-                Ok(part) => out.extend(part),
-                Err(panic) => std::panic::resume_unwind(panic),
-            }
-        }
-    });
-    out
+    let mid = input.len() / 2;
+    let (in_left, in_right) = input.split_at_mut(mid);
+    let (out_left, out_right) = out.split_at_mut(mid);
+    join(
+        || fill_owned(in_left, out_left, grain, f),
+        || fill_owned(in_right, out_right, grain, f),
+    );
 }
 
 pub mod iter {
@@ -416,6 +1036,7 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn indexed_execution_preserves_order() {
@@ -459,26 +1080,39 @@ mod tests {
     }
 
     #[test]
-    fn workers_split_the_installed_budget() {
-        // A 6-thread budget fanned out over 3 workers leaves each worker a 2-thread
-        // slice; with 3 workers on a 3-thread budget each worker drops to 1 (serial),
-        // so nested fan-outs cannot multiply OS threads.
+    fn install_override_is_carried_into_submitted_jobs() {
+        // Regression test for the override-propagation contract: the override must be
+        // captured into every job at its creation point, so parallel work — wherever it
+        // is stolen to — observes the `install` that wrapped it, not the executing
+        // thread's own (absent) override. Under the old thread-local-only scheme a
+        // stolen job saw the worker's default instead.
         let pool = ThreadPoolBuilder::new().num_threads(6).build().unwrap();
         let counts: Vec<usize> = pool.install(|| {
-            (0..3)
+            (0..64)
                 .into_par_iter()
                 .map(|_| current_num_threads())
                 .collect()
         });
-        assert!(counts.iter().all(|&c| c == 2), "workers saw {counts:?}");
-        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
-        let counts: Vec<usize> = pool.install(|| {
-            (0..6)
+        assert!(
+            counts.iter().all(|&c| c == 6),
+            "jobs must observe the installed override, saw {counts:?}"
+        );
+        // Nested parallel calls inside jobs inherit the same override too.
+        let nested: Vec<Vec<usize>> = pool.install(|| {
+            (0..8)
                 .into_par_iter()
-                .map(|_| current_num_threads())
+                .map(|_| {
+                    (0..8)
+                        .into_par_iter()
+                        .map(|_| current_num_threads())
+                        .collect()
+                })
                 .collect()
         });
-        assert!(counts.iter().all(|&c| c == 1), "workers saw {counts:?}");
+        assert!(
+            nested.iter().flatten().all(|&c| c == 6),
+            "nested jobs must inherit the override, saw {nested:?}"
+        );
     }
 
     #[test]
@@ -509,5 +1143,130 @@ mod tests {
         let data: Vec<u64> = (0..100).collect();
         let total: u64 = data.par_iter().map(|&x| x).sum();
         assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "b".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "b");
+    }
+
+    #[test]
+    fn join_recursion_computes_correctly() {
+        fn par_sum(range: std::ops::Range<u64>) -> u64 {
+            let len = range.end - range.start;
+            if len <= 8 {
+                return range.sum();
+            }
+            let mid = range.start + len / 2;
+            let (l, r) = join(
+                || par_sum(range.start..mid),
+                move || par_sum(mid..range.end),
+            );
+            l + r
+        }
+        assert_eq!(par_sum(0..1000), 499_500);
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_branch() {
+        let a_panics = std::panic::catch_unwind(|| join(|| panic!("left"), || 1));
+        assert!(a_panics.is_err());
+        let b_panics = std::panic::catch_unwind(|| join(|| 1, || panic!("right")));
+        assert!(b_panics.is_err());
+        let both_panic = std::panic::catch_unwind(|| {
+            join(|| panic!("left"), || panic!("right"));
+        });
+        assert!(both_panic.is_err());
+        // The pool survives panics: a later call still works.
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_more_tasks() {
+        // Nested-scope stress: tasks spawn onto the same scope and onto inner scopes.
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                    scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|_| {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * (1 + 1 + 4));
+    }
+
+    #[test]
+    fn scope_propagates_task_panics_after_draining() {
+        let drained = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let drained = &drained;
+            scope(|s| {
+                for i in 0..16 {
+                    s.spawn(move |_| {
+                        if i == 5 {
+                            panic!("task panic");
+                        }
+                        drained.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Every non-panicking task still ran before the panic was re-thrown.
+        assert_eq!(drained.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn pool_is_reused_across_sequential_parallel_calls() {
+        // Prime the pool, then hammer it with nested fan-outs: the worker-thread spawn
+        // counter must not move — parallel calls after pool init spawn zero new OS
+        // threads, and the pool never exceeds the ambient size.
+        let _: Vec<usize> = (0..64).into_par_iter().map(|i| i).collect();
+        let spawned_after_init = pool_worker_threads_spawned();
+        assert_eq!(spawned_after_init, pool_size());
+        assert!(spawned_after_init <= current_num_threads());
+        for round in 0..50 {
+            let out: Vec<usize> = (0..32)
+                .into_par_iter()
+                .map(|i| {
+                    let inner: Vec<usize> = (0..4).into_par_iter().map(|j| i + j).collect();
+                    inner.into_iter().sum::<usize>() + round
+                })
+                .collect();
+            assert_eq!(out.len(), 32);
+            let (a, b) = join(|| 1, || 2);
+            assert_eq!(a + b, 3);
+        }
+        assert_eq!(
+            pool_worker_threads_spawned(),
+            spawned_after_init,
+            "sequential parallel calls must reuse the persistent pool"
+        );
     }
 }
