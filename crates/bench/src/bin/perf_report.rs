@@ -1,12 +1,15 @@
 //! `perf_report` — the repo's perf-trajectory baseline.
 //!
 //! Times a `pool_overhead` microbench (many tiny parallel calls through the persistent
-//! work-stealing pool), every figure/table pipeline, and the two-round RL
-//! hyperparameter search at the selected `UERL_SCALE` (default `small`) twice — once
-//! pinned to a single thread and once with the ambient thread count — and writes
-//! `BENCH_PR3.json` with per-stage wall times, the thread count, the speedup, and
-//! whether the stage output was byte-identical across thread counts (it must be: every
-//! parallel fan-out in the engine merges in deterministic order).
+//! work-stealing pool), every figure/table pipeline, the two-round RL hyperparameter
+//! search, and a `halving_vs_exhaustive` comparison (the paper's 60+20 candidate
+//! search run once through the successive-halving driver and once exhaustively, with
+//! the survivor trace in the fingerprint) at the selected `UERL_SCALE` (default
+//! `small`) twice — once pinned to a single thread and once with the ambient thread
+//! count — and writes `BENCH_PR4.json` with per-stage wall times, the thread count,
+//! the speedup, whether the stage output was byte-identical across thread counts (it
+//! must be: every parallel fan-out in the engine merges in deterministic order), and
+//! the halving-vs-exhaustive training-step totals (halving must train strictly fewer).
 //!
 //! The checked-in baseline may come from a **single-core container**, where every
 //! parallel call short-circuits to the serial path (speedup ≈ 1.0 by construction);
@@ -21,11 +24,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use uerl_bench::Scale;
 use uerl_core::rf_dataset::build_rf_dataset_1day;
 use uerl_core::state::STATE_DIM;
-use uerl_eval::evaluator::dqn_candidate_evaluator;
+use uerl_core::trainer::TRAIN_COST_SECONDS_PER_STEP;
+use uerl_eval::evaluator::{dqn_candidate_evaluator, dqn_candidate_session_factory};
 use uerl_eval::experiments::common::clear_prefix_cache;
 use uerl_eval::experiments::{fig3, fig4, fig5, fig6, fig7, table2};
 use uerl_eval::scenario::ExperimentContext;
@@ -119,6 +124,91 @@ fn main() {
         )
     };
 
+    // Halving-vs-exhaustive comparison at the paper's search breadth (60 broad + 20
+    // narrowed candidates, episode budget of the selected scale): both drivers run on
+    // identical pre-drawn candidates from the same search seed, and the fingerprint
+    // covers each driver's winner, charged cost, the halving survivor trace (so the
+    // serial-vs-parallel byte compare pins rung-level determinism across thread
+    // counts) and the derived training-step totals. The step totals of the last run
+    // land in `halving_stats` for the JSON summary: the halving search must train
+    // strictly fewer steps at the paper budget.
+    let halving_stats: Arc<Mutex<Option<(u64, u64, bool)>>> = Arc::new(Mutex::new(None));
+    let halving_stage = {
+        let stats = Arc::clone(&halving_stats);
+        move |ctx: &ExperimentContext| -> String {
+            let sampler = ctx.job_sampler(1.0);
+            let seed = ctx.seed ^ 0xBA17;
+            let search = HyperSearch::paper();
+            let episodes = ctx.budget.rl_episodes;
+            let steps_of = |cost: f64| (cost * 3600.0 / TRAIN_COST_SECONDS_PER_STEP).round() as u64;
+
+            let full_steps = uerl_eval::evaluator::estimated_full_steps(&ctx.timelines, episodes);
+            let halving = {
+                let mut rng = StdRng::seed_from_u64(seed);
+                search.run_halving(
+                    &mut rng,
+                    full_steps,
+                    dqn_candidate_session_factory(
+                        &ctx.timelines,
+                        &ctx.timelines,
+                        &sampler,
+                        ctx.mitigation,
+                        seed,
+                        episodes,
+                    ),
+                )
+            };
+            let exhaustive = {
+                let mut rng = StdRng::seed_from_u64(seed);
+                search.run_parallel(
+                    &mut rng,
+                    dqn_candidate_evaluator(
+                        &ctx.timelines,
+                        &ctx.timelines,
+                        &sampler,
+                        ctx.mitigation,
+                        seed,
+                        episodes,
+                    ),
+                )
+            };
+            let halving_steps = steps_of(halving.search.total_cost);
+            let exhaustive_steps = steps_of(exhaustive.total_cost);
+            *stats.lock().expect("halving stats poisoned") = Some((
+                halving_steps,
+                exhaustive_steps,
+                halving_steps < exhaustive_steps,
+            ));
+            let trace: String = halving
+                .rungs
+                .iter()
+                .map(|r| {
+                    format!(
+                        "r{}{}b{}:{:?};",
+                        r.rung,
+                        if r.refined { "'" } else { "" },
+                        r.budget,
+                        r.survivors
+                    )
+                })
+                .collect();
+            format!(
+                "halving: best={} lr={:.12e} score={:.12} cost={:.12} steps={halving_steps} | \
+                 exhaustive: best={} lr={:.12e} score={:.12} cost={:.12} steps={exhaustive_steps} | \
+                 fewer={} trace={trace}",
+                halving.search.best_index,
+                halving.search.best_params.learning_rate,
+                halving.search.best_score,
+                halving.search.total_cost,
+                exhaustive.best_index,
+                exhaustive.best_params.learning_rate,
+                exhaustive.best_score,
+                exhaustive.total_cost,
+                halving_steps < exhaustive_steps,
+            )
+        }
+    };
+
     // Pool-overhead microbench: many tiny parallel calls, the pattern that made the old
     // per-call fork-join (a thread spawn + join per `par_iter`) hurt most. With the
     // persistent pool each call is queue traffic only, so the serial/pooled gap here
@@ -163,6 +253,10 @@ fn main() {
         ("hyper_search_rl", {
             let ctx = ctx.clone();
             Box::new(move || hyper_stage(&ctx))
+        }),
+        ("halving_vs_exhaustive", {
+            let ctx = ctx.clone();
+            Box::new(move || halving_stage(&ctx))
         }),
         ("fig3_total_cost", {
             let ctx = ctx.clone();
@@ -237,13 +331,21 @@ fn main() {
         1.0
     };
 
+    let (halving_steps, exhaustive_steps, halving_fewer) = halving_stats
+        .lock()
+        .expect("halving stats poisoned")
+        .expect("the halving_vs_exhaustive stage ran");
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"pr\": 3,\n");
+    json.push_str("  \"pr\": 4,\n");
     json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!(
         "  \"deterministic_across_thread_counts\": {all_deterministic},\n"
+    ));
+    json.push_str(&format!(
+        "  \"halving_vs_exhaustive\": {{\"halving_steps\": {halving_steps}, \"exhaustive_steps\": {exhaustive_steps}, \"halving_trains_fewer\": {halving_fewer}}},\n"
     ));
     json.push_str(&format!("  \"total_serial_secs\": {total_serial:.6},\n"));
     json.push_str(&format!(
@@ -264,14 +366,22 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
     std::fs::write(&path, &json).expect("write benchmark report");
     eprintln!(
-        "[perf_report] overall speedup {overall_speedup:.2}x on {threads} thread(s); wrote {path}"
+        "[perf_report] overall speedup {overall_speedup:.2}x on {threads} thread(s); \
+         halving {halving_steps} vs exhaustive {exhaustive_steps} training steps; wrote {path}"
     );
     println!("{json}");
     if !all_deterministic {
         eprintln!("[perf_report] ERROR: output diverged across thread counts");
+        std::process::exit(1);
+    }
+    if !halving_fewer {
+        eprintln!(
+            "[perf_report] ERROR: the halving search must train strictly fewer steps \
+             than the exhaustive search"
+        );
         std::process::exit(1);
     }
 }

@@ -252,6 +252,35 @@ impl MitigationPolicy for RlPolicy {
     }
 }
 
+/// A borrowing view of a (possibly still-training) agent as the greedy RL policy.
+///
+/// The successive-halving hyperparameter search scores every surviving candidate at
+/// every rung; wrapping the live agent by reference lets those replays run without
+/// cloning the agent (and its replay memory) or compacting it — compaction would end
+/// the candidate's training. Decisions are identical to [`RlPolicy`] wrapping the same
+/// agent state.
+#[derive(Debug, Clone, Copy)]
+pub struct RlPolicyView<'a> {
+    agent: &'a DqnAgent,
+}
+
+impl<'a> RlPolicyView<'a> {
+    /// Borrow a trained (or training) agent as a greedy policy.
+    pub fn new(agent: &'a DqnAgent) -> Self {
+        Self { agent }
+    }
+}
+
+impl MitigationPolicy for RlPolicyView<'_> {
+    fn name(&self) -> &str {
+        "RL"
+    }
+
+    fn decide(&self, state: &StateFeatures) -> bool {
+        self.agent.act_greedy(&state.to_vector()) == 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,6 +68,13 @@ impl TrainerConfig {
 /// bit-identical results across runs and thread counts.
 pub const TRAIN_COST_SECONDS_PER_STEP: f64 = 5e-3;
 
+/// The deterministic step-count cost model: node-hours charged for training `steps`
+/// environment steps. The successive-halving search charges each rung increment through
+/// this, so only steps actually trained are ever billed.
+pub fn step_cost_node_hours(steps: u64) -> f64 {
+    steps as f64 * TRAIN_COST_SECONDS_PER_STEP / 3600.0
+}
+
 /// What a training run produced.
 #[derive(Debug, Clone)]
 pub struct TrainingOutcome {
@@ -89,7 +96,7 @@ impl TrainingOutcome {
     /// paper, where the total is below twenty node-hours per year of data). Modelled
     /// from the step count so identical seeded runs charge identical costs.
     pub fn training_cost_node_hours(&self) -> f64 {
-        self.total_steps as f64 * TRAIN_COST_SECONDS_PER_STEP / 3600.0
+        step_cost_node_hours(self.total_steps)
     }
 
     /// Wrap the trained agent as an evaluation policy, carrying the training cost into
@@ -124,38 +131,109 @@ impl RlTrainer {
         &self.config
     }
 
-    /// Train an agent on the given timelines and job sampler.
-    pub fn train(&self, timelines: &TimelineSet, jobs: &NodeJobSampler) -> TrainingOutcome {
-        let start = Instant::now();
-        let mut agent = DqnAgent::new(self.config.agent.clone());
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut total_steps = 0u64;
-        let mut total_return = 0.0;
-        let mut episodes_run = 0usize;
+    /// Start a resumable training session (agent freshly built, nothing trained yet).
+    pub fn session(&self) -> TrainingSession {
+        TrainingSession {
+            agent: DqnAgent::new(self.config.agent.clone()),
+            rng: StdRng::seed_from_u64(self.config.seed),
+            config: self.config.clone(),
+            episodes_run: 0,
+            total_steps: 0,
+            total_return: 0.0,
+            wall_secs: 0.0,
+        }
+    }
 
-        for _ in 0..self.config.episodes {
-            let Some(timeline) = timelines.random_timeline(&mut rng) else {
+    /// Train an agent on the given timelines and job sampler, to the full episode
+    /// budget. Equivalent to (and implemented as) a session trained in one chunk.
+    pub fn train(&self, timelines: &TimelineSet, jobs: &NodeJobSampler) -> TrainingOutcome {
+        let mut session = self.session();
+        session.train_until_steps(timelines, jobs, u64::MAX);
+        session.into_outcome()
+    }
+}
+
+/// A resumable, checkpointable RL training run.
+///
+/// The session owns everything the episode loop mutates — the agent (networks,
+/// optimizer, replay memory, exploration RNG, env-step/update counters) and the episode
+/// RNG (node choice, job sequences) — so training can stop at any episode boundary and
+/// continue later **bit-equal** to a run that never paused. The successive-halving
+/// hyperparameter search trains each surviving candidate rung by rung through one
+/// session; [`RlTrainer::train`] is a session trained in a single chunk, so the two
+/// paths cannot drift apart.
+#[derive(Debug, Clone)]
+pub struct TrainingSession {
+    config: TrainerConfig,
+    agent: DqnAgent,
+    rng: StdRng,
+    episodes_run: usize,
+    total_steps: u64,
+    total_return: f64,
+    wall_secs: f64,
+}
+
+impl TrainingSession {
+    /// The agent in its current training state (for scoring mid-training candidates).
+    pub fn agent(&self) -> &DqnAgent {
+        &self.agent
+    }
+
+    /// Environment steps trained so far.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Episodes run so far.
+    pub fn episodes_run(&self) -> usize {
+        self.episodes_run
+    }
+
+    /// Whether the configured episode budget is exhausted (no further training).
+    pub fn exhausted(&self) -> bool {
+        self.episodes_run >= self.config.episodes
+    }
+
+    /// Train whole episodes until the cumulative step counter reaches `target_steps`
+    /// (`u64::MAX` = the full episode budget) or the episode budget runs out, and
+    /// return the number of steps trained by this call. Stopping happens at episode
+    /// boundaries only, which is what keeps chunked training bit-equal to
+    /// straight-through training: the loop state between episodes is exactly the
+    /// session's fields, nothing more.
+    pub fn train_until_steps(
+        &mut self,
+        timelines: &TimelineSet,
+        jobs: &NodeJobSampler,
+        target_steps: u64,
+    ) -> u64 {
+        let start = Instant::now();
+        let before = self.total_steps;
+        while self.episodes_run < self.config.episodes && self.total_steps < target_steps {
+            let Some(timeline) = timelines.random_timeline(&mut self.rng) else {
                 break;
             };
-            let sequence =
-                jobs.sample_sequence(timeline.window_start(), timeline.window_end(), &mut rng);
+            let sequence = jobs.sample_sequence(
+                timeline.window_start(),
+                timeline.window_end(),
+                &mut self.rng,
+            );
             let mut env =
                 MitigationEnv::new(timeline.clone(), sequence, self.config.mitigation, true);
-            episodes_run += 1;
+            self.episodes_run += 1;
             let Some(first) = env.reset() else {
                 continue;
             };
             let mut state_vec = first.to_vector();
             let mut episode_return = 0.0;
             loop {
-                let action = agent.act(&state_vec);
+                let action = self.agent.act(&state_vec);
                 let outcome = env.step(action == 1);
                 episode_return += outcome.reward;
-                total_steps += 1;
+                self.total_steps += 1;
                 match outcome.next_state {
                     Some(next) => {
                         let next_vec = next.to_vector();
-                        agent.observe(Transition::new(
+                        self.agent.observe(Transition::new(
                             state_vec,
                             action,
                             outcome.reward,
@@ -164,24 +242,31 @@ impl RlTrainer {
                         state_vec = next_vec;
                     }
                     None => {
-                        agent.observe(Transition::terminal(state_vec, action, outcome.reward));
+                        self.agent
+                            .observe(Transition::terminal(state_vec, action, outcome.reward));
                         break;
                     }
                 }
             }
-            total_return += episode_return;
+            self.total_return += episode_return;
         }
+        self.wall_secs += start.elapsed().as_secs_f64();
+        self.total_steps - before
+    }
 
+    /// Finish the session, producing the same [`TrainingOutcome`] a straight
+    /// [`RlTrainer::train`] call would have returned.
+    pub fn into_outcome(self) -> TrainingOutcome {
         TrainingOutcome {
-            agent,
-            episodes: episodes_run,
-            total_steps,
-            mean_episode_return: if episodes_run > 0 {
-                total_return / episodes_run as f64
+            agent: self.agent,
+            episodes: self.episodes_run,
+            total_steps: self.total_steps,
+            mean_episode_return: if self.episodes_run > 0 {
+                self.total_return / self.episodes_run as f64
             } else {
                 0.0
             },
-            wall_time_secs: start.elapsed().as_secs_f64(),
+            wall_time_secs: self.wall_secs,
         }
     }
 }
@@ -232,6 +317,70 @@ mod tests {
         assert!((a.mean_episode_return - b.mean_episode_return).abs() < 1e-9);
         let probe = vec![0.1; STATE_DIM];
         assert_eq!(a.agent.q_values(&probe), b.agent.q_values(&probe));
+    }
+
+    #[test]
+    fn chunked_session_training_is_bit_equal_to_straight_through() {
+        // A session paused at step/rung boundaries and resumed must reproduce the
+        // uninterrupted run exactly: same episode draws, same steps, same network bits.
+        // This is the property the successive-halving search's resumed rungs rely on.
+        let (timelines, sampler) = training_inputs(11);
+        let trainer = RlTrainer::new(TrainerConfig::reduced(30).with_seed(13));
+        let straight = trainer.train(&timelines, &sampler);
+
+        let mut session = trainer.session();
+        let mut chunk_steps = Vec::new();
+        // Rung-style doubling targets followed by "train to completion".
+        for target in [25u64, 50, 100, 200, u64::MAX] {
+            chunk_steps.push(session.train_until_steps(&timelines, &sampler, target));
+            assert!(
+                session.exhausted() || session.total_steps() >= target,
+                "a non-exhausted session must reach the step target"
+            );
+        }
+        assert!(session.exhausted());
+        let chunked = session.into_outcome();
+
+        assert_eq!(chunked.total_steps, straight.total_steps);
+        assert_eq!(chunked.episodes, straight.episodes);
+        assert_eq!(
+            chunk_steps.iter().sum::<u64>(),
+            straight.total_steps,
+            "per-chunk increments must add up to the straight-through step count"
+        );
+        assert_eq!(
+            chunked.mean_episode_return.to_bits(),
+            straight.mean_episode_return.to_bits()
+        );
+        let probe = vec![0.1; STATE_DIM];
+        for (a, b) in chunked
+            .agent
+            .q_values(&probe)
+            .iter()
+            .zip(straight.agent.q_values(&probe))
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "chunked training diverged");
+        }
+        assert_eq!(chunked.agent.updates(), straight.agent.updates());
+    }
+
+    #[test]
+    fn session_stops_at_the_first_episode_boundary_past_the_target() {
+        let (timelines, sampler) = training_inputs(12);
+        let trainer = RlTrainer::new(TrainerConfig::reduced(50).with_seed(14));
+        let mut session = trainer.session();
+        let added = session.train_until_steps(&timelines, &sampler, 10);
+        assert!(added >= 10, "must train at least to the target");
+        assert!(session.episodes_run() > 0);
+        assert!(!session.exhausted());
+        // A target at or below the trained amount is a no-op.
+        let again = session.train_until_steps(&timelines, &sampler, session.total_steps());
+        assert_eq!(again, 0);
+        // The step-cost model charges exactly the steps trained.
+        assert_eq!(
+            step_cost_node_hours(session.total_steps()).to_bits(),
+            (session.total_steps() as f64 * TRAIN_COST_SECONDS_PER_STEP / 3600.0).to_bits()
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Shared helpers for the experiment drivers that need a trained agent outside the
 //! cross-validation loop (Figure 6's behaviour map and Table 2's cost-conditioned rows).
 
-use crate::evaluator::dqn_candidate_evaluator;
+use crate::evaluator::run_rl_search;
 use crate::run::run_policy;
 use crate::scenario::{EvalBudget, ExperimentContext};
 use rand::rngs::StdRng;
@@ -16,7 +16,6 @@ use uerl_core::state::{StateFeatures, STATE_DIM};
 use uerl_core::MitigationConfig;
 use uerl_forest::{RandomForest, RandomForestConfig};
 use uerl_jobs::schedule::NodeJobSampler;
-use uerl_rl::HyperSearch;
 use uerl_trace::types::SimTime;
 
 /// Models trained on the leading fraction of the observation window, plus the boundary.
@@ -114,11 +113,12 @@ pub fn clear_prefix_cache() {
 /// Train the forest and the RL agent on the first `train_fraction` of the window.
 ///
 /// The RL agent goes through the same two-round random hyperparameter search as the
-/// cross-validation protocol ([`HyperSearch::run_parallel`], `budget.hyper_initial`
-/// broad + `budget.hyper_refined` narrowed candidates, trained in parallel). Model
-/// selection scores candidates on the training prefix itself — the held-out remainder
-/// of the window is the figures' evaluation data and must stay unseen — and the whole
-/// search, not just the winner, is charged as the policy's training cost.
+/// cross-validation protocol (`budget.hyper_initial` broad + `budget.hyper_refined`
+/// narrowed candidates, trained in parallel — successive-halving or exhaustive, exactly
+/// as the evaluator resolves it through [`run_rl_search`]). Model selection scores
+/// candidates on the training prefix itself — the held-out remainder of the window is
+/// the figures' evaluation data and must stay unseen — and the whole search, not just
+/// the winner, is charged as the policy's training cost.
 ///
 /// Results are memoized per `(ctx, fraction)` fingerprint: the training is a pure
 /// function of those inputs, so callers that share a context (fig6 and table2 both
@@ -169,23 +169,24 @@ fn train_models_on_prefix_uncached(ctx: &ExperimentContext, train_fraction: f64)
     }
     let forest = RandomForest::fit(&dataset, &rf_config);
 
-    // RL agent on the same prefix, with the full two-round hyperparameter search.
-    let search = HyperSearch::reduced(ctx.budget.hyper_initial, ctx.budget.hyper_refined);
+    // RL agent on the same prefix, with the full two-round hyperparameter search
+    // (halving or exhaustive, resolved exactly as the evaluator resolves it).
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x0F16);
-    let outcome = search.run_parallel(
+    let search = run_rl_search(
+        &ctx.budget,
         &mut rng,
-        dqn_candidate_evaluator(
-            &train_tl,
-            &train_tl,
-            &sampler,
-            ctx.mitigation,
-            ctx.seed,
-            ctx.budget.rl_episodes,
-        ),
+        &train_tl,
+        &train_tl,
+        &sampler,
+        ctx.mitigation,
+        ctx.seed,
     );
     TrainedModels {
         forest,
-        rl: outcome.best.with_training_cost(outcome.total_cost),
+        rl: search
+            .outcome
+            .best
+            .with_training_cost(search.outcome.total_cost),
         train_end,
     }
 }

@@ -31,6 +31,12 @@ pub struct EvalBudget {
     pub cv_parts: usize,
     /// Candidate thresholds scanned when giving SC20-RF its optimal threshold.
     pub threshold_grid: usize,
+    /// Run the hyperparameter search with the successive-halving rung schedule
+    /// (`HyperSearch::run_halving`) instead of training every candidate to the full
+    /// budget. Same pre-drawn candidates, bit-identical at any thread count, strictly
+    /// fewer training steps. Overridable per process with `UERL_HYPER_SEARCH=halving` /
+    /// `=exhaustive`.
+    pub hyper_halving: bool,
 }
 
 impl EvalBudget {
@@ -43,6 +49,7 @@ impl EvalBudget {
             rf_trees: 100,
             cv_parts: 6,
             threshold_grid: 41,
+            hyper_halving: true,
         }
     }
 
@@ -55,6 +62,7 @@ impl EvalBudget {
             rf_trees: 40,
             cv_parts: 6,
             threshold_grid: 21,
+            hyper_halving: true,
         }
     }
 
@@ -67,7 +75,14 @@ impl EvalBudget {
             rf_trees: 8,
             cv_parts: 3,
             threshold_grid: 6,
+            hyper_halving: true,
         }
+    }
+
+    /// A copy with the halving/exhaustive search strategy overridden.
+    pub fn with_halving(mut self, halving: bool) -> Self {
+        self.hyper_halving = halving;
+        self
     }
 }
 

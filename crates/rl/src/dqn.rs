@@ -222,6 +222,37 @@ impl ReplayMemory {
     }
 }
 
+/// A complete snapshot of an agent mid-training: networks, optimizer moments, replay
+/// memory, exploration RNG and the env-step/update counters. Resuming from a checkpoint
+/// and continuing to train is **bit-equal** to never having paused.
+///
+/// This is the agent-level statement of the resumability contract the successive-
+/// halving search builds on (its rung-by-rung training holds live agents inside
+/// `TrainingSession`s rather than going through this type); the checkpoint API is the
+/// surface for callers that need to pause and hand off an agent explicitly, and its
+/// tests pin the bit-equality contract itself.
+#[derive(Debug, Clone)]
+pub struct AgentCheckpoint {
+    agent: DqnAgent,
+}
+
+impl AgentCheckpoint {
+    /// Environment steps the checkpointed agent had observed.
+    pub fn env_steps(&self) -> u64 {
+        self.agent.env_steps
+    }
+
+    /// Gradient updates the checkpointed agent had performed.
+    pub fn updates(&self) -> u64 {
+        self.agent.updates
+    }
+
+    /// Resume training from this checkpoint.
+    pub fn resume(self) -> DqnAgent {
+        self.agent
+    }
+}
+
 /// A deep Q-network agent.
 #[derive(Debug, Clone)]
 pub struct DqnAgent {
@@ -290,6 +321,28 @@ impl DqnAgent {
             ReplayMemory::Uniform(UniformReplay::new(1))
         };
         self.compacted = true;
+    }
+
+    /// Whether [`DqnAgent::compact_for_inference`] dropped the replay memory. A
+    /// compacted agent can still be queried but must not be trained or checkpointed.
+    pub fn is_compacted(&self) -> bool {
+        self.compacted
+    }
+
+    /// Capture the complete training state (networks, optimizer, replay, RNG,
+    /// counters), so training can later continue from exactly this point.
+    ///
+    /// # Panics
+    /// Panics if the agent was compacted for inference — its replay memory is gone, so
+    /// resumed training could not be bit-equal to uninterrupted training.
+    pub fn checkpoint(&self) -> AgentCheckpoint {
+        assert!(
+            !self.compacted,
+            "a compacted agent cannot be checkpointed for resumable training"
+        );
+        AgentCheckpoint {
+            agent: self.clone(),
+        }
     }
 
     /// Number of environment steps observed so far.
@@ -606,6 +659,54 @@ mod tests {
     fn train_step_requires_enough_replay() {
         let mut agent = DqnAgent::new(AgentConfig::small(2).with_seed(6));
         assert_eq!(agent.train_step(), None);
+    }
+
+    /// Continue the bandit workload on an existing agent for `steps` more steps,
+    /// starting the episode pattern at `offset` so resumed runs see the same stream.
+    fn continue_bandit(agent: &mut DqnAgent, offset: usize, steps: usize) {
+        let states = [vec![1.0, 0.0], vec![0.0, 1.0]];
+        for step in offset..offset + steps {
+            let s = states[step % 2].clone();
+            let a = agent.act(&s);
+            let correct = if s[0] > 0.5 { 0 } else { 1 };
+            let reward = if a == correct { 1.0 } else { -1.0 };
+            agent.observe(Transition::terminal(s, a, reward));
+        }
+    }
+
+    #[test]
+    fn resumed_training_is_bit_equal_to_straight_through() {
+        // Train 500 steps, checkpoint, continue to 1500 — and compare against an agent
+        // that trained the same 1500 steps without pausing. Counters, Q-values and the
+        // next exploration decisions must agree to the bit: the checkpoint carries the
+        // networks, optimizer moments, replay contents/priorities and the RNG.
+        let straight = train_bandit(AgentConfig::small(2).with_seed(11), 1_500);
+        let mut paused = train_bandit(AgentConfig::small(2).with_seed(11), 500);
+        let checkpoint = paused.checkpoint();
+        assert_eq!(checkpoint.env_steps(), 500);
+        let mut resumed = checkpoint.resume();
+        continue_bandit(&mut paused, 500, 1_000);
+        continue_bandit(&mut resumed, 500, 1_000);
+        for agent in [&paused, &resumed] {
+            assert_eq!(agent.env_steps(), straight.env_steps());
+            assert_eq!(agent.updates(), straight.updates());
+            assert_eq!(agent.replay_len(), straight.replay_len());
+            for probe in [[1.0, 0.0], [0.0, 1.0], [0.3, -0.7]] {
+                for (a, b) in agent.q_values(&probe).iter().zip(straight.q_values(&probe)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "Q-values diverged after resume");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "compacted agent cannot be checkpointed")]
+    fn compacted_agents_refuse_to_checkpoint() {
+        let mut agent = train_bandit(AgentConfig::small(2).with_seed(12), 300);
+        assert!(!agent.is_compacted());
+        agent.compact_for_inference();
+        assert!(agent.is_compacted());
+        let _ = agent.checkpoint();
     }
 
     #[test]

@@ -64,20 +64,47 @@ impl HyperParams {
     }
 
     /// Draw a point close to `self` (the narrowed second-round search space).
+    ///
+    /// Continuous dimensions get a symmetric multiplicative jitter (the *inclusive*
+    /// range keeps the factor distribution centred on 1); integer dimensions round to
+    /// the nearest value instead of truncating toward zero; and the grid dimensions
+    /// (`batch_size`, `train_every`) step to an adjacent grid value so the second round
+    /// still searches them instead of pinning the broad winner's choice.
     pub fn narrowed<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
         let jitter = |rng: &mut R, v: f64, rel: f64| -> f64 {
-            let factor = 1.0 + rng.gen_range(-rel..rel);
+            let factor = 1.0 + rng.gen_range(-rel..=rel);
             v * factor
         };
+        // Move one position down, stay, or move one position up on the sampling grid
+        // (clamped at the ends), anchored at the grid value closest to `current`.
+        let grid_step = |rng: &mut R, grid: &[usize], current: usize| -> usize {
+            let anchor = grid
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &g)| (g as i64 - current as i64).unsigned_abs())
+                .map(|(i, _)| i)
+                .expect("non-empty grid");
+            let step = rng.gen_range(-1i64..=1);
+            let pos = (anchor as i64 + step).clamp(0, grid.len() as i64 - 1) as usize;
+            grid[pos]
+        };
+        let learning_rate = jitter(rng, self.learning_rate, 0.5).clamp(1e-5, 1e-1);
+        let gamma = (self.gamma + rng.gen_range(-0.01..=0.01)).clamp(0.8, 0.999);
+        let batch_size = grid_step(rng, &[16, 32, 64], self.batch_size);
+        let train_every = grid_step(rng, &[1, 2, 4], self.train_every);
+        let target_sync_every =
+            (jitter(rng, self.target_sync_every as f64, 0.5).round() as usize).max(10);
+        let per_alpha = jitter(rng, self.per_alpha, 0.2).clamp(0.2, 1.0);
+        let epsilon_decay_steps =
+            (jitter(rng, self.epsilon_decay_steps as f64, 0.5).round() as u64).max(1_000);
         Self {
-            learning_rate: jitter(rng, self.learning_rate, 0.5).clamp(1e-5, 1e-1),
-            gamma: (self.gamma + rng.gen_range(-0.01..0.01)).clamp(0.8, 0.999),
-            batch_size: self.batch_size,
-            train_every: self.train_every,
-            target_sync_every: ((jitter(rng, self.target_sync_every as f64, 0.5)) as usize).max(10),
-            per_alpha: jitter(rng, self.per_alpha, 0.2).clamp(0.2, 1.0),
-            epsilon_decay_steps: (jitter(rng, self.epsilon_decay_steps as f64, 0.5) as u64)
-                .max(1_000),
+            learning_rate,
+            gamma,
+            batch_size,
+            train_every,
+            target_sync_every,
+            per_alpha,
+            epsilon_decay_steps,
         }
     }
 
@@ -130,6 +157,73 @@ pub struct SearchOutcome<P> {
     pub total_cost: f64,
     /// Every evaluated candidate, in evaluation order (broad round first).
     pub candidates: Vec<EvaluatedCandidate>,
+}
+
+/// Deterministic "strictly better" for score reductions (higher wins): finite scores
+/// always beat non-finite ones, a non-finite score never replaces the incumbent (so a
+/// NaN cannot poison every later comparison), and ties keep the incumbent (the earliest
+/// candidate).
+pub fn better_score(new: f64, incumbent: f64) -> bool {
+    match (new.is_finite(), incumbent.is_finite()) {
+        (true, true) => new > incumbent,
+        (true, false) => true,
+        (false, _) => false,
+    }
+}
+
+/// A candidate whose training can be advanced in budget increments and resumed, as the
+/// successive-halving driver requires. The contract that keeps halving bit-identical to
+/// straight-through training: calling [`Trainable::train_to`] with an increasing
+/// sequence of budgets must leave the candidate in exactly the state a single
+/// `train_to(final_budget)` call would have produced.
+pub trait Trainable {
+    /// The artifact the winning candidate is converted into (e.g. a trained policy).
+    type Artifact;
+
+    /// Advance training to the *cumulative* `budget` (in whatever unit the
+    /// implementation measures training — the evaluation harness uses environment
+    /// steps; `u64::MAX` means "train to completion"). Budgets at or below the amount
+    /// already trained are a no-op. Returns the cost charged for the increment; a
+    /// returned cost of exactly `0.0` must mean the candidate state did not change
+    /// (the driver then reuses the previous rung's score instead of re-scoring).
+    fn train_to(&mut self, budget: u64) -> f64;
+
+    /// Score the current policy (higher is better). Non-finite scores rank last.
+    fn score(&self) -> f64;
+
+    /// Finish the candidate, converting it into its artifact.
+    fn into_artifact(self) -> Self::Artifact;
+}
+
+/// One rung of a successive-halving round: which candidates entered it, the cumulative
+/// budget they were trained to, and the scores/costs the rung produced (aligned with
+/// `survivors`, which is kept in candidate order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RungTrace {
+    /// Whether this rung belongs to the narrowed second round.
+    pub refined: bool,
+    /// Rung index within its round (0 = first rung, every candidate alive).
+    pub rung: usize,
+    /// Cumulative training budget of this rung (`u64::MAX` = train to completion).
+    pub budget: u64,
+    /// Global candidate indices that entered this rung, in candidate order.
+    pub survivors: Vec<usize>,
+    /// Score of each survivor after training to this rung's budget.
+    pub scores: Vec<f64>,
+    /// Cost charged to each survivor for this rung's training increment.
+    pub costs: Vec<f64>,
+}
+
+/// The result of a successive-halving search: the usual [`SearchOutcome`] plus the
+/// rung-by-rung elimination trace.
+#[derive(Debug, Clone)]
+pub struct HalvingOutcome<P> {
+    /// Winner, candidate trace and total charged cost, as in the exhaustive driver.
+    /// Each candidate's recorded `score` is from the last rung it reached and its
+    /// `cost` is the sum of its per-rung increments.
+    pub search: SearchOutcome<P>,
+    /// Every rung of both rounds, in execution order (broad round first).
+    pub rungs: Vec<RungTrace>,
 }
 
 /// A two-round random hyperparameter search.
@@ -233,6 +327,97 @@ impl HyperSearch {
         }
     }
 
+    /// Run the two-round search with a **successive-halving** schedule inside each
+    /// round, so hopeless candidates stop training early.
+    ///
+    /// Candidate parameters and per-candidate seed material are pre-drawn from `rng`
+    /// exactly as in [`HyperSearch::run_parallel`] (same draws, same order), so the two
+    /// drivers explore identical candidate sets. Each round then runs
+    /// `ceil(log2(n)) + 1` rungs: every alive candidate is trained to the rung's
+    /// cumulative budget (`full_budget >> (rungs - 1 - r)`, doubling per rung; the last
+    /// rung is `u64::MAX`, i.e. trained to completion) and scored, and the top half —
+    /// `ceil(alive / 2)`, ranked by score with non-finite scores last and ties keeping
+    /// the earliest candidate — survives to the next rung. Training happens in parallel
+    /// over the work-stealing pool, but eliminations, cost accumulation and every other
+    /// reduction happen in candidate order, so the outcome is **bit-identical at any
+    /// thread count**. The winner of each round is its last survivor, trained to
+    /// completion; the overall winner is whichever round winner scores higher (broad
+    /// round kept on ties).
+    ///
+    /// The charged `total_cost` is the in-order sum of every rung increment actually
+    /// trained — the whole point: most candidates only ever pay the early, cheap rungs.
+    pub fn run_halving<C, R, F>(
+        &self,
+        rng: &mut R,
+        full_budget: u64,
+        init: F,
+    ) -> HalvingOutcome<C::Artifact>
+    where
+        C: Trainable + Send,
+        C::Artifact: Send,
+        R: Rng + ?Sized,
+        F: Fn(&HyperParams, u64) -> C + Sync,
+    {
+        let initial = self.initial_round.max(1);
+        let mut candidates = Vec::with_capacity(initial + self.refined_round);
+        let mut rungs = Vec::new();
+        let mut total_cost = 0.0f64;
+
+        // Broad round: identical pre-draws to `run_parallel`.
+        let mut round: Vec<(HyperParams, u64)> = Vec::with_capacity(initial);
+        round.push((HyperParams::default_point(), rng.next_u64()));
+        for _ in 1..initial {
+            let params = HyperParams::sample(rng);
+            round.push((params, rng.next_u64()));
+        }
+        let broad = halve_round(
+            &round,
+            false,
+            full_budget,
+            &init,
+            &mut candidates,
+            &mut rungs,
+            &mut total_cost,
+        );
+
+        // Narrowed round, anchored at the broad round's winner.
+        let anchor = candidates[broad.0].params;
+        let mut round: Vec<(HyperParams, u64)> = Vec::with_capacity(self.refined_round);
+        for _ in 0..self.refined_round {
+            let params = anchor.narrowed(rng);
+            round.push((params, rng.next_u64()));
+        }
+        let refined = if round.is_empty() {
+            None
+        } else {
+            Some(halve_round(
+                &round,
+                true,
+                full_budget,
+                &init,
+                &mut candidates,
+                &mut rungs,
+                &mut total_cost,
+            ))
+        };
+
+        let (best_index, best_artifact, best_score) = match refined {
+            Some(refined) if better_score(refined.2, broad.2) => refined,
+            _ => broad,
+        };
+        HalvingOutcome {
+            search: SearchOutcome {
+                best: best_artifact,
+                best_params: candidates[best_index].params,
+                best_score,
+                best_index,
+                total_cost,
+                candidates,
+            },
+            rungs,
+        }
+    }
+
     /// Run the search with a score-only closure (higher is better) and return the best
     /// hyperparameters together with their score. Convenience wrapper over
     /// [`HyperSearch::run_parallel`] with no artifact and no cost accounting.
@@ -275,11 +460,142 @@ fn reduce_round<P, F>(
             cost,
             refined,
         });
-        let better = best.as_ref().map(|&(_, _, s)| score > s).unwrap_or(true);
+        let better = best
+            .as_ref()
+            .map(|&(_, _, s)| better_score(score, s))
+            .unwrap_or(true);
         if better {
             *best = Some((index, artifact, score));
         }
     }
+}
+
+/// Run one pre-drawn round through the successive-halving rung schedule. Appends one
+/// [`EvaluatedCandidate`] per candidate (score = last rung reached, cost = sum of its
+/// rung increments) and one [`RungTrace`] per rung, and returns the round winner as
+/// `(global candidate index, artifact, final score)`.
+///
+/// Within a rung, training and scoring fan out over the pool via `execute_owned`, which
+/// returns results in input order; everything else — cost accumulation, the score
+/// ranking, survivor selection, dropping eliminated candidates — walks the candidates
+/// in candidate order, so the round is bit-identical at any thread count.
+fn halve_round<C, F>(
+    round: &[(HyperParams, u64)],
+    refined: bool,
+    full_budget: u64,
+    init: &F,
+    candidates: &mut Vec<EvaluatedCandidate>,
+    rungs: &mut Vec<RungTrace>,
+    total_cost: &mut f64,
+) -> (usize, C::Artifact, f64)
+where
+    C: Trainable + Send,
+    C::Artifact: Send,
+    F: Fn(&HyperParams, u64) -> C + Sync,
+{
+    let n = round.len();
+    let base_index = candidates.len();
+    for (params, seed) in round {
+        candidates.push(EvaluatedCandidate {
+            params: *params,
+            trainer_seed: *seed,
+            score: f64::NEG_INFINITY,
+            cost: 0.0,
+            refined,
+        });
+    }
+
+    // `ceil(log2(n)) + 1` rungs halve the field to a single survivor; the last rung is
+    // always "train to completion" so the round winner is a fully trained candidate.
+    let n_rungs = n.next_power_of_two().trailing_zeros() as usize + 1;
+    let mut alive: Vec<usize> = (0..n).collect();
+    let mut states: Vec<Option<C>> = (0..n).map(|_| None).collect();
+    for rung in 0..n_rungs {
+        let budget = if rung == n_rungs - 1 {
+            u64::MAX
+        } else {
+            (full_budget >> (n_rungs - 1 - rung)).max(1)
+        };
+        // Move the alive sessions through the pool: init on the first rung, then train
+        // to the rung budget and score. `execute_owned` keeps results in input order.
+        // A survivor whose training increment was a no-op (zero cost — e.g. its episode
+        // budget ran out on an earlier rung) keeps its previous score instead of paying
+        // another full selection replay: a zero-cost `train_to` leaves the candidate
+        // unchanged, so re-scoring could only recompute the identical value.
+        let prev_scores: Vec<f64> = alive
+            .iter()
+            .map(|&i| candidates[base_index + i].score)
+            .collect();
+        let work: Vec<(usize, usize, Option<C>)> = alive
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| (pos, i, states[i].take()))
+            .collect();
+        let trained: Vec<(usize, C, f64, f64)> = rayon::execute_owned(work, |(pos, i, state)| {
+            let mut candidate = state.unwrap_or_else(|| init(&round[i].0, round[i].1));
+            let cost = candidate.train_to(budget);
+            let score = if rung > 0 && cost == 0.0 {
+                prev_scores[pos]
+            } else {
+                candidate.score()
+            };
+            (i, candidate, cost, score)
+        });
+        let mut trace = RungTrace {
+            refined,
+            rung,
+            budget,
+            survivors: alive.iter().map(|&i| base_index + i).collect(),
+            scores: Vec::with_capacity(alive.len()),
+            costs: Vec::with_capacity(alive.len()),
+        };
+        for (i, candidate, cost, score) in trained {
+            *total_cost += cost;
+            let entry = &mut candidates[base_index + i];
+            entry.cost += cost;
+            entry.score = score;
+            trace.scores.push(score);
+            trace.costs.push(cost);
+            states[i] = Some(candidate);
+        }
+        rungs.push(trace);
+        if alive.len() <= 1 {
+            break;
+        }
+
+        // Keep the top half: rank by score (descending, non-finite last, ties by
+        // candidate index), truncate, then restore candidate order for the next rung.
+        let keep = alive.len().div_ceil(2);
+        let rank_of = |i: usize| -> f64 {
+            let s = candidates[base_index + i].score;
+            if s.is_finite() {
+                s
+            } else {
+                f64::NEG_INFINITY
+            }
+        };
+        let mut ranked = alive.clone();
+        ranked.sort_unstable_by(|&a, &b| rank_of(b).total_cmp(&rank_of(a)).then(a.cmp(&b)));
+        ranked.truncate(keep);
+        ranked.sort_unstable();
+        for &i in &alive {
+            if !ranked.contains(&i) {
+                states[i] = None;
+            }
+        }
+        alive = ranked;
+    }
+
+    let winner = alive[0];
+    let artifact = states[winner]
+        .take()
+        .expect("the round winner's state is alive")
+        .into_artifact();
+    (
+        base_index + winner,
+        artifact,
+        candidates[base_index + winner].score,
+    )
 }
 
 #[cfg(test)]
@@ -310,9 +626,61 @@ mod tests {
             let h = anchor.narrowed(&mut rng);
             assert!(h.learning_rate >= anchor.learning_rate * 0.4);
             assert!(h.learning_rate <= anchor.learning_rate * 1.6);
-            assert_eq!(h.batch_size, anchor.batch_size);
+            // Grid dimensions stay on the grid, at most one position from the anchor.
+            assert!([16, 32, 64].contains(&h.batch_size));
+            assert!([1, 2, 4].contains(&h.train_every));
             assert!((h.gamma - anchor.gamma).abs() <= 0.011);
         }
+    }
+
+    #[test]
+    fn narrowed_grid_dimensions_are_searched_not_pinned() {
+        // Regression: round 2 used to copy `batch_size`/`train_every` verbatim, turning
+        // them into dead search dimensions. Adjacent grid values must now appear.
+        let mut rng = StdRng::seed_from_u64(21);
+        let anchor = HyperParams::default_point(); // batch 32, train_every 2
+        let mut batches = std::collections::BTreeSet::new();
+        let mut train_everys = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let h = anchor.narrowed(&mut rng);
+            batches.insert(h.batch_size);
+            train_everys.insert(h.train_every);
+        }
+        assert_eq!(batches.into_iter().collect::<Vec<_>>(), vec![16, 32, 64]);
+        assert_eq!(train_everys.into_iter().collect::<Vec<_>>(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn narrowed_integer_knobs_round_instead_of_truncating() {
+        // Regression: the multiplicative jitter used to truncate toward zero via `as`,
+        // biasing `target_sync_every`/`epsilon_decay_steps` downward. With rounding,
+        // the mean over many draws must sit near the anchor (truncation sat ~0.5 below
+        // per draw and, worse, `0.999... as usize` floors). Jitter is ±50% uniform, so
+        // the sample mean over 4000 draws is well within 2% of the anchor.
+        let mut rng = StdRng::seed_from_u64(22);
+        let anchor = HyperParams::default_point();
+        let n = 4_000;
+        let mut sync_sum = 0.0f64;
+        let mut decay_sum = 0.0f64;
+        for _ in 0..n {
+            let h = anchor.narrowed(&mut rng);
+            sync_sum += h.target_sync_every as f64;
+            decay_sum += h.epsilon_decay_steps as f64;
+        }
+        let sync_mean = sync_sum / n as f64;
+        let decay_mean = decay_sum / n as f64;
+        assert!(
+            (sync_mean - anchor.target_sync_every as f64).abs()
+                < 0.02 * anchor.target_sync_every as f64,
+            "target_sync_every mean {sync_mean} drifted from {}",
+            anchor.target_sync_every
+        );
+        assert!(
+            (decay_mean - anchor.epsilon_decay_steps as f64).abs()
+                < 0.02 * anchor.epsilon_decay_steps as f64,
+            "epsilon_decay_steps mean {decay_mean} drifted from {}",
+            anchor.epsilon_decay_steps
+        );
     }
 
     #[test]
@@ -418,6 +786,302 @@ mod tests {
             .candidates
             .iter()
             .all(|c| c.cost == cost_of(&c.params)));
+    }
+
+    #[test]
+    fn non_finite_scores_never_win_the_reduction() {
+        // Regression: `score > s` silently mishandled NaN — a NaN first candidate became
+        // an unbeatable incumbent. Finite scores must always beat non-finite ones.
+        assert!(!better_score(f64::NAN, 0.0));
+        assert!(!better_score(f64::INFINITY, 0.0));
+        assert!(better_score(0.0, f64::NAN));
+        assert!(!better_score(f64::NAN, f64::NAN));
+        assert!(!better_score(1.0, 1.0), "ties keep the incumbent");
+
+        let mut rng = StdRng::seed_from_u64(31);
+        let search = HyperSearch::reduced(6, 3);
+        // The default point (candidate 0) scores NaN; everything else is finite.
+        let outcome = search.run_parallel(&mut rng, |h, _| {
+            if h.learning_rate == HyperParams::default_point().learning_rate {
+                ((), f64::NAN, 0.0)
+            } else {
+                ((), h.gamma, 0.0)
+            }
+        });
+        assert!(
+            outcome.best_score.is_finite(),
+            "a NaN score must never be selected as the winner"
+        );
+        assert_ne!(outcome.best_index, 0);
+    }
+
+    /// A synthetic resumable candidate for driver tests: "training" advances a unit
+    /// counter toward the cumulative budget (capped at `cap` = full training), the cost
+    /// is the number of units actually trained, and the score is a deterministic
+    /// function of the parameters, the seed and the trained amount.
+    struct FakeCandidate {
+        lr: f64,
+        seed: u64,
+        trained: u64,
+        cap: u64,
+    }
+
+    impl FakeCandidate {
+        fn new(params: &HyperParams, seed: u64, cap: u64) -> Self {
+            Self {
+                lr: params.learning_rate,
+                seed,
+                trained: 0,
+                cap,
+            }
+        }
+    }
+
+    impl Trainable for FakeCandidate {
+        type Artifact = (u64, u64);
+
+        fn train_to(&mut self, budget: u64) -> f64 {
+            let target = budget.min(self.cap);
+            let added = target.saturating_sub(self.trained);
+            self.trained = self.trained.max(target);
+            added as f64
+        }
+
+        fn score(&self) -> f64 {
+            -((self.lr.log10() + 3.0).powi(2)) + (self.trained as f64 / self.cap as f64) * 0.05
+                - ((self.seed % 97) as f64) * 1e-6
+        }
+
+        fn into_artifact(self) -> (u64, u64) {
+            (self.seed, self.trained)
+        }
+    }
+
+    const FAKE_CAP: u64 = 1 << 10;
+
+    #[test]
+    fn halving_explores_the_same_candidates_but_trains_strictly_less() {
+        let search = HyperSearch::reduced(12, 6);
+        let halving = search.run_halving(&mut StdRng::seed_from_u64(41), FAKE_CAP, |h, s| {
+            FakeCandidate::new(h, s, FAKE_CAP)
+        });
+        let exhaustive = search.run_parallel(&mut StdRng::seed_from_u64(41), |h, s| {
+            let mut c = FakeCandidate::new(h, s, FAKE_CAP);
+            let cost = c.train_to(u64::MAX);
+            let score = c.score();
+            (c.into_artifact(), score, cost)
+        });
+        // Same pre-drawn candidate sets (the whole point of sharing the draw order).
+        assert_eq!(halving.search.candidates.len(), exhaustive.candidates.len());
+        for (a, b) in halving.search.candidates.iter().zip(&exhaustive.candidates) {
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.trainer_seed, b.trainer_seed);
+        }
+        // The quality ordering is training-invariant here, so both pick the same winner,
+        // trained to completion — but halving charges strictly less total training.
+        assert_eq!(halving.search.best_index, exhaustive.best_index);
+        assert_eq!(halving.search.best.0, exhaustive.best.0);
+        assert_eq!(
+            halving.search.best.1, FAKE_CAP,
+            "winner trained to completion"
+        );
+        assert!(
+            halving.search.total_cost < exhaustive.total_cost,
+            "halving {} must train strictly fewer units than exhaustive {}",
+            halving.search.total_cost,
+            exhaustive.total_cost
+        );
+        // Charged cost is exactly the in-order sum of the per-rung increments.
+        let rung_sum: f64 = halving.rungs.iter().flat_map(|r| r.costs.iter()).sum();
+        assert_eq!(halving.search.total_cost.to_bits(), rung_sum.to_bits());
+    }
+
+    #[test]
+    fn halving_rungs_halve_survivors_and_double_budgets() {
+        let search = HyperSearch::reduced(12, 5);
+        let outcome = search.run_halving(&mut StdRng::seed_from_u64(42), FAKE_CAP, |h, s| {
+            FakeCandidate::new(h, s, FAKE_CAP)
+        });
+        let broad: Vec<&RungTrace> = outcome.rungs.iter().filter(|r| !r.refined).collect();
+        let refined: Vec<&RungTrace> = outcome.rungs.iter().filter(|r| r.refined).collect();
+        let sizes =
+            |rungs: &[&RungTrace]| rungs.iter().map(|r| r.survivors.len()).collect::<Vec<_>>();
+        assert_eq!(sizes(&broad), vec![12, 6, 3, 2, 1]);
+        assert_eq!(sizes(&refined), vec![5, 3, 2, 1]);
+        for rungs in [&broad, &refined] {
+            for pair in rungs.windows(2) {
+                if pair[1].budget != u64::MAX {
+                    assert_eq!(
+                        pair[1].budget,
+                        pair[0].budget * 2,
+                        "budgets double per rung"
+                    );
+                }
+                // Survivors are a subset of the previous rung, kept in candidate order.
+                assert!(pair[1]
+                    .survivors
+                    .iter()
+                    .all(|i| pair[0].survivors.contains(i)));
+                assert!(pair[1].survivors.windows(2).all(|w| w[0] < w[1]));
+            }
+            assert_eq!(rungs.last().unwrap().budget, u64::MAX);
+        }
+        // Refined candidates index past the broad round.
+        assert!(refined[0].survivors.iter().all(|&i| i >= 12));
+    }
+
+    #[test]
+    fn halving_is_bit_identical_across_thread_counts() {
+        let search = HyperSearch::reduced(11, 4);
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                search.run_halving(&mut StdRng::seed_from_u64(43), FAKE_CAP, |h, s| {
+                    FakeCandidate::new(h, s, FAKE_CAP)
+                })
+            })
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.search.best_index, four.search.best_index);
+        assert_eq!(one.search.best_params, four.search.best_params);
+        assert_eq!(
+            one.search.best_score.to_bits(),
+            four.search.best_score.to_bits()
+        );
+        assert_eq!(
+            one.search.total_cost.to_bits(),
+            four.search.total_cost.to_bits()
+        );
+        assert_eq!(one.search.candidates, four.search.candidates);
+        assert_eq!(
+            one.rungs, four.rungs,
+            "rung traces diverged across thread counts"
+        );
+    }
+
+    #[test]
+    fn exhausted_candidates_are_not_rescored_on_later_rungs() {
+        // Candidates whose budget is exhausted (zero-cost increments) must reuse their
+        // previous score instead of paying another selection replay per rung.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct CountingCandidate {
+            inner: FakeCandidate,
+            score_calls: Arc<AtomicUsize>,
+        }
+        impl Trainable for CountingCandidate {
+            type Artifact = (u64, u64);
+            fn train_to(&mut self, budget: u64) -> f64 {
+                self.inner.train_to(budget)
+            }
+            fn score(&self) -> f64 {
+                self.score_calls.fetch_add(1, Ordering::Relaxed);
+                self.inner.score()
+            }
+            fn into_artifact(self) -> (u64, u64) {
+                self.inner.into_artifact()
+            }
+        }
+        let calls = Arc::new(AtomicUsize::new(0));
+        let search = HyperSearch::reduced(8, 0);
+        // Every candidate saturates its tiny cap at rung 0 (the rung-0 budget is
+        // already above it), so rungs 1..3 train nothing and must not re-score.
+        let cap = 4;
+        let outcome = search.run_halving(&mut StdRng::seed_from_u64(46), FAKE_CAP, {
+            let calls = Arc::clone(&calls);
+            move |h, s| CountingCandidate {
+                inner: FakeCandidate::new(h, s, cap),
+                score_calls: Arc::clone(&calls),
+            }
+        });
+        assert_eq!(outcome.rungs.len(), 4, "8 -> 4 -> 2 -> 1");
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            8,
+            "each candidate is scored exactly once (at rung 0)"
+        );
+        // The reused scores are recorded unchanged in the later rung traces.
+        for rung in &outcome.rungs[1..] {
+            assert!(rung.costs.iter().all(|&c| c == 0.0));
+            for (survivor, score) in rung.survivors.iter().zip(&rung.scores) {
+                assert_eq!(
+                    outcome.search.candidates[*survivor].score.to_bits(),
+                    score.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn halving_handles_degenerate_round_sizes() {
+        // One broad candidate, no refined round: a single "train to completion" rung.
+        let search = HyperSearch::reduced(1, 0);
+        let outcome = search.run_halving(&mut StdRng::seed_from_u64(44), FAKE_CAP, |h, s| {
+            FakeCandidate::new(h, s, FAKE_CAP)
+        });
+        assert_eq!(outcome.search.candidates.len(), 1);
+        assert_eq!(outcome.rungs.len(), 1);
+        assert_eq!(outcome.rungs[0].budget, u64::MAX);
+        assert_eq!(outcome.search.best.1, FAKE_CAP);
+        assert_eq!(outcome.search.best_index, 0);
+    }
+
+    #[test]
+    fn halving_ranks_non_finite_scores_last() {
+        // Candidates whose seed is even score NaN; they must be eliminated first and
+        // can never win, whatever their parameters.
+        struct NanCandidate(FakeCandidate);
+        impl Trainable for NanCandidate {
+            type Artifact = (u64, u64);
+            fn train_to(&mut self, budget: u64) -> f64 {
+                self.0.train_to(budget)
+            }
+            fn score(&self) -> f64 {
+                if self.0.seed.is_multiple_of(2) {
+                    f64::NAN
+                } else {
+                    self.0.score()
+                }
+            }
+            fn into_artifact(self) -> (u64, u64) {
+                self.0.into_artifact()
+            }
+        }
+        let search = HyperSearch::reduced(10, 0);
+        let outcome = search.run_halving(&mut StdRng::seed_from_u64(45), FAKE_CAP, |h, s| {
+            NanCandidate(FakeCandidate::new(h, s, FAKE_CAP))
+        });
+        let winner = &outcome.search.candidates[outcome.search.best_index];
+        if outcome
+            .search
+            .candidates
+            .iter()
+            .any(|c| c.trainer_seed % 2 == 1)
+        {
+            assert_eq!(winner.trainer_seed % 2, 1, "a NaN-scoring candidate won");
+            assert!(outcome.search.best_score.is_finite());
+        }
+        // Whenever finite candidates were alive in a rung, no NaN candidate outlived one.
+        for pair in outcome.rungs.windows(2) {
+            let finite_dropped = pair[0]
+                .survivors
+                .iter()
+                .zip(&pair[0].scores)
+                .any(|(i, s)| s.is_finite() && !pair[1].survivors.contains(i));
+            let nan_kept = pair[1]
+                .survivors
+                .iter()
+                .zip(&pair[1].scores)
+                .any(|(_, s)| s.is_nan());
+            assert!(
+                !(finite_dropped && nan_kept),
+                "a NaN candidate survived past a finite one"
+            );
+        }
     }
 
     #[test]

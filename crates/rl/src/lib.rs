@@ -15,7 +15,9 @@
 //!   double DQN (DDDQN) configuration used in the paper, with target-network
 //!   synchronisation and Huber-loss TD updates;
 //! * [`hyper`] — the hyperparameter set and the two-round random search used during
-//!   time-series nested cross-validation.
+//!   time-series nested cross-validation, with both an exhaustive driver
+//!   ([`HyperSearch::run_parallel`]) and a successive-halving driver
+//!   ([`HyperSearch::run_halving`]) that stops training losing candidates early.
 
 pub mod dqn;
 pub mod hyper;
@@ -25,8 +27,11 @@ pub mod schedule;
 pub mod sumtree;
 pub mod transition;
 
-pub use dqn::{AgentConfig, DqnAgent};
-pub use hyper::{EvaluatedCandidate, HyperParams, HyperSearch, SearchOutcome};
+pub use dqn::{AgentCheckpoint, AgentConfig, DqnAgent};
+pub use hyper::{
+    better_score, EvaluatedCandidate, HalvingOutcome, HyperParams, HyperSearch, RungTrace,
+    SearchOutcome, Trainable,
+};
 pub use per::PrioritizedReplay;
 pub use replay::UniformReplay;
 pub use schedule::{BetaSchedule, EpsilonSchedule};

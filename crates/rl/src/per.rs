@@ -114,7 +114,11 @@ impl PrioritizedReplay {
     /// strength of the importance-sampling correction (1 = full correction).
     pub fn sample<R: Rng + ?Sized>(&self, batch: usize, beta: f64, rng: &mut R) -> SampledBatch {
         let n = self.transitions.len();
-        if n == 0 || self.tree.total() <= 0.0 {
+        let total = self.tree.total();
+        // Guard the degenerate trees (empty, all-zero, or a sum corrupted to NaN/inf —
+        // e.g. after an unguarded priority write): sampling from them would divide by
+        // zero below and poison every importance weight.
+        if n == 0 || !total.is_finite() || total <= 0.0 {
             return SampledBatch {
                 indices: Vec::new(),
                 weights: Vec::new(),
@@ -122,25 +126,44 @@ impl PrioritizedReplay {
             };
         }
         let beta = beta.clamp(0.0, 1.0);
-        let total = self.tree.total();
         let mut indices = Vec::with_capacity(batch);
         let mut weights = Vec::with_capacity(batch);
         let mut transitions = Vec::with_capacity(batch);
         // Weight normalisation uses the maximum weight over the buffer, which corresponds
-        // to the minimum sampling probability.
+        // to the minimum sampling probability. The priority floor guarantees every
+        // stored slot has a strictly positive priority (the all-floor edge included), so
+        // `min_prob > 0` and the normaliser is finite.
         let min_prob = self
             .tree
             .min_nonzero_priority()
             .map(|p| p / total)
             .unwrap_or(1.0 / n as f64);
+        debug_assert!(
+            min_prob.is_finite() && min_prob > 0.0,
+            "minimum sampling probability must be positive and finite, got {min_prob}"
+        );
         let max_weight = (n as f64 * min_prob).powf(-beta);
+        debug_assert!(
+            max_weight.is_finite() && max_weight > 0.0,
+            "weight normaliser must be positive and finite, got {max_weight}"
+        );
         for _ in 0..batch {
             let value = rng.gen::<f64>() * total;
             let idx = self.tree.find(value).min(n - 1);
             let prob = (self.tree.get(idx) / total).max(f64::MIN_POSITIVE);
             let weight = (n as f64 * prob).powf(-beta) / max_weight;
+            // `prob >= min_prob` for every sampled slot, so `weight <= 1` holds exactly;
+            // a violation means the sum tree or the normaliser drifted. Assert instead
+            // of masking it with a clamp — a silent `.min(1.0)` hid real normalisation
+            // bugs (and would let a NaN weight straight through, since `NaN.min(1.0)`
+            // is NaN).
+            debug_assert!(
+                weight.is_finite() && weight <= 1.0 + 1e-9,
+                "importance weight {weight} outside (0, 1] — sum-tree drift or a \
+                 zero-priority slot was sampled (prob {prob}, min_prob {min_prob})"
+            );
             indices.push(idx);
-            weights.push(weight.min(1.0));
+            weights.push(weight);
             transitions.push(self.transitions[idx].clone());
         }
         SampledBatch {
@@ -310,6 +333,46 @@ mod tests {
         per.update_priorities(&[0], &[1e-9]);
         let expected = 1e-4f64.powf(0.6);
         assert!((per.priority_of(0) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_floor_priorities_yield_unit_weights() {
+        // The hardest normalisation edge: every slot sits exactly on the priority
+        // floor, so min_prob == prob for every sample and the importance weights must
+        // be exactly 1 — never NaN/inf, never above 1.
+        let mut per = PrioritizedReplay::new(8, 0.7);
+        for i in 0..8 {
+            per.push(t(i as f64));
+        }
+        let indices: Vec<usize> = (0..8).collect();
+        per.update_priorities(&indices, &[0.0; 8]);
+        let mut rng = StdRng::seed_from_u64(6);
+        for beta in [0.0, 0.4, 1.0] {
+            let batch = per.sample(64, beta, &mut rng);
+            assert_eq!(batch.weights.len(), 64);
+            for &w in &batch.weights {
+                assert!(w.is_finite());
+                assert_eq!(w.to_bits(), 1.0f64.to_bits(), "all-floor weight must be 1");
+            }
+        }
+    }
+
+    #[test]
+    fn importance_weights_are_always_finite_under_extreme_spreads() {
+        // Nine orders of magnitude of priority spread with full correction (beta = 1):
+        // weights must stay finite and within the normalisation bound.
+        let mut per = PrioritizedReplay::new(16, 1.0);
+        for i in 0..16 {
+            per.push(t(i as f64));
+        }
+        let indices: Vec<usize> = (0..16).collect();
+        let errors: Vec<f64> = (0..16).map(|i| 10f64.powi(i - 8)).collect();
+        per.update_priorities(&indices, &errors);
+        let mut rng = StdRng::seed_from_u64(7);
+        let batch = per.sample(2000, 1.0, &mut rng);
+        for &w in &batch.weights {
+            assert!(w.is_finite() && w > 0.0 && w <= 1.0 + 1e-9, "weight {w}");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uerl::core::policies::RlPolicy;
 use uerl::core::state::STATE_DIM;
-use uerl::eval::evaluator::{dqn_candidate_evaluator, Evaluator};
+use uerl::eval::evaluator::{dqn_candidate_evaluator, rl_hyper_search, Evaluator, RlSearch};
 use uerl::eval::experiments::fig3;
 use uerl::eval::scenario::{EvalBudget, ExperimentContext};
 use uerl::forest::{Dataset, RandomForest, RandomForestConfig};
@@ -128,6 +128,84 @@ fn parallel_hyper_search_is_bit_identical_across_thread_counts() {
         let qb = four.best.agent().q_values(&probe);
         assert_eq!(qa.len(), qb.len());
         for (a, b) in qa.iter().zip(&qb) {
+            assert_eq!(a.to_bits(), b.to_bits(), "Q-values diverged: {a} vs {b}");
+        }
+    }
+}
+
+/// The production RL search exactly as the evaluator runs it per split — halving or
+/// exhaustive, whichever the budget (and the `UERL_HYPER_SEARCH` override CI uses to
+/// exercise both) resolves to — at a fixed thread count.
+fn run_production_search(ctx: &ExperimentContext, threads: usize) -> RlSearch {
+    let sampler = ctx.job_sampler(1.0);
+    let window = ctx.timelines.window_end() - ctx.timelines.window_start();
+    let mid = ctx
+        .timelines
+        .window_start()
+        .plus_secs((window as f64 * 0.7) as i64);
+    let train_tl = ctx.timelines.slice(ctx.timelines.window_start(), mid);
+    let validate_tl = ctx.timelines.slice(mid, ctx.timelines.window_end());
+    pool(threads)
+        .install(|| rl_hyper_search(ctx, &train_tl, &validate_tl, &sampler, ctx.mitigation, 8123))
+}
+
+#[test]
+fn halving_search_is_bit_identical_across_thread_counts() {
+    // Enough candidates for several elimination rungs in both rounds.
+    let mut budget = EvalBudget::tiny().with_halving(true);
+    budget.rl_episodes = 6;
+    budget.hyper_initial = 6;
+    budget.hyper_refined = 3;
+    let ctx = ExperimentContext::synthetic_small(18, 50, budget, 2027);
+
+    let one = run_production_search(&ctx, 1);
+    let four = run_production_search(&ctx, 4);
+    assert_eq!(one.halving, four.halving);
+
+    // Winner, full candidate trace and charged search cost — to the bit.
+    assert_eq!(one.outcome.best_index, four.outcome.best_index);
+    assert_eq!(one.outcome.best_params, four.outcome.best_params);
+    assert_eq!(
+        one.outcome.best_score.to_bits(),
+        four.outcome.best_score.to_bits()
+    );
+    assert_eq!(
+        one.outcome.total_cost.to_bits(),
+        four.outcome.total_cost.to_bits()
+    );
+    assert_eq!(one.outcome.candidates, four.outcome.candidates);
+
+    // The survivor sets of every rung (and their per-rung scores and charged costs)
+    // must agree exactly: which candidates were eliminated when is part of the
+    // deterministic contract, not just the final winner.
+    assert_eq!(one.rungs.len(), four.rungs.len());
+    for (a, b) in one.rungs.iter().zip(&four.rungs) {
+        assert_eq!(
+            a.survivors, b.survivors,
+            "rung {} survivors diverged",
+            a.rung
+        );
+        assert_eq!(a.budget, b.budget);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.to_bits(), y.to_bits(), "rung {} scores diverged", a.rung);
+        }
+        for (x, y) in a.costs.iter().zip(&b.costs) {
+            assert_eq!(x.to_bits(), y.to_bits(), "rung {} costs diverged", a.rung);
+        }
+    }
+
+    // Same winning network, bit for bit.
+    let mut rng = StdRng::seed_from_u64(10);
+    for _ in 0..16 {
+        let probe: Vec<f64> = (0..STATE_DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for (a, b) in one
+            .outcome
+            .best
+            .agent()
+            .q_values(&probe)
+            .iter()
+            .zip(four.outcome.best.agent().q_values(&probe))
+        {
             assert_eq!(a.to_bits(), b.to_bits(), "Q-values diverged: {a} vs {b}");
         }
     }
