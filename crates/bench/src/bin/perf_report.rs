@@ -2,24 +2,33 @@
 //!
 //! Times a `pool_overhead` microbench (many tiny parallel calls through the persistent
 //! work-stealing pool), every figure/table pipeline, the two-round RL hyperparameter
-//! search, and a `halving_vs_exhaustive` comparison (the paper's 60+20 candidate
-//! search run once through the successive-halving driver and once exhaustively, with
-//! the survivor trace in the fingerprint) at the selected `UERL_SCALE` (default
-//! `small`) twice — once pinned to a single thread and once with the ambient thread
-//! count — and writes `BENCH_PR4.json` with per-stage wall times, the thread count,
-//! the speedup, whether the stage output was byte-identical across thread counts (it
-//! must be: every parallel fan-out in the engine merges in deterministic order), and
-//! the halving-vs-exhaustive training-step totals (halving must train strictly fewer).
+//! search, a `halving_vs_exhaustive` comparison (the paper's 60+20 candidate search
+//! run once through the successive-halving driver and once exhaustively, with the
+//! survivor trace in the fingerprint) and a `serve_throughput` stage (a scaled-up
+//! synthetic fleet streamed through the online `uerl-serve` subsystem, with the
+//! serving-vs-offline parity verdict in the fingerprint) at the selected `UERL_SCALE`
+//! (default `small`) twice — once pinned to a single thread and once with the ambient
+//! thread count — and writes `BENCH_PR5.json` with per-stage wall times, the thread
+//! count, the speedup, whether the stage output was byte-identical across thread
+//! counts (it must be: every parallel fan-out in the engine merges in deterministic
+//! order), the halving-vs-exhaustive training-step totals (halving must train strictly
+//! fewer) and the serving events/sec + parity flag (served decisions and costs must be
+//! bit-identical to the offline evaluator).
 //!
 //! The checked-in baseline may come from a **single-core container**, where every
 //! parallel call short-circuits to the serial path (speedup ≈ 1.0 by construction);
-//! re-run on a multi-core box for real numbers.
+//! re-run on a multi-core box for real numbers. At `UERL_SCALE=paper` the serving
+//! stage streams the full ~million-event two-year fleet reconstruction.
 //!
 //! Usage:
 //! ```text
 //! UERL_SCALE=small cargo run --release -p uerl-bench --bin perf_report
 //! RAYON_NUM_THREADS=8 cargo run --release -p uerl-bench --bin perf_report
+//! cargo run --release -p uerl-bench --bin perf_report -- --stage serve_throughput
 //! ```
+//!
+//! `--stage <name>` (repeatable) runs only the named stages; the JSON then contains
+//! only those stages' sections.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,15 +36,23 @@ use rayon::prelude::*;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use uerl_bench::Scale;
+use uerl_core::event_stream::TimelineSet;
+use uerl_core::policies::RlPolicy;
 use uerl_core::rf_dataset::build_rf_dataset_1day;
 use uerl_core::state::STATE_DIM;
-use uerl_core::trainer::TRAIN_COST_SECONDS_PER_STEP;
+use uerl_core::trainer::{RlTrainer, TrainerConfig, TRAIN_COST_SECONDS_PER_STEP};
+use uerl_core::MitigationConfig;
 use uerl_eval::evaluator::{dqn_candidate_evaluator, dqn_candidate_session_factory};
 use uerl_eval::experiments::common::clear_prefix_cache;
 use uerl_eval::experiments::{fig3, fig4, fig5, fig6, fig7, table2};
+use uerl_eval::run::run_policy;
 use uerl_eval::scenario::ExperimentContext;
 use uerl_forest::{RandomForest, RandomForestConfig};
+use uerl_jobs::{JobLogConfig, JobTraceGenerator, NodeJobSampler};
 use uerl_rl::HyperSearch;
+use uerl_serve::{merged_fleet_stream, FleetServer, ServeConfig};
+use uerl_trace::generator::{SyntheticLogConfig, TraceGenerator};
+use uerl_trace::reduction::preprocess;
 
 struct StageReport {
     name: &'static str,
@@ -66,6 +83,7 @@ fn time_run(f: &dyn Fn() -> String) -> (f64, String) {
 fn main() {
     let scale = Scale::from_env();
     let threads = rayon::current_num_threads();
+    let stage_filter = parse_stage_filter();
     let ctx = uerl_bench::context(scale, 2024);
     eprintln!(
         "[perf_report] scale={} scenario={} threads={}",
@@ -209,6 +227,90 @@ fn main() {
         }
     };
 
+    // Online-serving throughput: a scaled-up synthetic fleet (the paper scale streams
+    // the full ~million-event two-year reconstruction) served end-to-end through
+    // `uerl-serve` — sharded per-node state, event-time ticks, micro-batched DQN
+    // inference — with the offline `run_policy` rollout of the same timelines as the
+    // parity oracle. The fingerprint covers the decision/cost totals (bit patterns), a
+    // digest of every served decision and the parity verdict, so the serial-vs-parallel
+    // byte compare pins the serving path's thread-count determinism; the events/sec of
+    // the last run lands in `serve_stats` for the JSON summary. Wall time stays out of
+    // the fingerprint.
+    let serve_stats: Arc<Mutex<Option<(u64, f64, bool)>>> = Arc::new(Mutex::new(None));
+    let serve_stage = {
+        let stats = Arc::clone(&serve_stats);
+        move |scale: Scale, seed: u64| -> String {
+            let (nodes, days) = match scale {
+                Scale::Small => (600, 365),
+                Scale::Laptop => (1200, 730),
+                Scale::Paper => (3056, 730),
+            };
+            let log = TraceGenerator::new(SyntheticLogConfig::small(nodes, days, seed)).generate();
+            let timelines = TimelineSet::from_log(&preprocess(&log));
+            let jobs = JobTraceGenerator::new(JobLogConfig::small(512, 180, seed)).generate();
+            let sampler = NodeJobSampler::from_log(&jobs);
+            let mitigation = MitigationConfig::paper_default();
+
+            // A small agent trained briefly on the fleet is the serving policy: the
+            // stage measures inference-side throughput, not training.
+            let trainer = RlTrainer::new(TrainerConfig::reduced(12).with_seed(seed));
+            let mut agent = trainer.train(&timelines, &sampler).agent;
+            agent.compact_for_inference();
+            let policy = RlPolicy::new(agent);
+
+            let stream = merged_fleet_stream(&timelines);
+            let events = stream.len() as u64;
+            let config = ServeConfig::for_timelines(&timelines, mitigation, seed);
+            let mut server = FleetServer::new(config, policy.clone(), sampler.clone());
+            let mut decisions = Vec::new();
+            let t0 = Instant::now();
+            server
+                .ingest_all(stream, &mut decisions)
+                .expect("merged stream is time-ordered");
+            let serve_secs = t0.elapsed().as_secs_f64();
+            let events_per_sec = events as f64 / serve_secs.max(1e-9);
+            let report = server.report();
+
+            // Parity oracle: the offline evaluator over the same timelines.
+            let offline = run_policy(&policy, &timelines, &sampler, mitigation, seed);
+            let parity = report.mitigations == offline.mitigations
+                && report.non_mitigations == offline.non_mitigations
+                && report.ue_count == offline.ue_count
+                && report.mitigation_cost.to_bits() == offline.mitigation_cost.to_bits()
+                && report.ue_cost.to_bits() == offline.ue_cost.to_bits()
+                && report
+                    .per_node
+                    .iter()
+                    .flat_map(|n| n.decisions.iter().map(|&(t, m)| (n.node, t, m)))
+                    .eq(offline
+                        .decisions
+                        .iter()
+                        .map(|d| (d.node, d.time, d.mitigated)));
+
+            // FNV-1a digest over the served decision log.
+            let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+            for d in &decisions {
+                for word in [u64::from(d.node.0), d.time.0 as u64, u64::from(d.mitigated)] {
+                    for byte in word.to_le_bytes() {
+                        digest ^= u64::from(byte);
+                        digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                }
+            }
+            *stats.lock().expect("serve stats poisoned") = Some((events, events_per_sec, parity));
+            format!(
+                "events={events} nodes={} decisions={} mitigations={} ue={} \
+                 mit_cost={:016x} ue_cost={:016x} digest={digest:016x} parity={parity}",
+                report.per_node.len(),
+                decisions.len(),
+                report.mitigations,
+                report.ue_count,
+                report.mitigation_cost.to_bits(),
+                report.ue_cost.to_bits(),
+            )
+        }
+    };
+
     // Pool-overhead microbench: many tiny parallel calls, the pattern that made the old
     // per-call fork-join (a thread spawn + join per `par_iter`) hurt most. With the
     // persistent pool each call is queue traffic only, so the serial/pooled gap here
@@ -258,6 +360,10 @@ fn main() {
             let ctx = ctx.clone();
             Box::new(move || halving_stage(&ctx))
         }),
+        (
+            "serve_throughput",
+            Box::new(move || serve_stage(scale, 2024 ^ 0x5E17)),
+        ),
         ("fig3_total_cost", {
             let ctx = ctx.clone();
             Box::new(move || fig3::run(&ctx, &[2.0, 5.0, 10.0]).render())
@@ -283,6 +389,24 @@ fn main() {
             Box::new(move || table2::run(&ctx).render())
         }),
     ];
+
+    let stages: Vec<(&'static str, Stage)> = match &stage_filter {
+        None => stages,
+        Some(wanted) => {
+            let known: Vec<&str> = stages.iter().map(|(name, _)| *name).collect();
+            for want in wanted {
+                assert!(
+                    known.contains(&want.as_str()),
+                    "unknown --stage {want:?}; available: {known:?}"
+                );
+            }
+            stages
+                .into_iter()
+                .filter(|(name, _)| wanted.iter().any(|w| w == name))
+                .collect()
+        }
+    };
+    assert!(!stages.is_empty(), "no stages selected");
 
     let serial_pool = rayon::ThreadPoolBuilder::new()
         .num_threads(1)
@@ -331,22 +455,27 @@ fn main() {
         1.0
     };
 
-    let (halving_steps, exhaustive_steps, halving_fewer) = halving_stats
-        .lock()
-        .expect("halving stats poisoned")
-        .expect("the halving_vs_exhaustive stage ran");
+    let halving = *halving_stats.lock().expect("halving stats poisoned");
+    let serving = *serve_stats.lock().expect("serve stats poisoned");
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"pr\": 4,\n");
+    json.push_str("  \"pr\": 5,\n");
     json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!(
         "  \"deterministic_across_thread_counts\": {all_deterministic},\n"
     ));
-    json.push_str(&format!(
-        "  \"halving_vs_exhaustive\": {{\"halving_steps\": {halving_steps}, \"exhaustive_steps\": {exhaustive_steps}, \"halving_trains_fewer\": {halving_fewer}}},\n"
-    ));
+    if let Some((halving_steps, exhaustive_steps, halving_fewer)) = halving {
+        json.push_str(&format!(
+            "  \"halving_vs_exhaustive\": {{\"halving_steps\": {halving_steps}, \"exhaustive_steps\": {exhaustive_steps}, \"halving_trains_fewer\": {halving_fewer}}},\n"
+        ));
+    }
+    if let Some((events, events_per_sec, parity)) = serving {
+        json.push_str(&format!(
+            "  \"serve_throughput\": {{\"events\": {events}, \"events_per_sec\": {events_per_sec:.1}, \"parity_with_offline_evaluator\": {parity}}},\n"
+        ));
+    }
     json.push_str(&format!("  \"total_serial_secs\": {total_serial:.6},\n"));
     json.push_str(&format!(
         "  \"total_parallel_secs\": {total_parallel:.6},\n"
@@ -366,22 +495,61 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
     std::fs::write(&path, &json).expect("write benchmark report");
+    if let Some((halving_steps, exhaustive_steps, _)) = halving {
+        eprintln!(
+            "[perf_report] halving {halving_steps} vs exhaustive {exhaustive_steps} training steps"
+        );
+    }
+    if let Some((events, events_per_sec, parity)) = serving {
+        eprintln!(
+            "[perf_report] served {events} events at {events_per_sec:.0} events/sec \
+             (parity with offline evaluator: {parity})"
+        );
+    }
     eprintln!(
-        "[perf_report] overall speedup {overall_speedup:.2}x on {threads} thread(s); \
-         halving {halving_steps} vs exhaustive {exhaustive_steps} training steps; wrote {path}"
+        "[perf_report] overall speedup {overall_speedup:.2}x on {threads} thread(s); wrote {path}"
     );
     println!("{json}");
     if !all_deterministic {
         eprintln!("[perf_report] ERROR: output diverged across thread counts");
         std::process::exit(1);
     }
-    if !halving_fewer {
+    if let Some((_, _, false)) = halving {
         eprintln!(
             "[perf_report] ERROR: the halving search must train strictly fewer steps \
              than the exhaustive search"
         );
         std::process::exit(1);
+    }
+    if let Some((_, _, false)) = serving {
+        eprintln!(
+            "[perf_report] ERROR: served decisions/costs must be bit-identical to the \
+             offline evaluator rollout"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Parse repeated `--stage <name>` arguments; `None` means "run everything".
+fn parse_stage_filter() -> Option<Vec<String>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stage" => {
+                let value = args.get(i + 1).expect("--stage requires a stage name");
+                wanted.push(value.clone());
+                i += 2;
+            }
+            other => panic!("unknown argument {other:?}; usage: perf_report [--stage <name>]..."),
+        }
+    }
+    if wanted.is_empty() {
+        None
+    } else {
+        Some(wanted)
     }
 }

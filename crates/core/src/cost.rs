@@ -3,6 +3,42 @@
 //! All costs are expressed in **node-hours**: the sum across all the job's nodes of the
 //! wallclock time that would be (or was) lost.
 
+use uerl_jobs::schedule::JobSequence;
+use uerl_trace::types::SimTime;
+
+/// Equation 3 evaluated against a node's job sequence: the potential UE cost and the
+/// running job's node count at instant `t`.
+///
+/// The cost reference point is the running job's start or — when mitigations are
+/// restartable and a mitigation happened after that start — the last mitigation. With
+/// no job running at `t`, nothing can be lost: `(0.0, 1)`.
+///
+/// This is the **single** implementation of the reference-point rule: the offline
+/// environment (`MitigationEnv`) and the online serving sessions both call it, which is
+/// what keeps served costs bit-identical to evaluated ones by construction.
+pub fn potential_cost_at(
+    jobs: &JobSequence,
+    last_mitigation: Option<SimTime>,
+    restartable: bool,
+    t: SimTime,
+) -> (f64, u32) {
+    match jobs.job_at(t) {
+        None => (0.0, 1),
+        Some(job) => {
+            let reference = if restartable {
+                match last_mitigation {
+                    Some(m) if m > job.start => m,
+                    _ => job.start,
+                }
+            } else {
+                job.start
+            };
+            let hours = t.delta_secs(reference).max(0) as f64 / SimTime::HOUR as f64;
+            (ue_cost(job.nodes, hours), job.nodes)
+        }
+    }
+}
+
 /// Equation 3: the potential cost of an uncorrected error striking *now*, in node-hours.
 ///
 /// `nodes` is the number of nodes allocated to the running job and

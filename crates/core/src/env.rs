@@ -153,21 +153,7 @@ impl MitigationEnv {
 
     /// Potential UE cost (Equation 3) and the running job's node count at instant `t`.
     fn potential_cost_at(&self, t: SimTime) -> (f64, u32) {
-        match self.jobs.job_at(t) {
-            None => (0.0, 1),
-            Some(job) => {
-                let reference = if self.config.restartable {
-                    match self.last_mitigation {
-                        Some(m) if m > job.start => m,
-                        _ => job.start,
-                    }
-                } else {
-                    job.start
-                };
-                let hours = t.delta_secs(reference).max(0) as f64 / SimTime::HOUR as f64;
-                (cost::ue_cost(job.nodes, hours), job.nodes)
-            }
-        }
+        cost::potential_cost_at(&self.jobs, self.last_mitigation, self.config.restartable, t)
     }
 
     /// Account one fatal event at time `t` and return its cost.

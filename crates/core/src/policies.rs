@@ -2,12 +2,51 @@
 
 use crate::event_stream::TimelineSet;
 use crate::policy::MitigationPolicy;
-use crate::state::StateFeatures;
+use crate::state::{StateFeatures, STATE_DIM};
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::sync::Arc;
 use uerl_forest::RandomForest;
-use uerl_rl::DqnAgent;
+use uerl_rl::{greedy_action, DqnAgent, InferenceScratch};
 use uerl_trace::types::{NodeId, SimTime};
+
+thread_local! {
+    /// Per-thread inference scratch shared by every RL policy instance. The evaluator
+    /// replays policies over thousands of node timelines in parallel from one shared
+    /// `&policy`, so the scratch cannot live in the policy itself; a thread-local keeps
+    /// the rollout hot loop allocation-free without poisoning `decide`'s `&self`
+    /// signature. Scratch contents are overwritten on every call and never influence
+    /// results, so sharing across agents and threads is sound.
+    static RL_SCRATCH: RefCell<InferenceScratch> = RefCell::new(InferenceScratch::new());
+}
+
+/// Greedy decision for one state through the thread-local scratch (no allocation after
+/// the thread's first call). Bit-identical to `agent.act_greedy(&state.to_vector())`.
+fn decide_greedy(agent: &DqnAgent, state: &StateFeatures) -> bool {
+    RL_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        state.write_vector(scratch.input_mut(1, STATE_DIM).row_mut(0));
+        greedy_action(agent.q_values_batch(scratch).row(0)) == 1
+    })
+}
+
+/// Greedy decisions for a micro-batch of states through one batched forward pass over
+/// the thread-local scratch. Each row's Q-values are bit-identical to single-state
+/// inference, so the decisions are independent of how states are grouped into batches.
+fn decide_greedy_batch(agent: &DqnAgent, states: &[StateFeatures], out: &mut Vec<bool>) {
+    if states.is_empty() {
+        return;
+    }
+    RL_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let input = scratch.input_mut(states.len(), STATE_DIM);
+        for (i, state) in states.iter().enumerate() {
+            state.write_vector(input.row_mut(i));
+        }
+        let q = agent.q_values_batch(scratch);
+        out.extend((0..states.len()).map(|i| greedy_action(q.row(i)) == 1));
+    });
+}
 
 /// *Never-mitigate*: never initiates a mitigation. Maximum UE cost, zero mitigation cost.
 #[derive(Debug, Clone, Copy, Default)]
@@ -244,7 +283,11 @@ impl MitigationPolicy for RlPolicy {
     }
 
     fn decide(&self, state: &StateFeatures) -> bool {
-        self.agent.act_greedy(&state.to_vector()) == 1
+        decide_greedy(&self.agent, state)
+    }
+
+    fn decide_batch(&self, states: &[StateFeatures], out: &mut Vec<bool>) {
+        decide_greedy_batch(&self.agent, states, out);
     }
 
     fn training_cost_node_hours(&self) -> f64 {
@@ -277,7 +320,11 @@ impl MitigationPolicy for RlPolicyView<'_> {
     }
 
     fn decide(&self, state: &StateFeatures) -> bool {
-        self.agent.act_greedy(&state.to_vector()) == 1
+        decide_greedy(self.agent, state)
+    }
+
+    fn decide_batch(&self, states: &[StateFeatures], out: &mut Vec<bool>) {
+        decide_greedy_batch(self.agent, states, out);
     }
 }
 
@@ -417,5 +464,49 @@ mod tests {
     #[should_panic(expected = "threshold must be in")]
     fn bad_threshold_rejected() {
         ThresholdRfPolicy::new(trained_forest(), 1.5, "bad");
+    }
+
+    #[test]
+    fn rl_decisions_match_the_allocating_agent_path_exactly() {
+        // The scratch-routed decide must agree with act_greedy on to_vector for every
+        // state, and decide_batch must be batch-transparent: the same decisions at any
+        // grouping.
+        let agent = DqnAgent::new(AgentConfig::small(crate::state::STATE_DIM).with_seed(9));
+        let states: Vec<StateFeatures> = (0..13)
+            .map(|i| {
+                let mut s = state(i, i as i64 * 10, (i as u64) * 17 % 5, i as f64 * 3.5);
+                s.ue_warnings = u64::from(i % 3);
+                s.hours_since_boot = f64::from(i) * 0.7;
+                s
+            })
+            .collect();
+        let policy = RlPolicy::new(agent);
+        let reference: Vec<bool> = states
+            .iter()
+            .map(|s| policy.agent().act_greedy(&s.to_vector()) == 1)
+            .collect();
+        let singles: Vec<bool> = states.iter().map(|s| policy.decide(s)).collect();
+        assert_eq!(singles, reference);
+        for batch_size in [1, 2, 5, 13] {
+            let mut batched = Vec::new();
+            for chunk in states.chunks(batch_size) {
+                policy.decide_batch(chunk, &mut batched);
+            }
+            assert_eq!(batched, reference, "batch size {batch_size} diverged");
+        }
+        // The borrowing view decides identically.
+        let view = RlPolicyView::new(policy.agent());
+        let mut viewed = Vec::new();
+        view.decide_batch(&states, &mut viewed);
+        assert_eq!(viewed, reference);
+    }
+
+    #[test]
+    fn default_decide_batch_loops_decide() {
+        let policy = AlwaysMitigate;
+        let states = vec![state(1, 10, 0, 0.0), state(2, 20, 3, 5.0)];
+        let mut out = vec![false]; // pre-existing entries must be preserved
+        policy.decide_batch(&states, &mut out);
+        assert_eq!(out, vec![false, true, true]);
     }
 }

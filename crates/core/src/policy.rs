@@ -19,6 +19,21 @@ pub trait MitigationPolicy {
     /// Decide whether to mitigate given the current state.
     fn decide(&self, state: &StateFeatures) -> bool;
 
+    /// Decide a whole micro-batch of states at once, appending one decision per state
+    /// to `out` in state order.
+    ///
+    /// This is the hook the online serving layer batches through: decision requests
+    /// arriving in the same event-time tick are stacked and answered in one call.
+    /// The contract every implementation must honour is **batch transparency** — the
+    /// decisions must be identical (bit-identical, where floating point is involved)
+    /// to calling [`MitigationPolicy::decide`] on each state alone, for any grouping
+    /// of states into batches. The default simply loops `decide`; the RL policies
+    /// override it with a single batched forward pass whose per-row results are
+    /// bit-equal to single-row inference.
+    fn decide_batch(&self, states: &[StateFeatures], out: &mut Vec<bool>) {
+        out.extend(states.iter().map(|s| self.decide(s)));
+    }
+
     /// Node-hours spent training and validating this policy's model (added to the
     /// mitigation cost in the cost-benefit analysis). Zero for model-free policies.
     fn training_cost_node_hours(&self) -> f64 {

@@ -82,23 +82,34 @@ impl StateFeatures {
     /// what lets one network generalise across them — the paper's Figure 6 shows the
     /// agent extrapolating to UE costs one to two orders of magnitude beyond training.
     pub fn to_vector(&self) -> Vec<f64> {
-        vec![
-            (self.ce_since_last_event as f64).ln_1p(),
-            (self.ce_since_start as f64).ln_1p(),
-            self.ce_var_1min.max(0.0).ln_1p(),
-            self.ce_var_1hour.max(0.0).ln_1p(),
-            f64::from(self.ranks_with_ce).ln_1p(),
-            f64::from(self.banks_with_ce).ln_1p(),
-            f64::from(self.rows_with_ce).ln_1p(),
-            f64::from(self.columns_with_ce).ln_1p(),
-            f64::from(self.dimms_with_ce).ln_1p(),
-            (self.ue_warnings as f64).ln_1p(),
-            self.hours_since_boot.max(0.0).ln_1p(),
-            (self.node_boots as f64).ln_1p(),
-            self.boots_var_1min.max(0.0).ln_1p(),
-            self.boots_var_1hour.max(0.0).ln_1p(),
-            self.potential_ue_cost.max(0.0).ln_1p(),
-        ]
+        let mut out = vec![0.0; STATE_DIM];
+        self.write_vector(&mut out);
+        out
+    }
+
+    /// Write the numeric feature vector into a caller-provided slice (e.g. one row of a
+    /// preallocated inference batch) — the allocation-free form of
+    /// [`StateFeatures::to_vector`], producing identical values.
+    ///
+    /// # Panics
+    /// Panics if the slice length is not [`STATE_DIM`].
+    pub fn write_vector(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), STATE_DIM, "feature slice length mismatch");
+        out[0] = (self.ce_since_last_event as f64).ln_1p();
+        out[1] = (self.ce_since_start as f64).ln_1p();
+        out[2] = self.ce_var_1min.max(0.0).ln_1p();
+        out[3] = self.ce_var_1hour.max(0.0).ln_1p();
+        out[4] = f64::from(self.ranks_with_ce).ln_1p();
+        out[5] = f64::from(self.banks_with_ce).ln_1p();
+        out[6] = f64::from(self.rows_with_ce).ln_1p();
+        out[7] = f64::from(self.columns_with_ce).ln_1p();
+        out[8] = f64::from(self.dimms_with_ce).ln_1p();
+        out[9] = (self.ue_warnings as f64).ln_1p();
+        out[10] = self.hours_since_boot.max(0.0).ln_1p();
+        out[11] = (self.node_boots as f64).ln_1p();
+        out[12] = self.boots_var_1min.max(0.0).ln_1p();
+        out[13] = self.boots_var_1hour.max(0.0).ln_1p();
+        out[14] = self.potential_ue_cost.max(0.0).ln_1p();
     }
 
     /// The feature vector *without* the potential UE cost, which is what the SC20-RF

@@ -513,12 +513,14 @@ pub fn run_rl_search(
     }
 }
 
-/// Deterministic estimate of a full training run's environment steps, used to scale the
-/// halving rung schedule: the expected episode length under uniform node sampling is
-/// the mean number of events per timeline, so `episodes × mean events per timeline`
-/// approximates the steps a full run would take. Only the *scale* matters (rung 1
-/// trains `1/2^(rungs-1)` of this); the final rung always trains to the full episode
-/// budget regardless, and the estimate is a pure function of the training data, so the
+/// Deterministic estimate of a full training run's environment steps, used to scale
+/// **rung 0** of the halving schedule: the expected episode length under uniform node
+/// sampling is the mean number of events per timeline, so `episodes × mean events per
+/// timeline` approximates the steps a full run would take. Only rung 0 depends on it —
+/// from rung 1 on, the driver recalibrates the schedule from the step counts the rung-0
+/// candidates actually trained ([`Trainable::trained_units`]), which tracks realised
+/// episode lengths on skewed fleets; the final rung always trains to the full episode
+/// budget regardless. The estimate is a pure function of the training data, so the
 /// schedule is identical across runs and thread counts.
 pub fn estimated_full_steps(train_tl: &TimelineSet, episodes: usize) -> u64 {
     let timelines = train_tl.timelines();
@@ -601,6 +603,10 @@ impl Trainable for DqnCandidateSession<'_> {
             .session
             .train_until_steps(self.train_tl, self.sampler, budget);
         step_cost_node_hours(added)
+    }
+
+    fn trained_units(&self) -> u64 {
+        self.session.total_steps()
     }
 
     fn score(&self) -> f64 {

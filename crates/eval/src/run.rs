@@ -17,7 +17,7 @@ use uerl_core::env::MitigationEnv;
 use uerl_core::event_stream::TimelineSet;
 use uerl_core::policy::MitigationPolicy;
 use uerl_core::MitigationConfig;
-use uerl_jobs::schedule::NodeJobSampler;
+use uerl_jobs::schedule::{node_workload_seed, NodeJobSampler};
 use uerl_trace::types::{NodeId, SimTime};
 
 /// One recorded mitigation / no-mitigation decision.
@@ -102,12 +102,6 @@ impl PolicyRun {
     }
 }
 
-/// Derive the per-node job-sequence seed. Depends only on the evaluation seed and the
-/// node id, so every policy replays identical workloads.
-fn node_seed(seed: u64, node: NodeId) -> u64 {
-    seed ^ (u64::from(node.0).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-}
-
 /// Evaluate a policy over every timeline in `timelines`, fanning the per-node rollouts
 /// out over rayon. Results are merged in timeline order, so the run is bit-identical at
 /// any thread count.
@@ -130,7 +124,7 @@ pub fn run_policy<P: MitigationPolicy + Sync + ?Sized>(
         .par_iter()
         .map(|timeline| {
             let mut partial = PolicyRun::empty(run.policy.clone());
-            let mut rng = StdRng::seed_from_u64(node_seed(seed, timeline.node()));
+            let mut rng = StdRng::seed_from_u64(node_workload_seed(seed, timeline.node()));
             let sequence =
                 jobs.sample_sequence(timeline.window_start(), timeline.window_end(), &mut rng);
             let mut env = MitigationEnv::new(timeline.clone(), sequence, config, false);

@@ -30,4 +30,4 @@ pub mod schedule;
 pub use distribution::JobMix;
 pub use generator::{JobLogConfig, JobTraceGenerator};
 pub use job::{JobLog, JobRecord};
-pub use schedule::{JobSequence, NodeJobSampler, ScheduledJob};
+pub use schedule::{node_workload_seed, JobSequence, NodeJobSampler, ScheduledJob};

@@ -11,7 +11,18 @@ use crate::job::JobLog;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use uerl_stats::{Categorical, Distribution};
-use uerl_trace::types::SimTime;
+use uerl_trace::types::{NodeId, SimTime};
+
+/// Derive the RNG seed for a node's job-sequence assignment: a pure function of the
+/// evaluation seed and the node id, never of the policy or the execution path.
+///
+/// This is the workload-fairness contract of the cost-benefit analysis — every policy
+/// replays exactly the same jobs on every node — and it is shared by the offline
+/// evaluator's rollouts and the online serving layer, which is what makes served
+/// decisions bit-comparable to offline replays of the same timelines.
+pub fn node_workload_seed(seed: u64, node: NodeId) -> u64 {
+    seed ^ (u64::from(node.0).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// One job placed on a node's timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -86,11 +86,25 @@ impl DuelingQNetwork {
     }
 
     fn combine(value: &Matrix, advantage: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(advantage.rows(), advantage.cols());
+        Self::combine_into(value, advantage, &mut out);
+        out
+    }
+
+    /// `Q = V + A − mean(A)` written into `out` (reshaped as needed, allocation reused).
+    /// The per-row mean uses the same left-to-right summation as the original
+    /// element-wise combine, so results are bit-identical.
+    fn combine_into(value: &Matrix, advantage: &Matrix, out: &mut Matrix) {
         let n = advantage.cols() as f64;
-        Matrix::from_fn(advantage.rows(), advantage.cols(), |i, j| {
+        out.reset_to(advantage.rows(), advantage.cols());
+        for i in 0..advantage.rows() {
             let mean_a: f64 = advantage.row(i).iter().sum::<f64>() / n;
-            value.get(i, 0) + advantage.get(i, j) - mean_a
-        })
+            let v = value.get(i, 0);
+            let a_row = advantage.row(i);
+            for (j, q) in out.row_mut(i).iter_mut().enumerate() {
+                *q = v + a_row[j] - mean_a;
+            }
+        }
     }
 
     /// Inference-only forward pass producing the Q-values for a batch of states.
@@ -102,6 +116,37 @@ impl DuelingQNetwork {
         let v = self.value_head.forward(&h);
         let a = self.advantage_head.forward(&h);
         Self::combine(&v, &a)
+    }
+
+    /// Batched inference written into `out` with zero allocations after warm-up: trunk
+    /// activations ping-pong through the scratch buffers, the two heads write into the
+    /// scratch's value/advantage buffers, and the dueling combine lands in `out`. One
+    /// row per input state; each row is **bit-identical** to forwarding it alone (same
+    /// kernels, same op order), which is what keeps micro-batched serving decisions
+    /// independent of the batch size.
+    pub fn forward_batch_into(
+        &self,
+        input: &Matrix,
+        scratch: &mut crate::network::BatchScratch,
+        out: &mut Matrix,
+    ) {
+        let crate::network::BatchScratch {
+            ping,
+            pong,
+            value,
+            advantage,
+        } = scratch;
+        let mut src: &mut Matrix = ping;
+        let mut dst: &mut Matrix = pong;
+        let mut current: &Matrix = input;
+        for layer in &self.trunk {
+            layer.forward_batch_into(current, dst);
+            std::mem::swap(&mut src, &mut dst);
+            current = src;
+        }
+        self.value_head.forward_batch_into(current, value);
+        self.advantage_head.forward_batch_into(current, advantage);
+        Self::combine_into(value, advantage, out);
     }
 
     /// Training forward pass (caches activations in every layer).
@@ -288,6 +333,27 @@ mod tests {
         assert_ne!(a.forward(&x), b.forward(&x));
         a.sync_from(&b);
         assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn forward_batch_into_is_bit_identical_to_forward() {
+        let net = small(10);
+        let x = Matrix::from_fn(6, 4, |i, j| ((i * 7 + j) as f64 * 0.13).cos());
+        let reference = net.forward(&x);
+        let mut scratch = crate::network::BatchScratch::new();
+        let mut out = Matrix::zeros(1, 1);
+        net.forward_batch_into(&x, &mut scratch, &mut out);
+        for (a, b) in out.data().iter().zip(reference.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Each row also matches the single-state path bit-for-bit after scratch reuse.
+        net.forward_batch_into(&x, &mut scratch, &mut out);
+        for i in 0..6 {
+            let single = net.predict_one(x.row(i));
+            for (a, b) in out.row(i).iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} diverged from single-row");
+            }
+        }
     }
 
     #[test]

@@ -95,6 +95,16 @@ impl DenseLayer {
         z.map(|x| self.activation.apply(x))
     }
 
+    /// Inference-only forward pass written into a caller-provided buffer (reshaped as
+    /// needed, allocation reused). Same kernels and op order as [`DenseLayer::forward`],
+    /// so the results are bit-identical; this is the allocation-free path the online
+    /// serving batches ride.
+    pub fn forward_batch_into(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weights, out);
+        out.add_row_broadcast(&self.bias);
+        out.map_assign(|x| self.activation.apply(x));
+    }
+
     /// Training forward pass: caches the input and pre-activation for the backward pass.
     /// The caches are preallocated across steps — after the first batch no forward pass
     /// allocates for them again (batch shape permitting).

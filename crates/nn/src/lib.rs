@@ -37,5 +37,5 @@ pub use init::WeightInit;
 pub use layer::DenseLayer;
 pub use loss::Loss;
 pub use matrix::Matrix;
-pub use network::{Mlp, MlpConfig};
+pub use network::{BatchScratch, Mlp, MlpConfig};
 pub use optim::{Adam, Optimizer, RmsProp, Sgd};

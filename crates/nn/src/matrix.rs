@@ -271,6 +271,14 @@ impl Matrix {
         }
     }
 
+    /// Element-wise map in place (e.g. applying an activation to a preallocated
+    /// pre-activation buffer). Identical per-element results to [`Matrix::map`].
+    pub fn map_assign(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
     /// Element-wise combination of two equally-shaped matrices.
     ///
     /// # Panics

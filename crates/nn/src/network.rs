@@ -52,6 +52,42 @@ impl MlpConfig {
     }
 }
 
+/// Reusable buffers for the allocation-free batched inference path
+/// ([`Mlp::forward_batch_into`] / [`crate::DuelingQNetwork::forward_batch_into`]).
+///
+/// One scratch serves batches of any size and networks of any width: every buffer is
+/// reshaped (allocation reused) on each call. The buffers never influence results —
+/// each forward pass overwrites them from scratch — so sharing one per thread across
+/// many networks is sound.
+#[derive(Debug, Clone)]
+pub struct BatchScratch {
+    /// Ping-pong activation buffers for the hidden layers.
+    pub(crate) ping: Matrix,
+    pub(crate) pong: Matrix,
+    /// Value-head output (dueling networks only).
+    pub(crate) value: Matrix,
+    /// Advantage-head output (dueling networks only).
+    pub(crate) advantage: Matrix,
+}
+
+impl BatchScratch {
+    /// Create an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self {
+            ping: Matrix::zeros(1, 1),
+            pong: Matrix::zeros(1, 1),
+            value: Matrix::zeros(1, 1),
+            advantage: Matrix::zeros(1, 1),
+        }
+    }
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A fully-connected feed-forward network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mlp {
@@ -116,6 +152,27 @@ impl Mlp {
             x = layer.forward(&x);
         }
         x
+    }
+
+    /// Batched inference written into `out` with zero allocations after warm-up: every
+    /// intermediate activation lands in one of the scratch's ping-pong buffers and the
+    /// last layer writes straight into `out`. One row per input state.
+    ///
+    /// Rides the same kernels in the same order as [`Mlp::forward`], so each output row
+    /// is **bit-identical** to forwarding that row alone — the property that lets the
+    /// online serving path micro-batch decision requests at any batch size without
+    /// changing a single decision.
+    pub fn forward_batch_into(&self, input: &Matrix, scratch: &mut BatchScratch, out: &mut Matrix) {
+        let (last, rest) = self.layers.split_last().expect("networks have layers");
+        let mut src: &mut Matrix = &mut scratch.ping;
+        let mut dst: &mut Matrix = &mut scratch.pong;
+        let mut current: &Matrix = input;
+        for layer in rest {
+            layer.forward_batch_into(current, dst);
+            std::mem::swap(&mut src, &mut dst);
+            current = src;
+        }
+        last.forward_batch_into(current, out);
     }
 
     /// Training forward pass (caches per-layer activations for the backward pass; the
@@ -221,6 +278,31 @@ mod tests {
         assert_eq!(y1.rows(), 4);
         assert_eq!(y1.cols(), 2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn forward_batch_into_is_bit_identical_to_forward() {
+        let net = small_net(9);
+        let x = Matrix::from_fn(5, 3, |i, j| (i as f64 * 0.3 - j as f64 * 0.7).sin());
+        let reference = net.forward(&x);
+        let mut scratch = BatchScratch::new();
+        let mut out = Matrix::zeros(1, 1);
+        net.forward_batch_into(&x, &mut scratch, &mut out);
+        assert_eq!(out.rows(), 5);
+        assert_eq!(out.cols(), 2);
+        for (a, b) in out.data().iter().zip(reference.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Reusing the scratch with a different batch size must not leak state: every
+        // row equals the single-row forward of that state, to the bit.
+        let y = Matrix::from_fn(3, 3, |i, j| (i + 2 * j) as f64 * 0.11 - 0.4);
+        net.forward_batch_into(&y, &mut scratch, &mut out);
+        for i in 0..3 {
+            let single = net.predict_one(y.row(i));
+            for (a, b) in out.row(i).iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} diverged from single-row");
+            }
+        }
     }
 
     #[test]

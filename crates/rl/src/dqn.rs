@@ -16,7 +16,60 @@ use crate::transition::Transition;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use uerl_nn::{Activation, Adam, DuelingQNetwork, Loss, Matrix, Mlp, MlpConfig, WeightInit};
+use uerl_nn::{
+    Activation, Adam, BatchScratch, DuelingQNetwork, Loss, Matrix, Mlp, MlpConfig, WeightInit,
+};
+
+/// Deterministic greedy action over one state's Q-values: the argmax, with exact ties
+/// going to the **last** maximal action (the semantics [`DqnAgent::act_greedy`] has
+/// always had, via `Iterator::max_by`). Every inference path — single-state, scratch
+/// and micro-batched — must route through this one helper so the offline evaluator and
+/// the online serving layer cannot diverge on a tie.
+///
+/// # Panics
+/// Panics if a Q-value is NaN.
+pub fn greedy_action(q: &[f64]) -> usize {
+    q.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite Q-values"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Reusable buffers for allocation-free greedy inference: a staging matrix for the
+/// input batch, the network's internal forward scratch, and the Q-value output. One
+/// scratch serves any batch size and any agent; the buffers are overwritten on every
+/// call and never influence results.
+#[derive(Debug, Clone)]
+pub struct InferenceScratch {
+    input: Matrix,
+    forward: BatchScratch,
+    q: Matrix,
+}
+
+impl InferenceScratch {
+    /// Create an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self {
+            input: Matrix::zeros(1, 1),
+            forward: BatchScratch::new(),
+            q: Matrix::zeros(1, 1),
+        }
+    }
+
+    /// Reset the staging batch to `rows × state_dim` zeros and hand it out for filling
+    /// (one row per state, written via [`Matrix::row_mut`]); the allocation is reused.
+    pub fn input_mut(&mut self, rows: usize, state_dim: usize) -> &mut Matrix {
+        self.input.reset_to(rows, state_dim);
+        &mut self.input
+    }
+}
+
+impl Default for InferenceScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Configuration of a [`DqnAgent`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -204,6 +257,13 @@ impl QFunction {
             QFunction::Dueling(net) => net.predict_one(state),
         }
     }
+
+    fn forward_batch_into(&self, input: &Matrix, scratch: &mut BatchScratch, out: &mut Matrix) {
+        match self {
+            QFunction::Plain(net) => net.forward_batch_into(input, scratch, out),
+            QFunction::Dueling(net) => net.forward_batch_into(input, scratch, out),
+        }
+    }
 }
 
 /// Either replay memory flavour.
@@ -375,14 +435,30 @@ impl DqnAgent {
         self.online.predict_one(state)
     }
 
+    /// Q-values of the online network for the batch staged in `scratch` (one row per
+    /// state, filled through [`InferenceScratch::input_mut`]). The entire pass reuses
+    /// the scratch's preallocated buffers — no allocation after warm-up — and each
+    /// output row is **bit-identical** to [`DqnAgent::q_values`] on that state alone,
+    /// which is what lets the serving layer stack a tick's decision requests into one
+    /// forward pass at any batch size without changing a single decision.
+    pub fn q_values_batch<'s>(&self, scratch: &'s mut InferenceScratch) -> &'s Matrix {
+        let InferenceScratch { input, forward, q } = scratch;
+        self.online.forward_batch_into(input, forward, q);
+        q
+    }
+
     /// Greedy action (no exploration): argmax of the online Q-values.
     pub fn act_greedy(&self, state: &[f64]) -> usize {
-        let q = self.q_values(state);
-        q.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite Q-values"))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        greedy_action(&self.q_values(state))
+    }
+
+    /// Allocation-free [`DqnAgent::act_greedy`]: stages the state into the scratch's
+    /// single-row batch and runs the preallocated forward path. Bit-identical decision
+    /// to `act_greedy` (same kernels, same tie rule).
+    pub fn act_greedy_with(&self, state: &[f64], scratch: &mut InferenceScratch) -> usize {
+        let input = scratch.input_mut(1, state.len());
+        input.row_mut(0).copy_from_slice(state);
+        greedy_action(self.q_values_batch(scratch).row(0))
     }
 
     /// ε-greedy action for training.
@@ -580,6 +656,57 @@ mod tests {
         for (a, b) in q1.iter().zip(&agent.q_values(&[0.0, 1.0])) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn batched_q_values_are_bit_identical_to_single_state_inference() {
+        // Both architectures: each row of a staged batch must match `q_values` on that
+        // state to the bit, and the scratch paths must agree with the allocating ones.
+        for dueling in [false, true] {
+            let config = AgentConfig {
+                dueling,
+                ..AgentConfig::small(2).with_seed(21)
+            };
+            let agent = train_bandit(config, 500);
+            let states = [
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![0.3, -0.7],
+                vec![-0.2, 0.9],
+                vec![0.0, 0.0],
+            ];
+            let mut scratch = InferenceScratch::new();
+            let input = scratch.input_mut(states.len(), 2);
+            for (i, s) in states.iter().enumerate() {
+                input.row_mut(i).copy_from_slice(s);
+            }
+            let q = agent.q_values_batch(&mut scratch);
+            let rows: Vec<Vec<f64>> = (0..states.len()).map(|i| q.row(i).to_vec()).collect();
+            for (s, row) in states.iter().zip(&rows) {
+                for (a, b) in row.iter().zip(agent.q_values(s)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "dueling={dueling}");
+                }
+            }
+            // The scratch single-state path and the tie rule agree with act_greedy.
+            for s in &states {
+                assert_eq!(
+                    agent.act_greedy_with(s, &mut scratch),
+                    agent.act_greedy(s),
+                    "dueling={dueling}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_action_ties_keep_the_last_maximal_action() {
+        // act_greedy has always resolved exact ties through `max_by`, which returns the
+        // last maximal element; the shared helper must preserve that so the batched
+        // serving path and the offline evaluator decide identically on ties.
+        assert_eq!(greedy_action(&[1.0, 1.0]), 1);
+        assert_eq!(greedy_action(&[2.0, 1.0]), 0);
+        assert_eq!(greedy_action(&[1.0, 2.0]), 1);
+        assert_eq!(greedy_action(&[3.0, 3.0, 1.0]), 1);
     }
 
     #[test]

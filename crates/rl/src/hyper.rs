@@ -188,6 +188,14 @@ pub trait Trainable {
     /// (the driver then reuses the previous rung's score instead of re-scoring).
     fn train_to(&mut self, budget: u64) -> f64;
 
+    /// Cumulative budget units this candidate has actually trained so far (same unit
+    /// as [`Trainable::train_to`] budgets). After the first rung, the successive-
+    /// halving driver recalibrates the remaining rung budgets from the **maximum**
+    /// observed value across the round's candidates, so the schedule tracks realised
+    /// training lengths (e.g. episode-boundary overshoot on skewed fleets) instead of
+    /// the caller's a-priori full-budget estimate.
+    fn trained_units(&self) -> u64;
+
     /// Score the current policy (higher is better). Non-finite scores rank last.
     fn score(&self) -> f64;
 
@@ -334,8 +342,8 @@ impl HyperSearch {
     /// exactly as in [`HyperSearch::run_parallel`] (same draws, same order), so the two
     /// drivers explore identical candidate sets. Each round then runs
     /// `ceil(log2(n)) + 1` rungs: every alive candidate is trained to the rung's
-    /// cumulative budget (`full_budget >> (rungs - 1 - r)`, doubling per rung; the last
-    /// rung is `u64::MAX`, i.e. trained to completion) and scored, and the top half —
+    /// cumulative budget (doubling per rung; the last rung is `u64::MAX`, i.e. trained
+    /// to completion) and scored, and the top half —
     /// `ceil(alive / 2)`, ranked by score with non-finite scores last and ties keeping
     /// the earliest candidate — survives to the next rung. Training happens in parallel
     /// over the work-stealing pool, but eliminations, cost accumulation and every other
@@ -343,6 +351,12 @@ impl HyperSearch {
     /// thread count**. The winner of each round is its last survivor, trained to
     /// completion; the overall winner is whichever round winner scores higher (broad
     /// round kept on ties).
+    ///
+    /// `full_budget` — the caller's estimate of a full training run — only scales
+    /// **rung 0** (`full_budget >> (rungs - 1)`). From rung 1 on, the schedule is
+    /// calibrated from the budget units the rung-0 candidates *actually* trained
+    /// ([`Trainable::trained_units`], maximum across the round), so realised episode
+    /// lengths — not the a-priori estimate — set the elimination pace.
     ///
     /// The charged `total_cost` is the in-order sum of every rung increment actually
     /// trained — the whole point: most candidates only ever pay the early, cheap rungs.
@@ -510,11 +524,14 @@ where
     let n_rungs = n.next_power_of_two().trailing_zeros() as usize + 1;
     let mut alive: Vec<usize> = (0..n).collect();
     let mut states: Vec<Option<C>> = (0..n).map(|_| None).collect();
+    // Only rung 0 derives from the caller's a-priori estimate; after it, `full` is
+    // recalibrated from the units the rung-0 candidates actually trained.
+    let mut full = full_budget;
     for rung in 0..n_rungs {
         let budget = if rung == n_rungs - 1 {
             u64::MAX
         } else {
-            (full_budget >> (n_rungs - 1 - rung)).max(1)
+            (full >> (n_rungs - 1 - rung)).max(1)
         };
         // Move the alive sessions through the pool: init on the first rung, then train
         // to the rung budget and score. `execute_owned` keeps results in input order.
@@ -559,6 +576,24 @@ where
             states[i] = Some(candidate);
         }
         rungs.push(trace);
+        if rung == 0 && n_rungs > 1 {
+            // Calibrate the remaining rung budgets from the units rung 0 actually
+            // trained: `train_to` implementations stop at natural boundaries (e.g.
+            // whole episodes), so the realised amount can overshoot the request, and
+            // the caller's estimate can be off on skewed fleets. Anchoring the
+            // schedule at the *maximum* observed amount keeps every survivor's next
+            // target above anything already trained (no silently-empty rungs) and the
+            // doubling progression intact. The maximum over candidates is order-free,
+            // so the recalibrated schedule is bit-identical at any thread count.
+            let observed = alive
+                .iter()
+                .filter_map(|&i| states[i].as_ref().map(Trainable::trained_units))
+                .max()
+                .unwrap_or(0)
+                .max(1);
+            let shift = (n_rungs - 1).min(63) as u32;
+            full = observed.saturating_mul(1u64 << shift);
+        }
         if alive.len() <= 1 {
             break;
         }
@@ -847,6 +882,10 @@ mod tests {
             added as f64
         }
 
+        fn trained_units(&self) -> u64 {
+            self.trained
+        }
+
         fn score(&self) -> f64 {
             -((self.lr.log10() + 3.0).powi(2)) + (self.trained as f64 / self.cap as f64) * 0.05
                 - ((self.seed % 97) as f64) * 1e-6
@@ -930,6 +969,64 @@ mod tests {
         assert!(refined[0].survivors.iter().all(|&i| i >= 12));
     }
 
+    /// A candidate whose training overshoots the requested budget by a fixed amount,
+    /// the way a real trainer that only stops at episode boundaries does.
+    struct OvershootCandidate {
+        inner: FakeCandidate,
+        overshoot: u64,
+    }
+
+    impl Trainable for OvershootCandidate {
+        type Artifact = (u64, u64);
+        fn train_to(&mut self, budget: u64) -> f64 {
+            if budget <= self.inner.trained {
+                return 0.0;
+            }
+            let target = budget.saturating_add(self.overshoot).min(self.inner.cap);
+            let added = target.saturating_sub(self.inner.trained);
+            self.inner.trained = self.inner.trained.max(target);
+            added as f64
+        }
+        fn trained_units(&self) -> u64 {
+            self.inner.trained
+        }
+        fn score(&self) -> f64 {
+            self.inner.score()
+        }
+        fn into_artifact(self) -> (u64, u64) {
+            self.inner.into_artifact()
+        }
+    }
+
+    #[test]
+    fn rung_budgets_recalibrate_from_observed_rung_zero_training() {
+        // Rung 0 derives from the caller's estimate; the later rungs must derive from
+        // what rung 0 *actually* trained. Every candidate here overshoots each request
+        // by 13 units (episode-boundary style), so with 8 candidates (4 rungs, rung-0
+        // budget = FAKE_CAP >> 3 = 128) the observed maximum is 141 and rung 1 must be
+        // 2 × 141 = 282 — not the a-priori 256.
+        let search = HyperSearch::reduced(8, 0);
+        let outcome = search.run_halving(&mut StdRng::seed_from_u64(47), FAKE_CAP, |h, s| {
+            OvershootCandidate {
+                inner: FakeCandidate::new(h, s, 1 << 20),
+                overshoot: 13,
+            }
+        });
+        let budgets: Vec<u64> = outcome.rungs.iter().map(|r| r.budget).collect();
+        assert_eq!(
+            budgets[0],
+            FAKE_CAP >> 3,
+            "rung 0 uses the a-priori estimate"
+        );
+        assert_eq!(
+            budgets[1],
+            ((FAKE_CAP >> 3) + 13) * 2,
+            "rung 1 must be twice the observed rung-0 maximum"
+        );
+        assert_eq!(budgets[2], budgets[1] * 2, "doubling continues from there");
+        assert_eq!(*budgets.last().unwrap(), u64::MAX);
+    }
+
     #[test]
     fn halving_is_bit_identical_across_thread_counts() {
         let search = HyperSearch::reduced(11, 4);
@@ -977,6 +1074,9 @@ mod tests {
             type Artifact = (u64, u64);
             fn train_to(&mut self, budget: u64) -> f64 {
                 self.inner.train_to(budget)
+            }
+            fn trained_units(&self) -> u64 {
+                self.inner.trained_units()
             }
             fn score(&self) -> f64 {
                 self.score_calls.fetch_add(1, Ordering::Relaxed);
@@ -1039,6 +1139,9 @@ mod tests {
             type Artifact = (u64, u64);
             fn train_to(&mut self, budget: u64) -> f64 {
                 self.0.train_to(budget)
+            }
+            fn trained_units(&self) -> u64 {
+                self.0.trained_units()
             }
             fn score(&self) -> f64 {
                 if self.0.seed.is_multiple_of(2) {

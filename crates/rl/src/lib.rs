@@ -27,7 +27,7 @@ pub mod schedule;
 pub mod sumtree;
 pub mod transition;
 
-pub use dqn::{AgentCheckpoint, AgentConfig, DqnAgent};
+pub use dqn::{greedy_action, AgentCheckpoint, AgentConfig, DqnAgent, InferenceScratch};
 pub use hyper::{
     better_score, EvaluatedCandidate, HalvingOutcome, HyperParams, HyperSearch, RungTrace,
     SearchOutcome, Trainable,

@@ -1,0 +1,31 @@
+//! # uerl-serve
+//!
+//! Online fleet-serving subsystem: the deployment half of the paper's story. The
+//! offline crates replay historical timelines through the evaluator; this crate runs
+//! the same decision process **live** — a long-running service that ingests the merged
+//! event-time stream of an entire fleet's DRAM error events and answers, at every
+//! non-fatal event, whether to mitigate.
+//!
+//! * [`session`] — per-node serving sessions: the push-mode mirror of the evaluation
+//!   environment, keeping each node's incremental feature state, job assignment,
+//!   mitigation reference point and cost accounting.
+//! * [`server`] — the [`FleetServer`]: event-time ticks, sharded per-node state,
+//!   node-id-ordered **micro-batched inference** (a tick's decision requests are
+//!   stacked into one batched forward pass through
+//!   [`uerl_core::policy::MitigationPolicy::decide_batch`]), and the out-of-order
+//!   ingestion guard.
+//!
+//! The subsystem carries the repository's determinism contract: served decisions and
+//! accumulated mitigation/UE cost are **bit-identical** to the offline evaluator's
+//! `run_policy` rollout of the same timelines — at any micro-batch size, shard count
+//! and thread count. The serving-parity test suite and the `serve_throughput` stage of
+//! `perf_report` pin this.
+
+pub mod server;
+pub mod session;
+
+pub use server::{
+    merged_fleet_stream, FleetServer, NodeServeReport, OutOfOrderEvent, ServeConfig, ServeReport,
+    ServedDecision,
+};
+pub use session::NodeSession;

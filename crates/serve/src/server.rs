@@ -1,0 +1,784 @@
+//! The fleet server: event-time ticks, shard fan-out and micro-batched inference.
+//!
+//! [`FleetServer`] consumes the fleet-merged, event-time-ordered stream of per-minute
+//! merged error events and serves one mitigation decision per non-fatal event. Events
+//! carrying the same timestamp form one **tick**; when a newer timestamp arrives the
+//! tick is flushed:
+//!
+//! 1. the tick's events are routed to their node **shards** (node id modulo shard
+//!    count) and the shards absorb them in parallel over the work-stealing pool —
+//!    updating each node's incremental [`NodeSession`] and collecting the tick's
+//!    decision requests;
+//! 2. the requests are assembled in **node-id order** (whatever the shard count or
+//!    thread count) and stacked into **micro-batches** of at most
+//!    [`ServeConfig::batch_size`] states, each answered by a single batched forward
+//!    pass through [`MitigationPolicy::decide_batch`];
+//! 3. the decisions are applied to their sessions — paying mitigation costs, moving
+//!    the Equation 3 reference points — and emitted in the same node-id order.
+//!
+//! Because batched Q-inference is bit-identical per row to single-state inference and
+//! every reduction (request assembly, decision application, fleet totals) runs in
+//! node-id order, the server's decisions and accumulated costs are **bit-identical to
+//! the offline evaluator's `run_policy` rollout** of the same timelines — at any batch
+//! size, shard count and thread count. The serving-parity suite pins this.
+
+use crate::session::NodeSession;
+use std::collections::BTreeMap;
+use uerl_core::config::MitigationConfig;
+use uerl_core::env::UeRecord;
+use uerl_core::event_stream::TimelineSet;
+use uerl_core::policy::MitigationPolicy;
+use uerl_core::state::StateFeatures;
+use uerl_jobs::schedule::NodeJobSampler;
+use uerl_trace::log::MergedEvent;
+use uerl_trace::types::{NodeId, SimTime};
+
+/// One node shard: the sessions of every node routed to it, keyed (and iterated) in
+/// node-id order.
+type Shard = BTreeMap<NodeId, NodeSession>;
+
+/// Below this many events, a tick is absorbed serially: the parallel fan-out's
+/// dispatch overhead would dominate. The threshold depends only on the tick size, so
+/// the serial and parallel paths are taken identically at every thread count — and
+/// they produce identical state either way (the per-node work is the same; only the
+/// request-assembly order differs, and both end in node-id order).
+const PARALLEL_TICK_THRESHOLD: usize = 64;
+
+/// Configuration of a [`FleetServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Serving window start (anchors feature extraction and job sequences; must match
+    /// the offline evaluation window for parity).
+    pub window_start: SimTime,
+    /// Serving window end (job sequences cover `[window_start, window_end)`).
+    pub window_end: SimTime,
+    /// Mitigation cost / restartability knobs.
+    pub mitigation: MitigationConfig,
+    /// Evaluation seed: each node's job sequence derives from `(seed, node id)` only,
+    /// the same workload-fairness contract as the offline evaluator.
+    pub seed: u64,
+    /// Maximum decision requests stacked into one batched forward pass.
+    pub batch_size: usize,
+    /// Number of node shards the per-node state is partitioned into.
+    pub shards: usize,
+}
+
+impl ServeConfig {
+    /// A configuration with the default batching knobs (batch 64, 8 shards).
+    pub fn new(
+        window_start: SimTime,
+        window_end: SimTime,
+        mitigation: MitigationConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            window_end > window_start,
+            "serving window must be non-empty"
+        );
+        Self {
+            window_start,
+            window_end,
+            mitigation,
+            seed,
+            batch_size: 64,
+            shards: 8,
+        }
+    }
+
+    /// The configuration for serving a timeline set's period: the set's window, with
+    /// every per-node timeline **verified to cover exactly that window**.
+    ///
+    /// The offline evaluator samples each node's jobs over *that timeline's* window;
+    /// the server — which sees a stream, not timelines — samples over its configured
+    /// window. The two only coincide (and the bit-parity guarantee only holds) when
+    /// every timeline's window equals the set's, which is what `TimelineSet::from_log`
+    /// and `TimelineSet::slice` always produce. This constructor makes that
+    /// precondition explicit instead of silently serving a divergent workload.
+    ///
+    /// # Panics
+    /// Panics if any timeline's window differs from the set's.
+    pub fn for_timelines(timelines: &TimelineSet, mitigation: MitigationConfig, seed: u64) -> Self {
+        for timeline in timelines.timelines() {
+            assert!(
+                timeline.window_start() == timelines.window_start()
+                    && timeline.window_end() == timelines.window_end(),
+                "timeline of node {} covers [{}, {}) but the set covers [{}, {}): \
+                 per-node windows must equal the serving window for offline parity",
+                timeline.node().0,
+                timeline.window_start().0,
+                timeline.window_end().0,
+                timelines.window_start().0,
+                timelines.window_end().0,
+            );
+        }
+        Self::new(
+            timelines.window_start(),
+            timelines.window_end(),
+            mitigation,
+            seed,
+        )
+    }
+
+    /// Set the micro-batch size (decisions per forward pass).
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Set the shard count.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        self.shards = shards;
+        self
+    }
+}
+
+/// One decision served by the fleet server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedDecision {
+    /// Node the decision was served for.
+    pub node: NodeId,
+    /// Timestamp of the event that triggered the decision request.
+    pub time: SimTime,
+    /// Whether a mitigation was ordered.
+    pub mitigated: bool,
+}
+
+/// Rejected ingestion: the stream violated the event-time ordering contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOrderEvent {
+    /// Node of the rejected event.
+    pub node: NodeId,
+    /// Timestamp of the rejected event.
+    pub time: SimTime,
+    /// The server's current tick time, which the event precedes.
+    pub tick: SimTime,
+}
+
+impl std::fmt::Display for OutOfOrderEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out-of-order event for node {} at t={}s: the server already advanced to \
+             t={}s (event times must be non-decreasing per node, and the merged fleet \
+             stream non-decreasing overall)",
+            self.node.0, self.time.0, self.tick.0
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrderEvent {}
+
+/// Per-node serving totals (the serving-side mirror of one offline rollout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeServeReport {
+    /// The node.
+    pub node: NodeId,
+    /// Mitigations ordered on this node.
+    pub mitigations: u64,
+    /// "Do nothing" decisions served for this node.
+    pub non_mitigations: u64,
+    /// Node-hours paid for this node's mitigations.
+    pub mitigation_cost: f64,
+    /// Fatal events accounted on this node.
+    pub ue_count: u64,
+    /// Node-hours lost to this node's fatal events.
+    pub ue_cost: f64,
+    /// Every decision served, in event order.
+    pub decisions: Vec<(SimTime, bool)>,
+    /// Every fatal event accounted, in event order.
+    pub ue_records: Vec<UeRecord>,
+}
+
+/// Fleet-wide serving totals, accumulated in node-id order (bit-comparable to the
+/// offline evaluator's `PolicyRun` for the same timelines and policy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Name of the serving policy.
+    pub policy: String,
+    /// Total mitigations ordered.
+    pub mitigations: u64,
+    /// Total "do nothing" decisions.
+    pub non_mitigations: u64,
+    /// Node-hours of mitigation actions plus the policy's training cost (charged once,
+    /// exactly as the offline cost-benefit accounting does).
+    pub mitigation_cost: f64,
+    /// Total fatal events accounted.
+    pub ue_count: u64,
+    /// Node-hours lost to fatal events.
+    pub ue_cost: f64,
+    /// Events ingested (decision requests + fatals).
+    pub events: u64,
+    /// Per-node breakdowns, in node-id order.
+    pub per_node: Vec<NodeServeReport>,
+}
+
+impl ServeReport {
+    /// Total cost: UE cost plus mitigation (and training) cost.
+    pub fn total_cost(&self) -> f64 {
+        self.ue_cost + self.mitigation_cost
+    }
+}
+
+/// The online mitigation service for a fleet of nodes.
+pub struct FleetServer<P: MitigationPolicy> {
+    config: ServeConfig,
+    policy: P,
+    sampler: NodeJobSampler,
+    shards: Vec<Shard>,
+    tick_time: Option<SimTime>,
+    tick_events: Vec<MergedEvent>,
+    events_ingested: u64,
+    decision_buf: Vec<bool>,
+}
+
+impl<P: MitigationPolicy> FleetServer<P> {
+    /// Create a server. The policy is queried greedily (its training, if any, is
+    /// already done); the sampler provides the per-node job sequences.
+    pub fn new(config: ServeConfig, policy: P, sampler: NodeJobSampler) -> Self {
+        let shards = (0..config.shards).map(|_| BTreeMap::new()).collect();
+        Self {
+            config,
+            policy,
+            sampler,
+            shards,
+            tick_time: None,
+            tick_events: Vec::new(),
+            events_ingested: 0,
+            decision_buf: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The serving policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Events ingested so far (including those buffered in the open tick).
+    pub fn events_ingested(&self) -> u64 {
+        self.events_ingested
+    }
+
+    /// Nodes with live sessions.
+    pub fn live_nodes(&self) -> usize {
+        self.shards.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Ingest one event of the merged fleet stream. Decisions become available once
+    /// the event's tick closes — i.e. when a later-timestamped event arrives (they are
+    /// appended to `out`) or the caller flushes explicitly — because a tick's requests
+    /// are micro-batched together.
+    ///
+    /// # Errors
+    /// Rejects events that precede the current tick: event times must be
+    /// non-decreasing per node, and the fleet-merged stream non-decreasing overall.
+    pub fn ingest(
+        &mut self,
+        event: MergedEvent,
+        out: &mut Vec<ServedDecision>,
+    ) -> Result<(), OutOfOrderEvent> {
+        if let Some(tick) = self.tick_time {
+            if event.time < tick {
+                return Err(OutOfOrderEvent {
+                    node: event.node,
+                    time: event.time,
+                    tick,
+                });
+            }
+            if event.time > tick {
+                self.flush(out);
+            }
+        }
+        self.tick_time = Some(event.time);
+        self.events_ingested += 1;
+        self.tick_events.push(event);
+        Ok(())
+    }
+
+    /// Ingest a whole stream, appending every served decision to `out` and flushing
+    /// the final tick.
+    ///
+    /// # Errors
+    /// As [`FleetServer::ingest`]; ingestion stops at the first rejected event.
+    pub fn ingest_all(
+        &mut self,
+        events: impl IntoIterator<Item = MergedEvent>,
+        out: &mut Vec<ServedDecision>,
+    ) -> Result<(), OutOfOrderEvent> {
+        for event in events {
+            self.ingest(event, out)?;
+        }
+        self.flush(out);
+        Ok(())
+    }
+
+    /// Flush the open tick: absorb its events shard-parallel, answer its decision
+    /// requests in node-id-ordered micro-batches, apply and emit the decisions.
+    /// Called automatically when a later tick starts; call it after the last event of
+    /// a stream (or use [`FleetServer::ingest_all`], which does).
+    pub fn flush(&mut self, out: &mut Vec<ServedDecision>) {
+        if self.tick_events.is_empty() {
+            return;
+        }
+        // Group the tick's events per node, preserving per-node arrival order. A node
+        // normally contributes one merged event per tick (the stream is per-minute
+        // merged), but duplicates are legal: they are served in *rounds* — one event
+        // per node per round — so a second event always sees its node's state after
+        // the first event's decision was applied, exactly as the offline replay does.
+        let mut per_node: BTreeMap<NodeId, Vec<MergedEvent>> = BTreeMap::new();
+        for event in self.tick_events.drain(..) {
+            per_node.entry(event.node).or_default().push(event);
+        }
+        let mut round: Vec<(NodeId, MergedEvent)> = Vec::with_capacity(per_node.len());
+        while !per_node.is_empty() {
+            round.clear();
+            for (node, events) in per_node.iter_mut() {
+                round.push((*node, events.remove(0)));
+            }
+            per_node.retain(|_, events| !events.is_empty());
+            self.serve_round(&mut round, out);
+        }
+    }
+
+    /// Serve one round (at most one event per node, node-id order): absorb the events,
+    /// micro-batch the resulting decision requests, apply and emit the decisions.
+    fn serve_round(
+        &mut self,
+        round: &mut Vec<(NodeId, MergedEvent)>,
+        out: &mut Vec<ServedDecision>,
+    ) {
+        let (nodes, states) = self.observe_round(round);
+        let batch = self.config.batch_size;
+        for (node_chunk, state_chunk) in nodes.chunks(batch).zip(states.chunks(batch)) {
+            self.decision_buf.clear();
+            self.policy
+                .decide_batch(state_chunk, &mut self.decision_buf);
+            debug_assert_eq!(self.decision_buf.len(), state_chunk.len());
+            for (i, (node, state)) in node_chunk.iter().zip(state_chunk).enumerate() {
+                let mitigate = self.decision_buf[i];
+                self.session_mut(*node).apply_decision(state.time, mitigate);
+                out.push(ServedDecision {
+                    node: *node,
+                    time: state.time,
+                    mitigated: mitigate,
+                });
+            }
+        }
+    }
+
+    /// Absorb one round of events into the node sessions and return the decision
+    /// requests in node-id order. Large rounds fan the shards out over the
+    /// work-stealing pool; the result is identical either way.
+    fn observe_round(
+        &mut self,
+        round: &mut Vec<(NodeId, MergedEvent)>,
+    ) -> (Vec<NodeId>, Vec<StateFeatures>) {
+        if round.len() < PARALLEL_TICK_THRESHOLD || self.config.shards == 1 {
+            let mut nodes = Vec::new();
+            let mut states = Vec::new();
+            for (node, event) in round.drain(..) {
+                if let Some(state) = self.session_mut(node).observe(&event) {
+                    nodes.push(node);
+                    states.push(state);
+                }
+            }
+            return (nodes, states);
+        }
+
+        // Partition the round by shard, fan the shards out (each owns a disjoint set
+        // of nodes), then merge the per-shard requests back into node-id order.
+        let shard_count = self.shards.len();
+        let mut per_shard: Vec<Vec<(NodeId, MergedEvent)>> = vec![Vec::new(); shard_count];
+        for (node, event) in round.drain(..) {
+            per_shard[shard_index(node, shard_count)].push((node, event));
+        }
+        let shards = std::mem::take(&mut self.shards);
+        let config = &self.config;
+        let sampler = &self.sampler;
+        let work: Vec<(Shard, Vec<(NodeId, MergedEvent)>)> =
+            shards.into_iter().zip(per_shard).collect();
+        let done = rayon::execute_owned(work, |(mut shard, events)| {
+            let mut requests = Vec::new();
+            for (node, event) in events {
+                let session = shard.entry(node).or_insert_with(|| {
+                    NodeSession::new(
+                        node,
+                        config.window_start,
+                        config.window_end,
+                        config.mitigation,
+                        config.seed,
+                        sampler,
+                    )
+                });
+                if let Some(state) = session.observe(&event) {
+                    requests.push((node, state));
+                }
+            }
+            (shard, requests)
+        });
+        let mut requests = Vec::new();
+        self.shards = done
+            .into_iter()
+            .map(|(shard, shard_requests)| {
+                requests.extend(shard_requests);
+                shard
+            })
+            .collect();
+        // Shards interleave node ids (modulo routing), so restore global node order;
+        // ids are unique within a round, making the order — and therefore the batch
+        // boundaries — independent of shard count and thread count.
+        requests.sort_unstable_by_key(|(node, _)| node.0);
+        requests.into_iter().unzip()
+    }
+
+    fn session_mut(&mut self, node: NodeId) -> &mut NodeSession {
+        let shard = shard_index(node, self.shards.len());
+        let config = &self.config;
+        let sampler = &self.sampler;
+        self.shards[shard].entry(node).or_insert_with(|| {
+            NodeSession::new(
+                node,
+                config.window_start,
+                config.window_end,
+                config.mitigation,
+                config.seed,
+                sampler,
+            )
+        })
+    }
+
+    /// The session of a node, if it has received events.
+    pub fn session(&self, node: NodeId) -> Option<&NodeSession> {
+        self.shards[shard_index(node, self.shards.len())].get(&node)
+    }
+
+    /// Fleet-wide report, accumulated in node-id order so every floating-point total
+    /// is bit-comparable to the offline evaluator's `PolicyRun` over the same
+    /// timelines (which merges per-node rollouts in timeline = node-id order, after
+    /// charging the policy's training cost once).
+    ///
+    /// Only flushed ticks are included; flush the final tick first (or ingest via
+    /// [`FleetServer::ingest_all`]).
+    pub fn report(&self) -> ServeReport {
+        let mut sessions: Vec<&NodeSession> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.values())
+            .collect();
+        sessions.sort_unstable_by_key(|s| s.node().0);
+
+        let mut report = ServeReport {
+            policy: self.policy.name().to_string(),
+            mitigations: 0,
+            non_mitigations: 0,
+            mitigation_cost: self.policy.training_cost_node_hours(),
+            ue_count: 0,
+            ue_cost: 0.0,
+            events: self.events_ingested,
+            per_node: Vec::with_capacity(sessions.len()),
+        };
+        for session in sessions {
+            let non_mitigations = session
+                .decisions()
+                .iter()
+                .filter(|(_, mitigated)| !mitigated)
+                .count() as u64;
+            report.mitigations += session.mitigation_count();
+            report.non_mitigations += non_mitigations;
+            report.mitigation_cost += session.total_mitigation_cost();
+            report.ue_count += session.ue_count();
+            report.ue_cost += session.total_ue_cost();
+            report.per_node.push(NodeServeReport {
+                node: session.node(),
+                mitigations: session.mitigation_count(),
+                non_mitigations,
+                mitigation_cost: session.total_mitigation_cost(),
+                ue_count: session.ue_count(),
+                ue_cost: session.total_ue_cost(),
+                decisions: session.decisions().to_vec(),
+                ue_records: session.ue_records().to_vec(),
+            });
+        }
+        report
+    }
+}
+
+/// Shard routing: node id modulo shard count. The request assembly re-sorts by node
+/// id, so the routing function affects only load distribution, never results.
+fn shard_index(node: NodeId, shards: usize) -> usize {
+    node.0 as usize % shards
+}
+
+/// Merge a timeline set into the single fleet-wide, event-time-ordered stream a
+/// [`FleetServer`] consumes (time-major; ties broken by node id; a node's equal-time
+/// events keep their timeline order — the sort is stable).
+pub fn merged_fleet_stream(timelines: &TimelineSet) -> Vec<MergedEvent> {
+    let mut events: Vec<MergedEvent> = timelines
+        .timelines()
+        .iter()
+        .flat_map(|t| t.events().iter().cloned())
+        .collect();
+    events.sort_by_key(|e| (e.time, e.node.0));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uerl_core::policies::{AlwaysMitigate, NeverMitigate};
+
+    fn event(node: u32, minute: i64, fatal: bool) -> MergedEvent {
+        MergedEvent {
+            time: SimTime::from_minutes(minute),
+            node: NodeId(node),
+            ce_count: 1,
+            ce_details: Vec::new(),
+            ue_warnings: 0,
+            boots: 0,
+            retired_slots: Vec::new(),
+            fatal,
+            ue_detector: None,
+        }
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig::new(
+            SimTime::ZERO,
+            SimTime::from_days(10),
+            MitigationConfig::paper_default(),
+            7,
+        )
+    }
+
+    fn sampler() -> NodeJobSampler {
+        let jobs =
+            uerl_jobs::JobTraceGenerator::new(uerl_jobs::JobLogConfig::small(16, 10, 3)).generate();
+        NodeJobSampler::from_log(&jobs)
+    }
+
+    #[test]
+    fn decisions_are_served_when_the_tick_closes() {
+        let mut server = FleetServer::new(config(), AlwaysMitigate, sampler());
+        let mut out = Vec::new();
+        server.ingest(event(1, 10, false), &mut out).unwrap();
+        server.ingest(event(2, 10, false), &mut out).unwrap();
+        assert!(out.is_empty(), "the tick is still open");
+        server.ingest(event(1, 11, false), &mut out).unwrap();
+        // The t=10 tick flushed: two decisions, node-id order.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].node, NodeId(1));
+        assert_eq!(out[1].node, NodeId(2));
+        assert!(out.iter().all(|d| d.mitigated));
+        server.flush(&mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(server.events_ingested(), 3);
+        assert_eq!(server.live_nodes(), 2);
+    }
+
+    #[test]
+    fn out_of_order_events_per_node_are_rejected() {
+        let mut server = FleetServer::new(config(), NeverMitigate, sampler());
+        let mut out = Vec::new();
+        server.ingest(event(1, 10, false), &mut out).unwrap();
+        let err = server.ingest(event(1, 5, false), &mut out).unwrap_err();
+        assert_eq!(err.node, NodeId(1));
+        assert_eq!(err.time, SimTime::from_minutes(5));
+        assert_eq!(err.tick, SimTime::from_minutes(10));
+        assert!(err.to_string().contains("out-of-order"));
+    }
+
+    #[test]
+    fn a_stale_event_from_another_node_is_also_rejected() {
+        // The server consumes the *merged* fleet stream, so global event-time order is
+        // the ingestion contract (which subsumes the per-node one).
+        let mut server = FleetServer::new(config(), NeverMitigate, sampler());
+        let mut out = Vec::new();
+        server.ingest(event(1, 10, false), &mut out).unwrap();
+        assert!(server.ingest(event(2, 9, false), &mut out).is_err());
+        // Equal-time events are fine: they join the open tick.
+        server.ingest(event(2, 10, false), &mut out).unwrap();
+    }
+
+    #[test]
+    fn fatal_events_produce_no_decision_but_are_accounted() {
+        let mut server = FleetServer::new(config(), NeverMitigate, sampler());
+        let mut out = Vec::new();
+        server
+            .ingest_all([event(1, 10, false), event(1, 600, true)], &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1, "only the non-fatal event is a decision");
+        let report = server.report();
+        assert_eq!(report.ue_count, 1);
+        assert!(report.ue_cost >= 0.0);
+        assert_eq!(report.mitigations, 0);
+        assert_eq!(report.non_mitigations, 1);
+        assert_eq!(report.per_node.len(), 1);
+        assert_eq!(report.per_node[0].ue_records.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_timestamps_for_one_node_are_served_in_rounds() {
+        // Two same-minute events of one node: the second decision must see the state
+        // after the first decision was applied (the offline replay's order), which the
+        // round mechanism guarantees even though both share a tick.
+        let mut server = FleetServer::new(config(), AlwaysMitigate, sampler());
+        let mut out = Vec::new();
+        server
+            .ingest_all([event(3, 10, false), event(3, 10, false)], &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let session = server.session(NodeId(3)).unwrap();
+        assert_eq!(session.mitigation_count(), 2);
+        assert_eq!(session.decisions().len(), 2);
+    }
+
+    #[test]
+    fn report_accumulates_in_node_id_order_and_charges_training_cost_once() {
+        struct Costly;
+        impl MitigationPolicy for Costly {
+            fn name(&self) -> &str {
+                "costly"
+            }
+            fn decide(&self, _: &StateFeatures) -> bool {
+                false
+            }
+            fn training_cost_node_hours(&self) -> f64 {
+                2.5
+            }
+        }
+        let mut server = FleetServer::new(config(), Costly, sampler());
+        let mut out = Vec::new();
+        server
+            .ingest_all(
+                [
+                    event(5, 10, false),
+                    event(1, 11, false),
+                    event(3, 12, false),
+                ],
+                &mut out,
+            )
+            .unwrap();
+        let report = server.report();
+        assert_eq!(report.policy, "costly");
+        assert!((report.mitigation_cost - 2.5).abs() < 1e-12);
+        let ids: Vec<u32> = report.per_node.iter().map(|n| n.node.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert_eq!(report.events, 3);
+    }
+
+    #[test]
+    fn merged_stream_is_time_ordered_with_node_tiebreak() {
+        let timelines = TimelineSet::from_timelines(
+            SimTime::ZERO,
+            SimTime::from_days(1),
+            vec![
+                uerl_core::event_stream::NodeTimeline::new(
+                    NodeId(2),
+                    SimTime::ZERO,
+                    SimTime::from_days(1),
+                    vec![event(2, 5, false), event(2, 20, false)],
+                ),
+                uerl_core::event_stream::NodeTimeline::new(
+                    NodeId(1),
+                    SimTime::ZERO,
+                    SimTime::from_days(1),
+                    vec![event(1, 5, false), event(1, 30, true)],
+                ),
+            ],
+        );
+        let stream = merged_fleet_stream(&timelines);
+        let key: Vec<(i64, u32)> = stream.iter().map(|e| (e.time.0, e.node.0)).collect();
+        assert_eq!(key, vec![(300, 1), (300, 2), (1200, 2), (1800, 1)]);
+    }
+
+    #[test]
+    fn for_timelines_accepts_uniform_windows_and_rejects_divergent_ones() {
+        let uniform = TimelineSet::from_timelines(
+            SimTime::ZERO,
+            SimTime::from_days(1),
+            vec![uerl_core::event_stream::NodeTimeline::new(
+                NodeId(1),
+                SimTime::ZERO,
+                SimTime::from_days(1),
+                vec![event(1, 5, false)],
+            )],
+        );
+        let config = ServeConfig::for_timelines(&uniform, MitigationConfig::paper_default(), 7);
+        assert_eq!(config.window_start, SimTime::ZERO);
+        assert_eq!(config.window_end, SimTime::from_days(1));
+
+        let divergent = TimelineSet::from_timelines(
+            SimTime::ZERO,
+            SimTime::from_days(1),
+            vec![uerl_core::event_stream::NodeTimeline::new(
+                NodeId(1),
+                SimTime::from_hours(3), // narrower than the set window
+                SimTime::from_days(1),
+                vec![event(1, 500, false)],
+            )],
+        );
+        let result = std::panic::catch_unwind(|| {
+            ServeConfig::for_timelines(&divergent, MitigationConfig::paper_default(), 7)
+        });
+        assert!(
+            result.is_err(),
+            "a timeline window differing from the set's must be rejected"
+        );
+    }
+
+    #[test]
+    fn wide_ticks_take_the_shard_parallel_path_and_match_the_serial_one() {
+        // A tick wider than PARALLEL_TICK_THRESHOLD fans the shards out over the pool;
+        // a single-shard server always takes the serial path. Both must produce
+        // identical decisions, reports and decision order (node-id ascending), and a
+        // mixed fatal/non-fatal wide tick must account every fatal exactly once.
+        let wide_tick = |minute: i64| -> Vec<MergedEvent> {
+            (0..(2 * PARALLEL_TICK_THRESHOLD as u32))
+                .map(|node| event(node, minute, node % 9 == 0))
+                .collect()
+        };
+        let run = |shards: usize| {
+            let mut server =
+                FleetServer::new(config().with_shards(shards), AlwaysMitigate, sampler());
+            let mut out = Vec::new();
+            for minute in [10, 20, 30] {
+                for e in wide_tick(minute) {
+                    server.ingest(e, &mut out).unwrap();
+                }
+            }
+            server.flush(&mut out);
+            (out, server.report())
+        };
+        let (serial_out, serial_report) = run(1);
+        let (parallel_out, parallel_report) = run(8);
+        assert_eq!(serial_out, parallel_out);
+        assert_eq!(serial_report, parallel_report);
+        let fatal_nodes = (0..(2 * PARALLEL_TICK_THRESHOLD as u32))
+            .filter(|n| n % 9 == 0)
+            .count() as u64;
+        assert_eq!(parallel_report.ue_count, 3 * fatal_nodes);
+        // Per tick, decisions come out in node-id order.
+        let first_tick: Vec<u32> = parallel_out
+            .iter()
+            .take_while(|d| d.time == SimTime::from_minutes(10))
+            .map(|d| d.node.0)
+            .collect();
+        assert!(first_tick.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(
+            first_tick.len() as u64,
+            2 * PARALLEL_TICK_THRESHOLD as u64 - fatal_nodes
+        );
+    }
+}

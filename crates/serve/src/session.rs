@@ -1,0 +1,232 @@
+//! Per-node serving sessions: the incremental, push-mode mirror of the evaluation-mode
+//! [`uerl_core::env::MitigationEnv`].
+//!
+//! The offline environment *pulls* events from a complete timeline; a serving session
+//! is *pushed* one event at a time as the fleet produces them, keeping exactly the
+//! state the environment would hold at the same point: the incremental
+//! [`FeatureExtractor`], the node's assigned job sequence, the mitigation reference
+//! point and the running cost accounting. The event-for-event equivalence — same
+//! extractor updates, same Equation 3 cost reference, same fatal accounting, in the
+//! same order — is what makes served decisions and accumulated costs **bit-identical**
+//! to an offline [`run_policy`-style] rollout of the same timeline, and it is pinned by
+//! the serving-parity test suite.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uerl_core::config::MitigationConfig;
+use uerl_core::cost;
+use uerl_core::env::UeRecord;
+use uerl_core::features::FeatureExtractor;
+use uerl_core::state::StateFeatures;
+use uerl_jobs::schedule::{node_workload_seed, JobSequence, NodeJobSampler};
+use uerl_trace::log::MergedEvent;
+use uerl_trace::types::{NodeId, SimTime};
+
+/// The live state of one node in the serving fleet.
+///
+/// Created lazily on the node's first event; the job sequence is drawn from the same
+/// `(seed, node id)`-derived RNG the offline evaluator uses ([`node_workload_seed`]),
+/// so the workload — and therefore every cost — matches the offline replay exactly.
+#[derive(Debug, Clone)]
+pub struct NodeSession {
+    node: NodeId,
+    extractor: FeatureExtractor,
+    jobs: JobSequence,
+    config: MitigationConfig,
+    last_mitigation: Option<SimTime>,
+
+    mitigation_count: u64,
+    total_mitigation_cost: f64,
+    ue_count: u64,
+    total_ue_cost: f64,
+    decisions: Vec<(SimTime, bool)>,
+    ue_records: Vec<UeRecord>,
+}
+
+impl NodeSession {
+    /// Create the session for a node: feature extractor anchored at the serving
+    /// window's start, job sequence sampled from the node's workload seed.
+    pub fn new(
+        node: NodeId,
+        window_start: SimTime,
+        window_end: SimTime,
+        config: MitigationConfig,
+        seed: u64,
+        sampler: &NodeJobSampler,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(node_workload_seed(seed, node));
+        let jobs = sampler.sample_sequence(window_start, window_end, &mut rng);
+        Self {
+            node,
+            extractor: FeatureExtractor::new(node, window_start),
+            jobs,
+            config,
+            last_mitigation: None,
+            mitigation_count: 0,
+            total_mitigation_cost: 0.0,
+            ue_count: 0,
+            total_ue_cost: 0.0,
+            decisions: Vec::new(),
+            ue_records: Vec::new(),
+        }
+    }
+
+    /// The node this session tracks.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of mitigation actions taken.
+    pub fn mitigation_count(&self) -> u64 {
+        self.mitigation_count
+    }
+
+    /// Node-hours spent on mitigation actions.
+    pub fn total_mitigation_cost(&self) -> f64 {
+        self.total_mitigation_cost
+    }
+
+    /// Number of fatal events accounted.
+    pub fn ue_count(&self) -> u64 {
+        self.ue_count
+    }
+
+    /// Node-hours lost to fatal events.
+    pub fn total_ue_cost(&self) -> f64 {
+        self.total_ue_cost
+    }
+
+    /// Every decision served so far: `(event time, mitigated)`, in event order.
+    pub fn decisions(&self) -> &[(SimTime, bool)] {
+        &self.decisions
+    }
+
+    /// Every fatal event accounted so far, in event order.
+    pub fn ue_records(&self) -> &[UeRecord] {
+        &self.ue_records
+    }
+
+    /// Potential UE cost (Equation 3) and the running job's node count at instant `t`,
+    /// through the shared `uerl_core::cost` reference-point rule — the same function
+    /// the offline environment evaluates, so the two paths cannot drift apart.
+    fn potential_cost_at(&self, t: SimTime) -> (f64, u32) {
+        cost::potential_cost_at(&self.jobs, self.last_mitigation, self.config.restartable, t)
+    }
+
+    /// Absorb one event of this node (events must arrive in time order — the server
+    /// enforces it on the merged stream).
+    ///
+    /// A fatal event is accounted immediately — its cost, the Equation 3 accrual since
+    /// the last mitigation (or job start), is paid, and the mitigation reference is
+    /// cleared because the node leaves production and returns with fresh jobs — and
+    /// produces no decision. A non-fatal event updates the feature state and returns
+    /// the [`StateFeatures`] snapshot of the new decision request, which the server
+    /// resolves through the (micro-batched) policy and then applies via
+    /// [`NodeSession::apply_decision`].
+    pub fn observe(&mut self, event: &MergedEvent) -> Option<StateFeatures> {
+        if event.fatal {
+            let (ue_cost, _) = self.potential_cost_at(event.time);
+            self.ue_count += 1;
+            self.total_ue_cost += ue_cost;
+            self.ue_records.push(UeRecord {
+                time: event.time,
+                cost: ue_cost,
+            });
+            self.last_mitigation = None;
+            self.extractor.update(event);
+            None
+        } else {
+            self.extractor.update(event);
+            let (potential, job_nodes) = self.potential_cost_at(event.time);
+            Some(self.extractor.snapshot(potential, job_nodes))
+        }
+    }
+
+    /// Apply a resolved decision for the request produced at `time`: record it and, if
+    /// it mitigates, pay the mitigation cost and reset the cost reference point.
+    pub fn apply_decision(&mut self, time: SimTime, mitigate: bool) {
+        self.decisions.push((time, mitigate));
+        if mitigate {
+            self.mitigation_count += 1;
+            self.total_mitigation_cost += self.config.mitigation_cost_node_hours();
+            self.last_mitigation = Some(time);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uerl_core::env::MitigationEnv;
+    use uerl_core::event_stream::NodeTimeline;
+    use uerl_jobs::{JobLogConfig, JobTraceGenerator};
+    use uerl_trace::generator::{SyntheticLogConfig, TraceGenerator};
+    use uerl_trace::reduction::preprocess;
+
+    /// Pushing a timeline through a session must reproduce the evaluation-mode
+    /// environment bit-for-bit under any fixed decision rule.
+    #[test]
+    fn pushed_session_matches_the_pull_mode_environment_bit_for_bit() {
+        let log = TraceGenerator::new(SyntheticLogConfig::small(20, 60, 5)).generate();
+        let timelines = uerl_core::event_stream::TimelineSet::from_log(&preprocess(&log));
+        let jobs = JobTraceGenerator::new(JobLogConfig::small(64, 30, 5)).generate();
+        let sampler = NodeJobSampler::from_log(&jobs);
+        let config = MitigationConfig::paper_default();
+        let seed = 77u64;
+        // A state-dependent (but policy-free) decision rule exercises both branches.
+        let rule = |s: &StateFeatures| s.potential_ue_cost > 10.0;
+
+        for timeline in timelines.timelines() {
+            let offline = replay_offline(timeline, &sampler, config, seed, rule);
+            let mut session = NodeSession::new(
+                timeline.node(),
+                timeline.window_start(),
+                timeline.window_end(),
+                config,
+                seed,
+                &sampler,
+            );
+            for event in timeline.events() {
+                if let Some(state) = session.observe(event) {
+                    let mitigate = rule(&state);
+                    session.apply_decision(state.time, mitigate);
+                }
+            }
+            assert_eq!(session.mitigation_count(), offline.mitigation_count());
+            assert_eq!(session.ue_count(), offline.ue_count());
+            assert_eq!(
+                session.total_mitigation_cost().to_bits(),
+                offline.total_mitigation_cost().to_bits(),
+                "mitigation cost diverged on node {:?}",
+                timeline.node()
+            );
+            assert_eq!(
+                session.total_ue_cost().to_bits(),
+                offline.total_ue_cost().to_bits(),
+                "UE cost diverged on node {:?}",
+                timeline.node()
+            );
+            assert_eq!(session.decisions(), offline.decisions());
+            assert_eq!(session.ue_records(), offline.ue_records());
+        }
+    }
+
+    fn replay_offline(
+        timeline: &NodeTimeline,
+        sampler: &NodeJobSampler,
+        config: MitigationConfig,
+        seed: u64,
+        rule: impl Fn(&StateFeatures) -> bool,
+    ) -> MitigationEnv {
+        let mut rng = StdRng::seed_from_u64(node_workload_seed(seed, timeline.node()));
+        let sequence =
+            sampler.sample_sequence(timeline.window_start(), timeline.window_end(), &mut rng);
+        let mut env = MitigationEnv::new(timeline.clone(), sequence, config, false);
+        let mut state = env.reset();
+        while let Some(s) = state {
+            let outcome = env.step(rule(&s));
+            state = outcome.next_state;
+        }
+        env
+    }
+}

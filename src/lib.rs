@@ -19,6 +19,9 @@
 //!   the environment over historical logs, the mitigation policies and the RL trainer.
 //! * [`eval`] — evaluation harness: time-series nested cross-validation, cost–benefit
 //!   analysis, classical ML metrics and drivers for every figure and table of the paper.
+//! * [`serve`] — online fleet-serving subsystem: a long-running mitigation service with
+//!   sharded per-node incremental state and micro-batched DQN inference, bit-identical
+//!   to the offline evaluator on the same timelines.
 
 pub use uerl_core as core;
 pub use uerl_eval as eval;
@@ -26,5 +29,6 @@ pub use uerl_forest as forest;
 pub use uerl_jobs as jobs;
 pub use uerl_nn as nn;
 pub use uerl_rl as rl;
+pub use uerl_serve as serve;
 pub use uerl_stats as stats;
 pub use uerl_trace as trace;

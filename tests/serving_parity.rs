@@ -1,0 +1,255 @@
+//! Serving parity: the online fleet server must reproduce the offline evaluator's
+//! `run_policy` rollout **bit-for-bit** — decisions, per-node costs and fleet totals —
+//! at every micro-batch size, shard count and thread count.
+//!
+//! This is the determinism contract of the serving subsystem: micro-batching a tick's
+//! decision requests into one forward pass, sharding the per-node state and fanning
+//! ticks out over the work-stealing pool are pure execution-strategy choices that must
+//! never change a single decision.
+
+use uerl::core::event_stream::TimelineSet;
+use uerl::core::policies::{AlwaysMitigate, MyopicRfPolicy, RlPolicy};
+use uerl::core::policy::MitigationPolicy;
+use uerl::core::rf_dataset::build_rf_dataset_1day;
+use uerl::core::state::STATE_DIM;
+use uerl::core::trainer::{RlTrainer, TrainerConfig};
+use uerl::core::MitigationConfig;
+use uerl::eval::run::{run_policy, PolicyRun};
+use uerl::forest::{RandomForest, RandomForestConfig};
+use uerl::jobs::schedule::NodeJobSampler;
+use uerl::jobs::{JobLogConfig, JobTraceGenerator};
+use uerl::serve::{merged_fleet_stream, FleetServer, ServeConfig, ServeReport};
+use uerl::trace::generator::{SyntheticLogConfig, TraceGenerator};
+use uerl::trace::reduction::preprocess;
+
+const SEED: u64 = 2025;
+
+fn fixture() -> (TimelineSet, NodeJobSampler) {
+    let log = TraceGenerator::new(SyntheticLogConfig::small(30, 60, 17)).generate();
+    let timelines = TimelineSet::from_log(&preprocess(&log));
+    let jobs = JobTraceGenerator::new(JobLogConfig::small(64, 30, 17)).generate();
+    (timelines, NodeJobSampler::from_log(&jobs))
+}
+
+/// A small trained agent wrapped as the serving policy (the paper's deployment story).
+fn trained_rl_policy(timelines: &TimelineSet, sampler: &NodeJobSampler) -> RlPolicy {
+    let trainer = RlTrainer::new(TrainerConfig::reduced(25).with_seed(3));
+    let outcome = trainer.train(timelines, sampler);
+    let mut agent = outcome.agent;
+    agent.compact_for_inference();
+    RlPolicy::new(agent)
+}
+
+fn serve<P: MitigationPolicy + Clone>(
+    policy: &P,
+    timelines: &TimelineSet,
+    sampler: &NodeJobSampler,
+    batch_size: usize,
+    shards: usize,
+) -> ServeReport {
+    let config = ServeConfig::for_timelines(timelines, MitigationConfig::paper_default(), SEED)
+        .with_batch_size(batch_size)
+        .with_shards(shards);
+    let mut server = FleetServer::new(config, policy.clone(), sampler.clone());
+    let mut decisions = Vec::new();
+    server
+        .ingest_all(merged_fleet_stream(timelines), &mut decisions)
+        .expect("the merged stream is time-ordered");
+    assert_eq!(
+        decisions.len() as u64,
+        server.report().mitigations + server.report().non_mitigations,
+        "every non-fatal event must be answered"
+    );
+    server.report()
+}
+
+/// Bit-level comparison of a serving report against the offline rollout.
+fn assert_parity(report: &ServeReport, offline: &PolicyRun) {
+    assert_eq!(report.mitigations, offline.mitigations);
+    assert_eq!(report.non_mitigations, offline.non_mitigations);
+    assert_eq!(report.ue_count, offline.ue_count);
+    assert_eq!(
+        report.mitigation_cost.to_bits(),
+        offline.mitigation_cost.to_bits(),
+        "mitigation cost diverged: served {} vs offline {}",
+        report.mitigation_cost,
+        offline.mitigation_cost
+    );
+    assert_eq!(
+        report.ue_cost.to_bits(),
+        offline.ue_cost.to_bits(),
+        "UE cost diverged: served {} vs offline {}",
+        report.ue_cost,
+        offline.ue_cost
+    );
+    // Per-node decision and UE logs, flattened in node-id order, must match the
+    // offline run's logs exactly (run_policy merges per-timeline partials in node-id
+    // order, each in event order).
+    let served_decisions: Vec<(u32, i64, bool)> = report
+        .per_node
+        .iter()
+        .flat_map(|n| {
+            n.decisions
+                .iter()
+                .map(|&(t, m)| (n.node.0, t.0, m))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let offline_decisions: Vec<(u32, i64, bool)> = offline
+        .decisions
+        .iter()
+        .map(|d| (d.node.0, d.time.0, d.mitigated))
+        .collect();
+    assert_eq!(
+        served_decisions, offline_decisions,
+        "decision logs diverged"
+    );
+    let served_ues: Vec<(u32, i64, u64)> = report
+        .per_node
+        .iter()
+        .flat_map(|n| {
+            n.ue_records
+                .iter()
+                .map(|r| (n.node.0, r.time.0, r.cost.to_bits()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let offline_ues: Vec<(u32, i64, u64)> = offline
+        .ue_events
+        .iter()
+        .map(|u| (u.node.0, u.time.0, u.cost.to_bits()))
+        .collect();
+    assert_eq!(served_ues, offline_ues, "UE logs diverged");
+}
+
+#[test]
+fn served_rl_decisions_are_bit_identical_to_offline_rollout_at_every_batch_size() {
+    let (timelines, sampler) = fixture();
+    let policy = trained_rl_policy(&timelines, &sampler);
+    let offline = run_policy(
+        &policy,
+        &timelines,
+        &sampler,
+        MitigationConfig::paper_default(),
+        SEED,
+    );
+    assert!(offline.ue_count > 0, "the fixture must contain UEs");
+    assert!(
+        offline.mitigations > 0 || offline.non_mitigations > 0,
+        "the fixture must contain decisions"
+    );
+    for batch_size in [1, 7, 64] {
+        let report = serve(&policy, &timelines, &sampler, batch_size, 8);
+        assert_parity(&report, &offline);
+    }
+}
+
+#[test]
+fn serving_is_bit_identical_across_shard_counts() {
+    let (timelines, sampler) = fixture();
+    let policy = trained_rl_policy(&timelines, &sampler);
+    let reference = serve(&policy, &timelines, &sampler, 7, 1);
+    for shards in [2, 4, 16] {
+        let report = serve(&policy, &timelines, &sampler, 7, shards);
+        assert_eq!(
+            report, reference,
+            "shard count {shards} changed the outcome"
+        );
+    }
+}
+
+#[test]
+fn serving_is_bit_identical_across_thread_counts_and_matches_offline() {
+    let (timelines, sampler) = fixture();
+    let policy = trained_rl_policy(&timelines, &sampler);
+    let offline = run_policy(
+        &policy,
+        &timelines,
+        &sampler,
+        MitigationConfig::paper_default(),
+        SEED,
+    );
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| serve(&policy, &timelines, &sampler, 64, 8))
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one, four, "serving diverged across thread counts");
+    assert_parity(&one, &offline);
+    assert_parity(&four, &offline);
+}
+
+#[test]
+fn non_rl_policies_also_serve_with_exact_parity() {
+    // The default `decide_batch` hook (loop over `decide`) must be batch-transparent
+    // too; Myopic-RF exercises a model-driven policy through it and Always-mitigate a
+    // trivial one.
+    let (timelines, sampler) = fixture();
+    let offline_always = run_policy(
+        &AlwaysMitigate,
+        &timelines,
+        &sampler,
+        MitigationConfig::paper_default(),
+        SEED,
+    );
+    assert_parity(
+        &serve(&AlwaysMitigate, &timelines, &sampler, 7, 4),
+        &offline_always,
+    );
+
+    let (mut dataset, _) = build_rf_dataset_1day(&timelines);
+    if dataset.is_empty() {
+        dataset.push(vec![0.0; STATE_DIM - 1], false);
+    }
+    let mut rf_config = RandomForestConfig::sc20(STATE_DIM - 1, 5);
+    rf_config.n_trees = 8;
+    if dataset.positives() == 0 {
+        rf_config.undersample_ratio = None;
+    }
+    let forest = RandomForest::fit(&dataset, &rf_config);
+    let myopic = MyopicRfPolicy::new(
+        forest,
+        MitigationConfig::paper_default().mitigation_cost_node_hours(),
+    );
+    let offline_myopic = run_policy(
+        &myopic,
+        &timelines,
+        &sampler,
+        MitigationConfig::paper_default(),
+        SEED,
+    );
+    for batch_size in [1, 7, 64] {
+        assert_parity(
+            &serve(&myopic, &timelines, &sampler, batch_size, 4),
+            &offline_myopic,
+        );
+    }
+}
+
+#[test]
+fn streaming_in_prefix_chunks_matches_one_shot_ingestion() {
+    // A long-running service ingests incrementally; pausing between arbitrary events
+    // (flushing only at tick boundaries, as ingest does internally) must not change
+    // anything relative to ingesting the whole stream in one call.
+    let (timelines, sampler) = fixture();
+    let policy = trained_rl_policy(&timelines, &sampler);
+    let one_shot = serve(&policy, &timelines, &sampler, 16, 4);
+
+    let config = ServeConfig::for_timelines(&timelines, MitigationConfig::paper_default(), SEED)
+        .with_batch_size(16)
+        .with_shards(4);
+    let mut server = FleetServer::new(config, policy, sampler.clone());
+    let stream = merged_fleet_stream(&timelines);
+    let mut decisions = Vec::new();
+    for chunk in stream.chunks(97) {
+        for event in chunk {
+            server.ingest(event.clone(), &mut decisions).unwrap();
+        }
+    }
+    server.flush(&mut decisions);
+    assert_eq!(server.report(), one_shot);
+}
