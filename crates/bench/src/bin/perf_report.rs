@@ -4,16 +4,22 @@
 //! work-stealing pool), every figure/table pipeline, the two-round RL hyperparameter
 //! search, a `halving_vs_exhaustive` comparison (the paper's 60+20 candidate search
 //! run once through the successive-halving driver and once exhaustively, with the
-//! survivor trace in the fingerprint) and a `serve_throughput` stage (a scaled-up
+//! survivor trace in the fingerprint), a `matmul_kernels` microbench (the cache-blocked
+//! `Matrix` kernel family at serving- and training-shaped GEMMs, with the output bits
+//! in the fingerprint and GFLOP/s in the JSON), a `serve_throughput` stage (a scaled-up
 //! synthetic fleet streamed through the online `uerl-serve` subsystem, with the
-//! serving-vs-offline parity verdict in the fingerprint) at the selected `UERL_SCALE`
-//! (default `small`) twice — once pinned to a single thread and once with the ambient
-//! thread count — and writes `BENCH_PR5.json` with per-stage wall times, the thread
-//! count, the speedup, whether the stage output was byte-identical across thread
-//! counts (it must be: every parallel fan-out in the engine merges in deterministic
-//! order), the halving-vs-exhaustive training-step totals (halving must train strictly
-//! fewer) and the serving events/sec + parity flag (served decisions and costs must be
-//! bit-identical to the offline evaluator).
+//! serving-vs-offline parity verdict in the fingerprint) and a `quant_parity` stage
+//! (the same serving stream replayed decision-for-decision under the full-precision
+//! and the symmetric-i8 inference paths, reporting the decision-match rate and total
+//! cost delta — the quantization metric the paper never reports) at the selected
+//! `UERL_SCALE` (default `small`) twice — once pinned to a single thread and once with
+//! the ambient thread count — and writes `BENCH_PR6.json` with per-stage wall times,
+//! the thread count, the speedup, whether the stage output was byte-identical across
+//! thread counts (it must be: every parallel fan-out in the engine merges in
+//! deterministic order), the halving-vs-exhaustive training-step totals (halving must
+//! train strictly fewer), the serving events/sec + parity flag (served decisions and
+//! costs must be bit-identical to the offline evaluator) and the i8 decision-match
+//! rate (the run fails below 99%).
 //!
 //! The checked-in baseline may come from a **single-core container**, where every
 //! parallel call short-circuits to the serial path (speedup ≈ 1.0 by construction);
@@ -37,7 +43,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use uerl_bench::Scale;
 use uerl_core::event_stream::TimelineSet;
-use uerl_core::policies::RlPolicy;
+use uerl_core::policies::{QuantMode, RlPolicy};
 use uerl_core::rf_dataset::build_rf_dataset_1day;
 use uerl_core::state::STATE_DIM;
 use uerl_core::trainer::{RlTrainer, TrainerConfig, TRAIN_COST_SECONDS_PER_STEP};
@@ -49,10 +55,15 @@ use uerl_eval::run::run_policy;
 use uerl_eval::scenario::ExperimentContext;
 use uerl_forest::{RandomForest, RandomForestConfig};
 use uerl_jobs::{JobLogConfig, JobTraceGenerator, NodeJobSampler};
+use uerl_nn::Matrix;
 use uerl_rl::HyperSearch;
-use uerl_serve::{merged_fleet_stream, FleetServer, ServeConfig};
+use uerl_serve::{merged_fleet_stream, FleetServer, ServeConfig, ServeReport};
 use uerl_trace::generator::{SyntheticLogConfig, TraceGenerator};
 use uerl_trace::reduction::preprocess;
+
+/// `quant_parity` metrics for the JSON summary:
+/// (decisions, matches, match rate, f64 total cost, i8 total cost, cost delta %).
+type QuantStats = (u64, u64, f64, f64, f64, f64);
 
 struct StageReport {
     name: &'static str,
@@ -256,11 +267,14 @@ fn main() {
             let trainer = RlTrainer::new(TrainerConfig::reduced(12).with_seed(seed));
             let mut agent = trainer.train(&timelines, &sampler).agent;
             agent.compact_for_inference();
-            let policy = RlPolicy::new(agent);
+            // The configured quantization mode (UERL_QUANT) selects the serving
+            // inference path; the default full-precision run is the one gated on
+            // bit-parity below.
+            let config = ServeConfig::for_timelines(&timelines, mitigation, seed);
+            let policy = config.apply_quant(RlPolicy::new(agent));
 
             let stream = merged_fleet_stream(&timelines);
             let events = stream.len() as u64;
-            let config = ServeConfig::for_timelines(&timelines, mitigation, seed);
             let mut server = FleetServer::new(config, policy.clone(), sampler.clone());
             let mut decisions = Vec::new();
             let t0 = Instant::now();
@@ -311,6 +325,145 @@ fn main() {
         }
     };
 
+    // Kernel microbench: the cache-blocked `Matrix` family (NN forward, TN-accumulate
+    // backward, NT backward) at serving-shaped and training-shaped GEMMs. The
+    // fingerprint is an FNV digest over the exact output bits — any change to a
+    // kernel's reduction order shows up here before it shows up as a parity failure —
+    // and the per-family GFLOP/s of the last run lands in `kernel_stats` for the JSON
+    // summary (wall time stays out of the fingerprint).
+    let kernel_stats: Arc<Mutex<Option<(f64, f64, f64)>>> = Arc::new(Mutex::new(None));
+    let matmul_stage = {
+        let stats = Arc::clone(&kernel_stats);
+        move || -> String {
+            fn fnv(digest: &mut u64, bits: u64) {
+                for byte in bits.to_le_bytes() {
+                    *digest ^= u64::from(byte);
+                    *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            fn fill(rows: usize, cols: usize, salt: usize) -> Matrix {
+                Matrix::from_fn(rows, cols, |i, j| {
+                    ((i * 31 + j * 17 + salt) as f64 * 0.193).sin()
+                })
+            }
+            // (m, k, n): a serving micro-batch through the small trunk, the paper
+            // trunk's widest layer, a single-row forward and a ragged edge-tile shape.
+            let shapes = [(64, 256, 256), (64, 15, 32), (1, 15, 32), (13, 37, 19)];
+            let reps = 40;
+            let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut flops = [0.0f64; 3];
+            let mut secs = [0.0f64; 3];
+            for (si, &(m, k, n)) in shapes.iter().enumerate() {
+                let a = fill(m, k, si);
+                let b = fill(k, n, si + 7);
+                let bt = fill(n, k, si + 13);
+                let mut out = Matrix::zeros(1, 1);
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    a.matmul_into(&b, &mut out);
+                }
+                secs[0] += t0.elapsed().as_secs_f64();
+                flops[0] += (2 * m * k * n * reps) as f64;
+                for &v in out.data() {
+                    fnv(&mut digest, v.to_bits());
+                }
+                // TN takes the left operand pre-transposed: (k×m)ᵀ · (k×n) → m×n.
+                let at = fill(k, m, si + 3);
+                let mut acc = Matrix::zeros(m, n);
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    at.matmul_tn_acc(&b, &mut acc);
+                }
+                secs[1] += t0.elapsed().as_secs_f64();
+                flops[1] += (2 * m * k * n * reps) as f64;
+                for &v in acc.data() {
+                    fnv(&mut digest, v.to_bits());
+                }
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    a.matmul_nt_into(&bt, &mut out);
+                }
+                secs[2] += t0.elapsed().as_secs_f64();
+                flops[2] += (2 * m * k * n * reps) as f64;
+                for &v in out.data() {
+                    fnv(&mut digest, v.to_bits());
+                }
+            }
+            let gflops = |i: usize| flops[i] / secs[i].max(1e-12) / 1e9;
+            *stats.lock().expect("kernel stats poisoned") = Some((gflops(0), gflops(1), gflops(2)));
+            format!("shapes={} reps={reps} digest={digest:016x}", shapes.len())
+        }
+    };
+
+    // Quantization parity: the same small-scale fleet stream served twice — once with
+    // the full-precision f64 policy (the oracle) and once with its symmetric-i8 mirror
+    // — and compared decision-for-decision. The decision request sequence is identical
+    // in both runs (one request per non-fatal event), so the match rate is
+    // well-defined; the fingerprint covers both decision digests, the match count and
+    // the cost bits, and the last run's metrics land in `quant_stats` for the JSON
+    // summary. The run fails below a 99% match rate.
+    let quant_stats: Arc<Mutex<Option<QuantStats>>> = Arc::new(Mutex::new(None));
+    let quant_stage = {
+        let stats = Arc::clone(&quant_stats);
+        move |seed: u64| -> String {
+            let log = TraceGenerator::new(SyntheticLogConfig::small(120, 180, seed)).generate();
+            let timelines = TimelineSet::from_log(&preprocess(&log));
+            let jobs = JobTraceGenerator::new(JobLogConfig::small(256, 120, seed)).generate();
+            let sampler = NodeJobSampler::from_log(&jobs);
+            let mitigation = MitigationConfig::paper_default();
+            let trainer = RlTrainer::new(TrainerConfig::reduced(12).with_seed(seed));
+            let mut agent = trainer.train(&timelines, &sampler).agent;
+            agent.compact_for_inference();
+            let full_policy = RlPolicy::new(agent);
+            let i8_policy = full_policy.clone().with_quantization(QuantMode::I8);
+
+            let serve = |policy: &RlPolicy| {
+                let config = ServeConfig::for_timelines(&timelines, mitigation, seed)
+                    .with_quant(QuantMode::Off); // the policy's own path decides
+                let mut server = FleetServer::new(config, policy.clone(), sampler.clone());
+                let mut decisions = Vec::new();
+                server
+                    .ingest_all(merged_fleet_stream(&timelines), &mut decisions)
+                    .expect("merged stream is time-ordered");
+                (decisions, server.report())
+            };
+            let (full_decisions, full_report) = serve(&full_policy);
+            let (i8_decisions, i8_report) = serve(&i8_policy);
+            assert_eq!(
+                full_decisions.len(),
+                i8_decisions.len(),
+                "both paths must answer the same request stream"
+            );
+            let total = full_decisions.len() as u64;
+            assert!(total > 0, "the quant-parity fleet must produce decisions");
+            let matches = full_decisions
+                .iter()
+                .zip(&i8_decisions)
+                .filter(|(a, b)| {
+                    assert_eq!(
+                        (a.node, a.time),
+                        (b.node, b.time),
+                        "request streams diverged"
+                    );
+                    a.mitigated == b.mitigated
+                })
+                .count() as u64;
+            let match_rate = matches as f64 / total as f64;
+            let total_cost = |r: &ServeReport| r.mitigation_cost + r.ue_cost;
+            let full_cost = total_cost(&full_report);
+            let i8_cost = total_cost(&i8_report);
+            let delta_pct = (i8_cost - full_cost) / full_cost.max(1e-12) * 100.0;
+            *stats.lock().expect("quant stats poisoned") =
+                Some((total, matches, match_rate, full_cost, i8_cost, delta_pct));
+            format!(
+                "decisions={total} matches={matches} rate={match_rate:.6} \
+                 full_cost={:016x} i8_cost={:016x}",
+                full_cost.to_bits(),
+                i8_cost.to_bits(),
+            )
+        }
+    };
+
     // Pool-overhead microbench: many tiny parallel calls, the pattern that made the old
     // per-call fork-join (a thread spawn + join per `par_iter`) hurt most. With the
     // persistent pool each call is queue traffic only, so the serial/pooled gap here
@@ -348,6 +501,7 @@ fn main() {
 
     let stages: Vec<(&'static str, Stage)> = vec![
         ("pool_overhead", Box::new(pool_overhead_stage)),
+        ("matmul_kernels", Box::new(matmul_stage)),
         ("forest_fit_100_trees", {
             let ctx = ctx.clone();
             Box::new(move || forest_stage(&ctx))
@@ -364,6 +518,7 @@ fn main() {
             "serve_throughput",
             Box::new(move || serve_stage(scale, 2024 ^ 0x5E17)),
         ),
+        ("quant_parity", Box::new(move || quant_stage(2024 ^ 0x0108))),
         ("fig3_total_cost", {
             let ctx = ctx.clone();
             Box::new(move || fig3::run(&ctx, &[2.0, 5.0, 10.0]).render())
@@ -457,10 +612,12 @@ fn main() {
 
     let halving = *halving_stats.lock().expect("halving stats poisoned");
     let serving = *serve_stats.lock().expect("serve stats poisoned");
+    let kernels = *kernel_stats.lock().expect("kernel stats poisoned");
+    let quant = *quant_stats.lock().expect("quant stats poisoned");
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"pr\": 5,\n");
+    json.push_str("  \"pr\": 6,\n");
     json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!(
@@ -474,6 +631,16 @@ fn main() {
     if let Some((events, events_per_sec, parity)) = serving {
         json.push_str(&format!(
             "  \"serve_throughput\": {{\"events\": {events}, \"events_per_sec\": {events_per_sec:.1}, \"parity_with_offline_evaluator\": {parity}}},\n"
+        ));
+    }
+    if let Some((nn, tn, nt)) = kernels {
+        json.push_str(&format!(
+            "  \"matmul_kernels\": {{\"nn_gflops\": {nn:.3}, \"tn_acc_gflops\": {tn:.3}, \"nt_gflops\": {nt:.3}}},\n"
+        ));
+    }
+    if let Some((decisions, matches, rate, full_cost, i8_cost, delta_pct)) = quant {
+        json.push_str(&format!(
+            "  \"quant_parity\": {{\"decisions\": {decisions}, \"matches\": {matches}, \"match_rate\": {rate:.6}, \"f64_total_cost\": {full_cost:.6}, \"i8_total_cost\": {i8_cost:.6}, \"cost_delta_pct\": {delta_pct:.4}}},\n"
         ));
     }
     json.push_str(&format!("  \"total_serial_secs\": {total_serial:.6},\n"));
@@ -495,7 +662,7 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     std::fs::write(&path, &json).expect("write benchmark report");
     if let Some((halving_steps, exhaustive_steps, _)) = halving {
         eprintln!(
@@ -506,6 +673,16 @@ fn main() {
         eprintln!(
             "[perf_report] served {events} events at {events_per_sec:.0} events/sec \
              (parity with offline evaluator: {parity})"
+        );
+    }
+    if let Some((nn, tn, nt)) = kernels {
+        eprintln!("[perf_report] kernels: NN {nn:.2} / TN-acc {tn:.2} / NT {nt:.2} GFLOP/s");
+    }
+    if let Some((decisions, matches, rate, _, _, delta_pct)) = quant {
+        eprintln!(
+            "[perf_report] quant parity: {matches}/{decisions} decisions match \
+             ({:.2}%), total cost delta {delta_pct:+.2}%",
+            rate * 100.0
         );
     }
     eprintln!(
@@ -529,6 +706,15 @@ fn main() {
              offline evaluator rollout"
         );
         std::process::exit(1);
+    }
+    if let Some((_, _, rate, _, _, _)) = quant {
+        if rate < 0.99 {
+            eprintln!(
+                "[perf_report] ERROR: i8 decision-match rate {:.4} is below the 0.99 gate",
+                rate
+            );
+            std::process::exit(1);
+        }
     }
 }
 

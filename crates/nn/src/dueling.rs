@@ -70,6 +70,21 @@ impl DuelingQNetwork {
         self.n_actions
     }
 
+    /// The shared trunk layers (the quantizer mirrors them into i8).
+    pub(crate) fn trunk(&self) -> &[DenseLayer] {
+        &self.trunk
+    }
+
+    /// The state-value head.
+    pub(crate) fn value_head(&self) -> &DenseLayer {
+        &self.value_head
+    }
+
+    /// The advantage head.
+    pub(crate) fn advantage_head(&self) -> &DenseLayer {
+        &self.advantage_head
+    }
+
     /// Input dimension.
     pub fn input_dim(&self) -> usize {
         self.trunk.first().map(DenseLayer::input_dim).unwrap_or(0)

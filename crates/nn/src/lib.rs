@@ -9,7 +9,8 @@
 //! offline-usable deep-learning crate in the allowed dependency set, so this crate
 //! implements the needed pieces from scratch:
 //!
-//! * [`matrix`] — a minimal row-major `f32` matrix with the operations a dense MLP needs;
+//! * [`matrix`] — a minimal row-major `f64` matrix with cache-blocked, batch-size-
+//!   invariant matmul kernels (the operations a dense MLP needs);
 //! * [`init`] — He / Xavier weight initialisation;
 //! * [`activation`] — ReLU / leaky ReLU / tanh / sigmoid / identity activations;
 //! * [`layer`] — a dense (fully-connected) layer with forward and backward passes;
@@ -17,7 +18,9 @@
 //!   the importance-sampling weights of prioritized experience replay);
 //! * [`optim`] — SGD (with momentum), RMSProp and Adam optimizers;
 //! * [`network`] — a multi-layer perceptron assembled from dense layers;
-//! * [`dueling`] — the dueling Q-network head: `Q(s, a) = V(s) + A(s, a) − mean(A)`.
+//! * [`dueling`] — the dueling Q-network head: `Q(s, a) = V(s) + A(s, a) − mean(A)`;
+//! * [`quant`] — the i8 inference path: symmetric per-layer weight quantization, i32
+//!   accumulators, f32 dequant at layer boundaries.
 //!
 //! Everything is deterministic under a seeded RNG and is exercised by gradient-check
 //! tests, which is what makes the RL results reproducible.
@@ -30,6 +33,7 @@ pub mod loss;
 pub mod matrix;
 pub mod network;
 pub mod optim;
+pub mod quant;
 
 pub use activation::Activation;
 pub use dueling::DuelingQNetwork;
@@ -39,3 +43,6 @@ pub use loss::Loss;
 pub use matrix::Matrix;
 pub use network::{BatchScratch, Mlp, MlpConfig};
 pub use optim::{Adam, Optimizer, RmsProp, Sgd};
+pub use quant::{
+    QuantScratch, QuantizedDuelingNetwork, QuantizedLayer, QuantizedMlp, QuantizedNetwork,
+};

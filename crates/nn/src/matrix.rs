@@ -1,12 +1,223 @@
 //! A minimal row-major `f64` matrix with the operations a dense MLP needs.
 //!
-//! This is deliberately not a general tensor library: the Q-networks in this project are
-//! small (at most a few hundred units per layer), so clarity and correctness beat clever
-//! blocking. The hot path — `matmul` — iterates in `i, k, j` order so the inner loop
-//! walks both operands contiguously, which the compiler auto-vectorises well enough for
-//! the network sizes involved.
+//! This is deliberately not a general tensor library, but the product kernels are the
+//! hottest code in the serving path (`forward_batch_into` bottoms out here), so they
+//! are written as cache-blocked, autovectorizer-friendly register-tile kernels rather
+//! than scalar triple loops.
+//!
+//! # Kernel design and the reduction-order contract
+//!
+//! Every kernel processes fixed-width register tiles: [`MR`] output rows × [`NR`]
+//! contiguous output lanes accumulate in local arrays (which the autovectorizer keeps
+//! in SIMD registers), and the inner loop walks the shared dimension once with the
+//! operand panels loaded contiguously. Edge tiles fall back to narrower tiles and a
+//! scalar column loop.
+//!
+//! The load-bearing invariant is that the **per-output-element reduction order is a
+//! function of the inner dimension only** — never of the batch size, the tile the
+//! element landed in, or the thread count:
+//!
+//! - `matmul` / `matmul_into` / `matmul_tn_acc`: element `(i, j)` is the strict
+//!   ascending-`k` sum `((..(a_{i0}·b_{0j}) + a_{i1}·b_{1j}) + ..)`, exactly the order
+//!   of the textbook scalar loop. Register tiles only change *which elements advance
+//!   together*, not the order within an element, so a blocked result is bit-identical
+//!   to the scalar reference — and a row of a size-N batch is bit-identical to the
+//!   same row forwarded alone, which is the invariant the online serving layer's
+//!   micro-batching and the `serving_parity` suite rest on.
+//! - `matmul_nt` / `matmul_nt_into`: each element is an independent dot product, which
+//!   a single serial chain would leave latency-bound; it is accumulated in [`DOT_LANES`]
+//!   interleaved partial sums (lane `c` takes `k ≡ c (mod DOT_LANES)` in ascending
+//!   order) combined by a fixed balanced tree. The order is still a pure function of
+//!   the inner dimension, so results remain independent of batch size and thread
+//!   count; they simply differ (by rounding reassociation) from the serial-chain sum.
+//!
+//! Products deliberately do **not** skip zero operands: `0·∞` and `0·NaN` must produce
+//! NaN (IEEE 754), and a data-dependent branch in the inner loop defeats
+//! vectorization. The kernels use plain mul-then-add (no `mul_add`) so results do not
+//! depend on whether the build target has fused-multiply-add hardware.
 
 use serde::{Deserialize, Serialize};
+
+/// Output rows advanced together by one register tile.
+const MR: usize = 4;
+/// Contiguous output lanes (f64 columns) per register-tile row.
+const NR: usize = 8;
+/// Interleaved partial-sum lanes of the `matmul_nt` dot-product kernel.
+const DOT_LANES: usize = 8;
+
+/// `out[i0..i0+MR][j0..j0+NR] = a · b` for one full register tile, accumulating every
+/// element in strict ascending-`k` order. `a` is the `m × k` left operand, `b` the
+/// `k × n` right operand, both row-major.
+#[inline(always)]
+fn tile_mr_nr(a: &[f64], b: &[f64], out: &mut [f64], kdim: usize, n: usize, i0: usize, j0: usize) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for kk in 0..kdim {
+        let brow = &b[kk * n + j0..kk * n + j0 + NR];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + r) * kdim + kk];
+            for (s, &bv) in acc_row.iter_mut().zip(brow) {
+                *s += av * bv;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        out[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// One-row variant of [`tile_mr_nr`] for the `m % MR` edge rows.
+#[inline(always)]
+fn tile_1_nr(a: &[f64], b: &[f64], out: &mut [f64], kdim: usize, n: usize, i: usize, j0: usize) {
+    let mut acc = [0.0f64; NR];
+    let arow = &a[i * kdim..(i + 1) * kdim];
+    for (kk, &av) in arow.iter().enumerate() {
+        let brow = &b[kk * n + j0..kk * n + j0 + NR];
+        for (s, &bv) in acc.iter_mut().zip(brow) {
+            *s += av * bv;
+        }
+    }
+    out[i * n + j0..i * n + j0 + NR].copy_from_slice(&acc);
+}
+
+/// Scalar edge columns (`n % NR`) of row `i`: same strict ascending-`k` order.
+#[inline(always)]
+fn edge_cols(a: &[f64], b: &[f64], out: &mut [f64], kdim: usize, n: usize, i: usize, j0: usize) {
+    let arow = &a[i * kdim..(i + 1) * kdim];
+    for j in j0..n {
+        let mut s = 0.0f64;
+        for (kk, &av) in arow.iter().enumerate() {
+            s += av * b[kk * n + j];
+        }
+        out[i * n + j] = s;
+    }
+}
+
+/// Blocked `acc[j, l] += Σ_i a[i, j] · b[i, l]` (`aᵀ · b` accumulated into `acc`):
+/// register tiles of `MR` output rows (columns `j` of `a`) × `NR` lanes, each element
+/// advancing in strict ascending-`i` order seeded from the existing accumulator value
+/// — exactly the incremental `+=` of the scalar reference loop. `a` is `m × ja`
+/// row-major, `b` is `m × n` row-major, `acc` is `ja × n` row-major.
+fn gemm_tn_acc(a: &[f64], b: &[f64], acc: &mut [f64], m: usize, ja: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * ja);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(acc.len(), ja * n);
+    let j_full = ja - ja % MR;
+    let n_full = n - n % NR;
+    let mut j0 = 0;
+    while j0 < j_full {
+        let mut l0 = 0;
+        while l0 < n_full {
+            let mut tile = [[0.0f64; NR]; MR];
+            for (r, tile_row) in tile.iter_mut().enumerate() {
+                tile_row.copy_from_slice(&acc[(j0 + r) * n + l0..(j0 + r) * n + l0 + NR]);
+            }
+            for i in 0..m {
+                let brow = &b[i * n + l0..i * n + l0 + NR];
+                for (r, tile_row) in tile.iter_mut().enumerate() {
+                    let av = a[i * ja + j0 + r];
+                    for (s, &bv) in tile_row.iter_mut().zip(brow) {
+                        *s += av * bv;
+                    }
+                }
+            }
+            for (r, tile_row) in tile.iter().enumerate() {
+                acc[(j0 + r) * n + l0..(j0 + r) * n + l0 + NR].copy_from_slice(tile_row);
+            }
+            l0 += NR;
+        }
+        for r in 0..MR {
+            for l in n_full..n {
+                let mut s = acc[(j0 + r) * n + l];
+                for i in 0..m {
+                    s += a[i * ja + j0 + r] * b[i * n + l];
+                }
+                acc[(j0 + r) * n + l] = s;
+            }
+        }
+        j0 += MR;
+    }
+    for j in j_full..ja {
+        let mut l0 = 0;
+        while l0 < n_full {
+            let mut tile = [0.0f64; NR];
+            tile.copy_from_slice(&acc[j * n + l0..j * n + l0 + NR]);
+            for i in 0..m {
+                let av = a[i * ja + j];
+                let brow = &b[i * n + l0..i * n + l0 + NR];
+                for (s, &bv) in tile.iter_mut().zip(brow) {
+                    *s += av * bv;
+                }
+            }
+            acc[j * n + l0..j * n + l0 + NR].copy_from_slice(&tile);
+            l0 += NR;
+        }
+        for l in n_full..n {
+            let mut s = acc[j * n + l];
+            for i in 0..m {
+                s += a[i * ja + j] * b[i * n + l];
+            }
+            acc[j * n + l] = s;
+        }
+    }
+}
+
+/// One dot product `Σ_k x_k · y_k` in [`DOT_LANES`] interleaved partial sums (lane `c`
+/// takes the terms with `k ≡ c (mod DOT_LANES)`, each in ascending-`k` order) combined
+/// by a fixed balanced tree. The reduction order is a pure function of the length, so
+/// `matmul_nt` results are independent of batch size and thread count.
+#[inline(always)]
+fn dot_lanes(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut lanes = [0.0f64; DOT_LANES];
+    let chunks = x.len() / DOT_LANES;
+    for t in 0..chunks {
+        let xs = &x[t * DOT_LANES..(t + 1) * DOT_LANES];
+        let ys = &y[t * DOT_LANES..(t + 1) * DOT_LANES];
+        for (lane, (&xv, &yv)) in lanes.iter_mut().zip(xs.iter().zip(ys)) {
+            *lane += xv * yv;
+        }
+    }
+    for (c, (&xv, &yv)) in x[chunks * DOT_LANES..]
+        .iter()
+        .zip(&y[chunks * DOT_LANES..])
+        .enumerate()
+    {
+        lanes[c] += xv * yv;
+    }
+    let q0 = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    let q1 = (lanes[4] + lanes[5]) + (lanes[6] + lanes[7]);
+    q0 + q1
+}
+
+/// Blocked `out = a · b` (`m × k` times `k × n`, all row-major, `out` overwritten).
+/// Bit-identical to the scalar `i, k, j` reference loop for every shape.
+fn gemm_nn(a: &[f64], b: &[f64], out: &mut [f64], m: usize, kdim: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * kdim);
+    debug_assert_eq!(b.len(), kdim * n);
+    debug_assert_eq!(out.len(), m * n);
+    let m_full = m - m % MR;
+    let n_full = n - n % NR;
+    let mut i0 = 0;
+    while i0 < m_full {
+        let mut j0 = 0;
+        while j0 < n_full {
+            tile_mr_nr(a, b, out, kdim, n, i0, j0);
+            j0 += NR;
+        }
+        for r in 0..MR {
+            edge_cols(a, b, out, kdim, n, i0 + r, n_full);
+        }
+        i0 += MR;
+    }
+    for i in m_full..m {
+        let mut j0 = 0;
+        while j0 < n_full {
+            tile_1_nr(a, b, out, kdim, n, i, j0);
+            j0 += NR;
+        }
+        edge_cols(a, b, out, kdim, n, i, n_full);
+    }
+}
 
 /// A dense row-major matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -113,19 +324,14 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(other_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        gemm_nn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
         out
     }
 
@@ -139,6 +345,15 @@ impl Matrix {
         self.rows = rows;
         self.cols = cols;
         self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape in place without zeroing (the caller overwrites every element). Keeps
+    /// stale contents in the buffer, so this stays private to the kernels.
+    fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        self.rows = rows;
+        self.cols = cols;
         self.data.resize(rows * cols, 0.0);
     }
 
@@ -161,20 +376,15 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        out.reset_to(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(other_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        out.reshape_for_overwrite(self.rows, other.cols);
+        gemm_nn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
     }
 
     /// Transpose-free product `selfᵀ · other` (a `cols × other.cols` result). Equivalent
@@ -206,21 +416,14 @@ impl Matrix {
             (self.cols, other.cols),
             "matmul_tn accumulator shape mismatch"
         );
-        // out[j, l] += self[i, j] * other[i, l]: walking i outermost keeps both operand
-        // rows and the output row contiguous in the inner loop.
-        for i in 0..self.rows {
-            let self_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let other_row = &other.data[i * other.cols..(i + 1) * other.cols];
-            for (j, &a) in self_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let acc_row = &mut acc.data[j * other.cols..(j + 1) * other.cols];
-                for (o, &b) in acc_row.iter_mut().zip(other_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        gemm_tn_acc(
+            &self.data,
+            &other.data,
+            &mut acc.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
     }
 
     /// Transpose-free product `self · otherᵀ` (a `rows × other.rows` result). Equivalent
@@ -245,14 +448,15 @@ impl Matrix {
             "matmul_nt dimension mismatch: {}x{} · {}x{}ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        out.reset_to(self.rows, other.rows);
-        // out[i, l] = dot(self.row(i), other.row(l)): both rows are contiguous.
+        out.reshape_for_overwrite(self.rows, other.rows);
+        // out[i, l] = dot(self.row(i), other.row(l)): both rows are contiguous, and
+        // each dot runs in the fixed interleaved-lane order of `dot_lanes`.
         for i in 0..self.rows {
             let self_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
             for (l, o) in out_row.iter_mut().enumerate() {
                 let other_row = &other.data[l * other.cols..(l + 1) * other.cols];
-                *o = self_row.iter().zip(other_row).map(|(&a, &b)| a * b).sum();
+                *o = dot_lanes(self_row, other_row);
             }
         }
     }
@@ -517,5 +721,69 @@ mod tests {
     #[should_panic(expected = "dimensions must be positive")]
     fn zero_dimension_rejected() {
         Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    fn zero_times_non_finite_poisons_the_product() {
+        // IEEE 754: 0·∞ and 0·NaN are NaN. The old kernels skipped zero left-hand
+        // operands ("sparse" shortcut) and silently produced 0 instead.
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let inf = Matrix::from_vec(2, 1, vec![f64::INFINITY, 2.0]);
+        let nan = Matrix::from_vec(2, 1, vec![f64::NAN, 2.0]);
+        assert!(a.matmul(&inf).get(0, 0).is_nan());
+        assert!(a.matmul(&nan).get(0, 0).is_nan());
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&inf, &mut out);
+        assert!(out.get(0, 0).is_nan());
+
+        // aᵀ · b with a zero in the transposed operand row hitting a non-finite b.
+        let left = Matrix::from_vec(1, 2, vec![0.0, 3.0]);
+        let right = Matrix::from_vec(1, 1, vec![f64::INFINITY]);
+        let mut acc = Matrix::zeros(2, 1);
+        left.matmul_tn_acc(&right, &mut acc);
+        assert!(acc.get(0, 0).is_nan(), "0·∞ must be NaN in matmul_tn_acc");
+        assert!(acc.get(1, 0).is_infinite());
+
+        // a · bᵀ where the zero lane of a meets an infinite lane of b.
+        let bt = Matrix::from_vec(1, 2, vec![f64::INFINITY, 0.5]);
+        assert!(a.matmul_nt(&bt).get(0, 0).is_nan());
+    }
+
+    /// The scalar reference loop of the blocked NN kernels (strict ascending-k).
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f64;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_scalar_reference_on_ragged_shapes() {
+        // Shapes straddling every tile boundary: < MR/NR, exact multiples, and
+        // multiples plus remainders.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (1, 15, 32),
+            (3, 7, 5),
+            (4, 8, 8),
+            (5, 9, 17),
+            (9, 13, 19),
+            (12, 32, 24),
+        ] {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 7) as f64 * 0.37).sin());
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 13 + j * 11) as f64 * 0.23).cos());
+            let blocked = a.matmul(&b);
+            let reference = reference_matmul(&a, &b);
+            for (x, y) in blocked.data().iter().zip(reference.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}·{k}x{n} diverged");
+            }
+        }
     }
 }

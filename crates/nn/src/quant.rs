@@ -1,0 +1,920 @@
+//! Quantized inference: per-layer symmetric i8 weights, i32 accumulators and f32
+//! dequantization at layer boundaries.
+//!
+//! A [`QuantizedLayer`] freezes a trained [`DenseLayer`] into i8: each **output column**
+//! of the weight matrix is scaled by its own symmetric scale (`max|w[·, j]| / 127`) and
+//! rounded to `[-127, 127]`; the bias stays in f32. Per-column (a.k.a. per-channel)
+//! scales matter because a single per-layer scale lets the largest weight anywhere in
+//! the matrix set the step size for every column — columns with small weights would
+//! quantize to a handful of levels and the resulting Q-value error flips near-tie
+//! decisions. At inference time each **input row** is quantized to i16 with its own
+//! dynamic symmetric scale (`max|x| / 32767`) — activations are transient, so the wider
+//! type costs no model memory while removing the dominant rounding error — the matmul
+//! runs entirely in i16×i8→i32 — integer accumulation is exact, so the result is
+//! independent of summation order — and the i32 accumulators are dequantized back to
+//! f32 (`acc · w_scale[j] · x_scale + bias[j]`) before the activation is applied in f32.
+//!
+//! Determinism contract: a row's quantized output depends only on that row and the layer
+//! constants. There is no cross-row coupling and no floating-point reduction whose order
+//! could vary, so the i8 path is bit-identical across batch sizes, shard counts and
+//! thread counts — the same invariant the f64 path pins — even though it intentionally
+//! diverges from the f64 oracle in value. The `quant_parity` perf_report stage measures
+//! that divergence as a decision-match rate against the f32/f64 oracle.
+//!
+//! Accumulator headroom: every term is at most `32 767 · 127 = 4 161 409` in magnitude,
+//! so an i32 accumulator overflows only beyond `k = 516`; [`QuantizedLayer::from_dense`]
+//! asserts that bound, which sits far above the widest layer in the workspace (256).
+//!
+//! **Calibration.** The `*_calibrated` constructors take a batch of representative
+//! input states (the agent retains a deterministic reservoir of replay states for this)
+//! and apply two zero-inference-cost corrections, layer by layer in serving order:
+//! sequential **bias correction** — the mean pre-activation error between the exact f64
+//! path and the already-corrected quantized path is folded into each layer's f32 bias —
+//! and **decision-aware rounding** of the final two-column `Identity` gap head, a greedy
+//! floor/ceil coordinate descent minimizing the variance of the Q-gap error over the
+//! calibration batch (round-to-nearest minimizes per-weight error, but `argmax` only
+//! sees the gap, where individual rounding errors can be chosen to cancel). Both
+//! corrections only move frozen constants, so the determinism contract below is
+//! untouched; what changes is how often the i8 path agrees with the f64 oracle.
+
+use crate::activation::Activation;
+use crate::dueling::DuelingQNetwork;
+use crate::layer::DenseLayer;
+use crate::matrix::Matrix;
+use crate::network::Mlp;
+
+/// Output-column tile width of the i8 GEMM: the inner loop accumulates into a fixed
+/// `[i32; QNR]` register block, which the autovectorizer turns into integer SIMD lanes.
+const QNR: usize = 8;
+
+/// Per-row dynamic activation quantization buffers: the i16 image of the current batch
+/// and one symmetric scale per row.
+#[derive(Debug, Clone, Default)]
+struct RowQuant {
+    values: Vec<i16>,
+    scales: Vec<f32>,
+}
+
+impl RowQuant {
+    /// Quantize `rows × k` f32 activations row-by-row (round-to-nearest, saturating at
+    /// ±32767). A zero (or all-zero) row gets scale 1.0 so the dequantized product is
+    /// exactly zero rather than NaN.
+    fn quantize(&mut self, input: &[f32], rows: usize, k: usize) {
+        debug_assert_eq!(input.len(), rows * k);
+        self.values.clear();
+        self.values.resize(rows * k, 0);
+        self.scales.clear();
+        self.scales.resize(rows, 1.0);
+        for i in 0..rows {
+            let row = &input[i * k..(i + 1) * k];
+            let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let scale = if max_abs > 0.0 {
+                max_abs / 32767.0
+            } else {
+                1.0
+            };
+            self.scales[i] = scale;
+            let inv_scale = 1.0 / scale;
+            for (q, &v) in self.values[i * k..(i + 1) * k].iter_mut().zip(row) {
+                *q = (v * inv_scale).round().clamp(-32767.0, 32767.0) as i16;
+            }
+        }
+    }
+}
+
+/// A dense layer frozen to symmetric i8 weights.
+#[derive(Debug, Clone)]
+pub struct QuantizedLayer {
+    /// `input_dim × output_dim` row-major i8 weights (same layout as the f64 matrix).
+    weights: Vec<i8>,
+    /// Symmetric per-output-column weight scales: `w[·, j] ≈ q[·, j] · weight_scales[j]`.
+    weight_scales: Vec<f32>,
+    bias: Vec<f32>,
+    activation: Activation,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+impl QuantizedLayer {
+    /// Quantize a trained dense layer: one symmetric scale per output column,
+    /// round-to-nearest i8 weights, f32 bias. An all-zero column gets scale 1.0 so its
+    /// dequantized product is exactly zero rather than NaN.
+    pub fn from_dense(layer: &DenseLayer) -> Self {
+        let w = layer.weights();
+        let (k, n) = (layer.input_dim(), layer.output_dim());
+        // i16×i8 terms are ≤ 32767·127, so an i32 accumulator is exact up to k = 516.
+        assert!(
+            k <= (i32::MAX / (32_767 * 127)) as usize,
+            "input dimension {k} would overflow the i32 accumulators"
+        );
+        let data = w.data();
+        let mut weight_scales = vec![1.0f32; n];
+        let mut weights = vec![0i8; k * n];
+        for j in 0..n {
+            let max_abs = (0..k).fold(0.0f64, |m, i| m.max(data[i * n + j].abs()));
+            let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+            weight_scales[j] = scale as f32;
+            let inv_scale = 1.0 / scale;
+            for i in 0..k {
+                weights[i * n + j] =
+                    (data[i * n + j] * inv_scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Self {
+            weights,
+            weight_scales,
+            bias: layer.bias().iter().map(|&b| b as f32).collect(),
+            activation: layer.activation(),
+            input_dim: layer.input_dim(),
+            output_dim: layer.output_dim(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// The symmetric per-output-column weight scales.
+    pub fn weight_scales(&self) -> &[f32] {
+        &self.weight_scales
+    }
+
+    /// The i16×i8→i32 GEMM with f32 dequant and bias, stopping **before** the
+    /// activation: `out[i, j] = acc[i, j] · w_scale[j] · x_scale[i] + bias[j]`. Shared
+    /// by [`Self::forward_into`] and the calibration pass, which needs pre-activation
+    /// values to measure the quantization error it folds into the bias.
+    fn gemm_dequant(&self, input: &[f32], rows: usize, rowq: &mut RowQuant, out: &mut Vec<f32>) {
+        let k = self.input_dim;
+        let n = self.output_dim;
+        debug_assert_eq!(input.len(), rows * k);
+        rowq.quantize(input, rows, k);
+        out.clear();
+        out.resize(rows * n, 0.0);
+        let n_full = n - n % QNR;
+        for i in 0..rows {
+            let xrow = &rowq.values[i * k..(i + 1) * k];
+            let x_scale = rowq.scales[i];
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j < n_full {
+                let mut acc = [0i32; QNR];
+                for (kk, &a) in xrow.iter().enumerate() {
+                    let a = i32::from(a);
+                    let wrow = &self.weights[kk * n + j..kk * n + j + QNR];
+                    for (s, &wv) in acc.iter_mut().zip(wrow) {
+                        *s += a * i32::from(wv);
+                    }
+                }
+                for (l, &s) in acc.iter().enumerate() {
+                    let dequant = x_scale * self.weight_scales[j + l];
+                    orow[j + l] = s as f32 * dequant + self.bias[j + l];
+                }
+                j += QNR;
+            }
+            for (j, o) in orow.iter_mut().enumerate().skip(n_full) {
+                let mut s = 0i32;
+                for (kk, &a) in xrow.iter().enumerate() {
+                    s += i32::from(a) * i32::from(self.weights[kk * n + j]);
+                }
+                let dequant = x_scale * self.weight_scales[j];
+                *o = s as f32 * dequant + self.bias[j];
+            }
+        }
+    }
+
+    /// Forward `rows × input_dim` f32 activations through the layer into
+    /// `rows × output_dim` f32 outputs: per-row dynamic input quantization, i16×i8→i32
+    /// GEMM, f32 dequant + bias, f32 activation.
+    fn forward_into(&self, input: &[f32], rows: usize, rowq: &mut RowQuant, out: &mut Vec<f32>) {
+        self.gemm_dequant(input, rows, rowq, out);
+        for v in out.iter_mut() {
+            *v = self.activation.apply_f32(*v);
+        }
+    }
+}
+
+/// Exact f64 pre-activation of a dense layer over a calibration batch:
+/// `z = input · W + bias`. Mirrors [`DenseLayer::forward`] minus the activation.
+fn pre_activation_exact(layer: &DenseLayer, input: &Matrix) -> Matrix {
+    let mut z = input.matmul(layer.weights());
+    z.add_row_broadcast(layer.bias());
+    z
+}
+
+/// Quantize one layer with calibration-driven bias correction, and propagate the
+/// calibration batch through both paths.
+///
+/// The quantized pre-activation systematically deviates from the exact one (weight
+/// rounding error is fixed at freeze time, so over a realistic input distribution the
+/// error has a non-zero mean per output column). Folding that mean back into the f32
+/// bias removes the component of the error that most often flips near-tie decisions,
+/// at zero inference cost. Returns the corrected layer together with the exact f64
+/// pre-activation and both paths' post-activation outputs, so the caller can chain
+/// layers sequentially — each layer is corrected against the *already corrected*
+/// upstream quantized activations, the way it will actually run at inference time.
+fn quantize_layer_calibrated(
+    layer: &DenseLayer,
+    exact_in: &Matrix,
+    quant_in: &[f32],
+    rows: usize,
+    rowq: &mut RowQuant,
+) -> (QuantizedLayer, Matrix, Matrix, Vec<f32>) {
+    let mut q = QuantizedLayer::from_dense(layer);
+    let n = q.output_dim;
+    let z_exact = pre_activation_exact(layer, exact_in);
+    let mut z_quant = Vec::new();
+    q.gemm_dequant(quant_in, rows, rowq, &mut z_quant);
+    for j in 0..n {
+        let mut err = 0.0f64;
+        for i in 0..rows {
+            err += z_exact.data()[i * n + j] - f64::from(z_quant[i * n + j]);
+        }
+        q.bias[j] += (err / rows as f64) as f32;
+    }
+    let exact_out = z_exact.clone().map(|x| layer.activation().apply(x));
+    let mut quant_out = Vec::new();
+    q.forward_into(quant_in, rows, rowq, &mut quant_out);
+    (q, z_exact, exact_out, quant_out)
+}
+
+/// Decision-aware rounding for a two-column `Identity` output head (the Q-gap layer):
+/// greedy floor/ceil coordinate descent over the head's i8 weights minimizing the
+/// **variance** of the quantized-vs-exact gap error over the calibration batch, then
+/// folding the residual mean error into the two biases.
+///
+/// Round-to-nearest minimizes per-weight error, but the decision a Q-network serves is
+/// `argmax`, which only sees the *gap* `q[1] − q[0]`. For each weight the two nearest
+/// grid points often differ little in their own error yet pull the gap error in
+/// opposite directions across real inputs; choosing per-weight roundings that cancel
+/// over the calibration distribution cuts decision flips several-fold versus
+/// nearest-rounding alone. The mean component is handled exactly by the bias split
+/// (`b0 += m/2`, `b1 −= m/2` leaves `mean(A)` — and therefore the dueling combine —
+/// untouched), so the descent targets the variance.
+fn decision_tune_head(
+    head: &mut QuantizedLayer,
+    layer: &DenseLayer,
+    exact_gap: &[f64],
+    quant_in: &[f32],
+    rows: usize,
+    rowq: &mut RowQuant,
+) {
+    debug_assert_eq!(head.output_dim, 2);
+    debug_assert_eq!(head.activation, Activation::Identity);
+    let k = head.input_dim;
+    rowq.quantize(quant_in, rows, k);
+    // Dequantized calibration inputs as the head's integer GEMM sees them.
+    let hq: Vec<f64> = (0..rows * k)
+        .map(|idx| f64::from(rowq.values[idx]) * f64::from(rowq.scales[idx / k]))
+        .collect();
+    let scales = [
+        f64::from(head.weight_scales[0]),
+        f64::from(head.weight_scales[1]),
+    ];
+    // Gap error per calibration row under the current rounding.
+    let mut err: Vec<f64> = (0..rows)
+        .map(|i| {
+            let mut d = f64::from(head.bias[1]) - f64::from(head.bias[0]);
+            for kk in 0..k {
+                let w0 = f64::from(head.weights[kk * 2]) * scales[0];
+                let w1 = f64::from(head.weights[kk * 2 + 1]) * scales[1];
+                d += hq[i * k + kk] * (w1 - w0);
+            }
+            d - exact_gap[i]
+        })
+        .collect();
+    let variance = |e: &[f64]| {
+        let mean = e.iter().sum::<f64>() / e.len() as f64;
+        e.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / e.len() as f64
+    };
+    let mut best = variance(&err);
+    let mut trial = vec![0.0f64; rows];
+    for _sweep in 0..8 {
+        let mut improved = false;
+        for (c, &scale) in scales.iter().enumerate() {
+            // Column 0 enters the gap negated (gap = col1 − col0).
+            let sign = if c == 0 { -1.0 } else { 1.0 };
+            for kk in 0..k {
+                let exact_w = layer.weights().data()[kk * 2 + c];
+                let raw = (exact_w / scale).clamp(-127.0, 127.0);
+                let current = head.weights[kk * 2 + c];
+                for cand in [raw.floor() as i8, raw.ceil() as i8] {
+                    if cand == current {
+                        continue;
+                    }
+                    let delta = (f64::from(cand) - f64::from(current)) * scale;
+                    for i in 0..rows {
+                        trial[i] = err[i] + sign * delta * hq[i * k + kk];
+                    }
+                    if variance(&trial) + 1e-15 < best {
+                        head.weights[kk * 2 + c] = cand;
+                        std::mem::swap(&mut err, &mut trial);
+                        best = variance(&err);
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let mean = err.iter().sum::<f64>() / rows as f64;
+    head.bias[0] += (mean / 2.0) as f32;
+    head.bias[1] -= (mean / 2.0) as f32;
+}
+
+/// Whether a layer is the two-action `Identity` gap head that
+/// [`decision_tune_head`] can tune.
+fn is_gap_head(layer: &DenseLayer) -> bool {
+    layer.output_dim() == 2 && layer.activation() == Activation::Identity
+}
+
+/// Reusable buffers for the quantized inference path. Mirrors
+/// [`crate::network::BatchScratch`]: one scratch serves any batch size and any network;
+/// every buffer is overwritten on each call and never influences results.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    /// The f32 image of the f64 input batch.
+    staged: Vec<f32>,
+    /// Per-row input quantization buffers.
+    rowq: RowQuant,
+    /// Ping-pong f32 activation buffers for the hidden layers.
+    ping: Vec<f32>,
+    pong: Vec<f32>,
+    /// Head outputs (dueling networks only).
+    value: Vec<f32>,
+    advantage: Vec<f32>,
+    /// The final Q-value rows.
+    q: Vec<f32>,
+}
+
+impl QuantScratch {
+    /// Create an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// An [`Mlp`] frozen to i8 layers.
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedLayer>,
+}
+
+impl QuantizedMlp {
+    /// Quantize every layer of a trained MLP.
+    pub fn from_mlp(net: &Mlp) -> Self {
+        Self {
+            layers: net
+                .layers()
+                .iter()
+                .map(QuantizedLayer::from_dense)
+                .collect(),
+        }
+    }
+
+    /// Quantize every layer of a trained MLP with calibration: per-layer bias
+    /// correction over `calibration` (one state per row), plus decision-aware rounding
+    /// of the output layer when it is a two-column `Identity` gap head. Callers with no
+    /// calibration states use [`Self::from_mlp`] instead ([`Matrix`] rows are always
+    /// positive).
+    pub fn from_mlp_calibrated(net: &Mlp, calibration: &Matrix) -> Self {
+        let rows = calibration.rows();
+        let mut rowq = RowQuant::default();
+        let mut exact = calibration.clone();
+        let mut quant: Vec<f32> = calibration.data().iter().map(|&v| v as f32).collect();
+        let mut layers = Vec::with_capacity(net.layers().len());
+        let last = net.layers().len() - 1;
+        for (idx, layer) in net.layers().iter().enumerate() {
+            let (mut q, z_exact, exact_out, quant_out) =
+                quantize_layer_calibrated(layer, &exact, &quant, rows, &mut rowq);
+            if idx == last && is_gap_head(layer) {
+                let gap: Vec<f64> = (0..rows)
+                    .map(|i| z_exact.data()[i * 2 + 1] - z_exact.data()[i * 2])
+                    .collect();
+                decision_tune_head(&mut q, layer, &gap, &quant, rows, &mut rowq);
+            }
+            layers.push(q);
+            exact = exact_out;
+            quant = quant_out;
+        }
+        Self { layers }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers
+            .first()
+            .map(QuantizedLayer::input_dim)
+            .unwrap_or(0)
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers
+            .last()
+            .map(QuantizedLayer::output_dim)
+            .unwrap_or(0)
+    }
+
+    /// The quantized layers (for inspection and tests).
+    pub fn layers(&self) -> &[QuantizedLayer] {
+        &self.layers
+    }
+
+    fn forward_rows<'s>(&self, input: &Matrix, scratch: &'s mut QuantScratch) -> &'s [f32] {
+        let rows = input.rows();
+        let QuantScratch {
+            staged,
+            rowq,
+            ping,
+            pong,
+            q,
+            ..
+        } = scratch;
+        stage_f64(input, staged);
+        let (last, rest) = self.layers.split_last().expect("networks have layers");
+        let mut src: &mut Vec<f32> = ping;
+        let mut dst: &mut Vec<f32> = pong;
+        let mut current: &[f32] = staged;
+        for layer in rest {
+            layer.forward_into(current, rows, rowq, dst);
+            std::mem::swap(&mut src, &mut dst);
+            current = src;
+        }
+        last.forward_into(current, rows, rowq, q);
+        q
+    }
+}
+
+/// A [`DuelingQNetwork`] frozen to i8 layers; the dueling combine
+/// `Q = V + A − mean(A)` runs in f32 with the same left-to-right per-row mean as the
+/// f64 network.
+#[derive(Debug, Clone)]
+pub struct QuantizedDuelingNetwork {
+    trunk: Vec<QuantizedLayer>,
+    value_head: QuantizedLayer,
+    advantage_head: QuantizedLayer,
+    n_actions: usize,
+}
+
+impl QuantizedDuelingNetwork {
+    /// Quantize a trained dueling network.
+    pub fn from_dueling(net: &DuelingQNetwork) -> Self {
+        Self {
+            trunk: net.trunk().iter().map(QuantizedLayer::from_dense).collect(),
+            value_head: QuantizedLayer::from_dense(net.value_head()),
+            advantage_head: QuantizedLayer::from_dense(net.advantage_head()),
+            n_actions: net.n_actions(),
+        }
+    }
+
+    /// Quantize a trained dueling network with calibration: per-layer bias correction
+    /// over `calibration` through the trunk and both heads, plus decision-aware
+    /// rounding of the advantage head in the two-action case (the dueling combine
+    /// cancels `V` and `mean(A)` out of the Q-gap, so the gap — the only thing
+    /// `argmax` sees — lives entirely in the advantage head). Callers with no
+    /// calibration states use [`Self::from_dueling`] instead ([`Matrix`] rows are
+    /// always positive).
+    pub fn from_dueling_calibrated(net: &DuelingQNetwork, calibration: &Matrix) -> Self {
+        let rows = calibration.rows();
+        let mut rowq = RowQuant::default();
+        let mut exact = calibration.clone();
+        let mut quant: Vec<f32> = calibration.data().iter().map(|&v| v as f32).collect();
+        let mut trunk = Vec::with_capacity(net.trunk().len());
+        for layer in net.trunk() {
+            let (q, _, exact_out, quant_out) =
+                quantize_layer_calibrated(layer, &exact, &quant, rows, &mut rowq);
+            trunk.push(q);
+            exact = exact_out;
+            quant = quant_out;
+        }
+        let (value_head, _, _, _) =
+            quantize_layer_calibrated(net.value_head(), &exact, &quant, rows, &mut rowq);
+        let (mut advantage_head, z_exact, _, _) =
+            quantize_layer_calibrated(net.advantage_head(), &exact, &quant, rows, &mut rowq);
+        if is_gap_head(net.advantage_head()) {
+            let gap: Vec<f64> = (0..rows)
+                .map(|i| z_exact.data()[i * 2 + 1] - z_exact.data()[i * 2])
+                .collect();
+            decision_tune_head(
+                &mut advantage_head,
+                net.advantage_head(),
+                &gap,
+                &quant,
+                rows,
+                &mut rowq,
+            );
+        }
+        Self {
+            trunk,
+            value_head,
+            advantage_head,
+            n_actions: net.n_actions(),
+        }
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.trunk
+            .first()
+            .map(QuantizedLayer::input_dim)
+            .unwrap_or(0)
+    }
+
+    fn forward_rows<'s>(&self, input: &Matrix, scratch: &'s mut QuantScratch) -> &'s [f32] {
+        let rows = input.rows();
+        let n = self.n_actions;
+        let QuantScratch {
+            staged,
+            rowq,
+            ping,
+            pong,
+            value,
+            advantage,
+            q,
+        } = scratch;
+        stage_f64(input, staged);
+        let mut src: &mut Vec<f32> = ping;
+        let mut dst: &mut Vec<f32> = pong;
+        let mut current: &[f32] = staged;
+        for layer in &self.trunk {
+            layer.forward_into(current, rows, rowq, dst);
+            std::mem::swap(&mut src, &mut dst);
+            current = src;
+        }
+        self.value_head.forward_into(current, rows, rowq, value);
+        self.advantage_head
+            .forward_into(current, rows, rowq, advantage);
+        q.clear();
+        q.resize(rows * n, 0.0);
+        for i in 0..rows {
+            let a_row = &advantage[i * n..(i + 1) * n];
+            let mean_a: f32 = a_row.iter().sum::<f32>() / n as f32;
+            let v = value[i];
+            for (out, &a) in q[i * n..(i + 1) * n].iter_mut().zip(a_row) {
+                *out = v + a - mean_a;
+            }
+        }
+        q
+    }
+}
+
+/// Either quantized Q-function architecture — the i8 mirror of the agent's internal
+/// plain/dueling network choice.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum QuantizedNetwork {
+    /// A quantized plain MLP.
+    Plain(QuantizedMlp),
+    /// A quantized dueling network.
+    Dueling(QuantizedDuelingNetwork),
+}
+
+impl QuantizedNetwork {
+    /// Quantize a trained MLP.
+    pub fn from_mlp(net: &Mlp) -> Self {
+        QuantizedNetwork::Plain(QuantizedMlp::from_mlp(net))
+    }
+
+    /// Quantize a trained dueling network.
+    pub fn from_dueling(net: &DuelingQNetwork) -> Self {
+        QuantizedNetwork::Dueling(QuantizedDuelingNetwork::from_dueling(net))
+    }
+
+    /// Quantize a trained MLP with calibration-driven bias correction and
+    /// decision-aware output rounding (see [`QuantizedMlp::from_mlp_calibrated`]).
+    pub fn from_mlp_calibrated(net: &Mlp, calibration: &Matrix) -> Self {
+        QuantizedNetwork::Plain(QuantizedMlp::from_mlp_calibrated(net, calibration))
+    }
+
+    /// Quantize a trained dueling network with calibration-driven bias correction and
+    /// decision-aware advantage rounding (see
+    /// [`QuantizedDuelingNetwork::from_dueling_calibrated`]).
+    pub fn from_dueling_calibrated(net: &DuelingQNetwork, calibration: &Matrix) -> Self {
+        QuantizedNetwork::Dueling(QuantizedDuelingNetwork::from_dueling_calibrated(
+            net,
+            calibration,
+        ))
+    }
+
+    /// Width of one output row (the number of actions for Q-networks).
+    pub fn output_dim(&self) -> usize {
+        match self {
+            QuantizedNetwork::Plain(net) => net.output_dim(),
+            QuantizedNetwork::Dueling(net) => net.n_actions(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            QuantizedNetwork::Plain(net) => net.input_dim(),
+            QuantizedNetwork::Dueling(net) => net.input_dim(),
+        }
+    }
+
+    /// Quantized batched inference: one f32 output row of [`Self::output_dim`] values
+    /// per input row, returned as one flat slice borrowed from the scratch. Each row's
+    /// result depends only on that row (per-row input scales, exact integer
+    /// accumulation), so the output is bit-identical across batch sizes and thread
+    /// counts — the serving determinism contract — while intentionally diverging from
+    /// the f64 oracle in value.
+    pub fn forward_batch_into<'s>(
+        &self,
+        input: &Matrix,
+        scratch: &'s mut QuantScratch,
+    ) -> &'s [f32] {
+        match self {
+            QuantizedNetwork::Plain(net) => net.forward_rows(input, scratch),
+            QuantizedNetwork::Dueling(net) => net.forward_rows(input, scratch),
+        }
+    }
+}
+
+/// Copy an f64 matrix into a flat f32 staging buffer.
+fn stage_f64(input: &Matrix, staged: &mut Vec<f32>) {
+    staged.clear();
+    staged.extend(input.data().iter().map(|&v| v as f32));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::WeightInit;
+    use crate::network::{BatchScratch, MlpConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn batch(rows: usize, cols: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            ((i * 31 + j * 7 + seed) as f64 * 0.37).sin() * 2.0
+        })
+    }
+
+    #[test]
+    fn quantized_layer_roundtrips_weights_within_half_a_step() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dense = DenseLayer::new(9, 5, Activation::Relu, WeightInit::HeNormal, &mut rng);
+        let q = QuantizedLayer::from_dense(&dense);
+        assert_eq!(q.input_dim(), 9);
+        assert_eq!(q.output_dim(), 5);
+        assert_eq!(q.weight_scales().len(), 5);
+        for (idx, &w) in dense.weights().data().iter().enumerate() {
+            let step = f64::from(q.weight_scales()[idx % 5]);
+            let dequant = f64::from(q.weights[idx]) * step;
+            assert!(
+                (dequant - w).abs() <= step * 0.5 + 1e-12,
+                "weight {idx}: {w} dequantizes to {dequant} (step {step})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_layer_quantizes_without_nan() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dense = DenseLayer::new(4, 3, Activation::Identity, WeightInit::Zeros, &mut rng);
+        let qnet = QuantizedLayer::from_dense(&dense);
+        let mut rowq = RowQuant::default();
+        let mut out = Vec::new();
+        qnet.forward_into(&[0.0; 4], 1, &mut rowq, &mut out);
+        assert_eq!(out, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn quantized_mlp_tracks_the_f64_network() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = Mlp::new(&MlpConfig::small(6, 3), &mut rng);
+        let qnet = QuantizedNetwork::from_mlp(&net);
+        let x = batch(5, 6, 0);
+        let reference = net.forward(&x);
+        let mut scratch = QuantScratch::new();
+        let q = qnet.forward_batch_into(&x, &mut scratch);
+        assert_eq!(q.len(), 5 * 3);
+        let max_mag = reference.data().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        for (i, (&quantized, &full)) in q.iter().zip(reference.data()).enumerate() {
+            assert!(
+                (f64::from(quantized) - full).abs() <= 0.06 * max_mag.max(1.0),
+                "output {i}: quantized {quantized} vs f64 {full} (max magnitude {max_mag})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_dueling_tracks_the_f64_network() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = DuelingQNetwork::new(&MlpConfig::small(6, 2), 2, &mut rng);
+        let qnet = QuantizedNetwork::from_dueling(&net);
+        assert_eq!(qnet.output_dim(), 2);
+        assert_eq!(qnet.input_dim(), 6);
+        let x = batch(4, 6, 3);
+        let mut ref_scratch = BatchScratch::new();
+        let mut reference = Matrix::zeros(1, 1);
+        net.forward_batch_into(&x, &mut ref_scratch, &mut reference);
+        let mut scratch = QuantScratch::new();
+        let q = qnet.forward_batch_into(&x, &mut scratch);
+        let max_mag = reference.data().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        for (i, (&quantized, &full)) in q.iter().zip(reference.data()).enumerate() {
+            assert!(
+                (f64::from(quantized) - full).abs() <= 0.06 * max_mag.max(1.0),
+                "output {i}: quantized {quantized} vs f64 {full} (max magnitude {max_mag})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_rows_are_bit_identical_across_batch_sizes() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for qnet in [
+            QuantizedNetwork::from_mlp(&Mlp::new(&MlpConfig::small(6, 2), &mut rng)),
+            QuantizedNetwork::from_dueling(&DuelingQNetwork::new(
+                &MlpConfig::small(6, 2),
+                2,
+                &mut rng,
+            )),
+        ] {
+            let x = batch(7, 6, 5);
+            let n = qnet.output_dim();
+            let mut scratch = QuantScratch::new();
+            let batched: Vec<u32> = qnet
+                .forward_batch_into(&x, &mut scratch)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            for i in 0..7 {
+                let single_input = Matrix::row_from_slice(x.row(i));
+                let single: Vec<u32> = qnet
+                    .forward_batch_into(&single_input, &mut scratch)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(
+                    &batched[i * n..(i + 1) * n],
+                    &single[..],
+                    "row {i} diverged between batch-of-7 and batch-of-1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_quantization_tracks_the_f64_network() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let calib = batch(64, 6, 9);
+        let x = batch(5, 6, 2);
+        let mlp = Mlp::new(&MlpConfig::small(6, 2), &mut rng);
+        let dueling = DuelingQNetwork::new(&MlpConfig::small(6, 2), 2, &mut rng);
+        let mut ref_scratch = BatchScratch::new();
+        let mut dueling_ref = Matrix::zeros(1, 1);
+        dueling.forward_batch_into(&x, &mut ref_scratch, &mut dueling_ref);
+        for (qnet, reference) in [
+            (
+                QuantizedNetwork::from_mlp_calibrated(&mlp, &calib),
+                mlp.forward(&x),
+            ),
+            (
+                QuantizedNetwork::from_dueling_calibrated(&dueling, &calib),
+                dueling_ref.clone(),
+            ),
+        ] {
+            let mut scratch = QuantScratch::new();
+            let q = qnet.forward_batch_into(&x, &mut scratch);
+            let max_mag = reference.data().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            for (i, (&quantized, &full)) in q.iter().zip(reference.data()).enumerate() {
+                assert!(
+                    (f64::from(quantized) - full).abs() <= 0.08 * max_mag.max(1.0),
+                    "output {i}: calibrated {quantized} vs f64 {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_zeroes_the_mean_gap_error_on_the_calibration_batch() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let net = DuelingQNetwork::new(&MlpConfig::small(6, 2), 2, &mut rng);
+        let calib = batch(96, 6, 4);
+        let plain = QuantizedNetwork::from_dueling(&net);
+        let calibrated = QuantizedNetwork::from_dueling_calibrated(&net, &calib);
+        let mut ref_scratch = BatchScratch::new();
+        let mut exact = Matrix::zeros(1, 1);
+        net.forward_batch_into(&calib, &mut ref_scratch, &mut exact);
+        let mut scratch = QuantScratch::new();
+        let mean_gap_err = |qnet: &QuantizedNetwork, scratch: &mut QuantScratch| {
+            let q = qnet.forward_batch_into(&calib, scratch);
+            (0..calib.rows())
+                .map(|i| {
+                    let quant_gap = f64::from(q[i * 2 + 1]) - f64::from(q[i * 2]);
+                    let exact_gap = exact.data()[i * 2 + 1] - exact.data()[i * 2];
+                    quant_gap - exact_gap
+                })
+                .sum::<f64>()
+                / calib.rows() as f64
+        };
+        let plain_err = mean_gap_err(&plain, &mut scratch).abs();
+        let calibrated_err = mean_gap_err(&calibrated, &mut scratch).abs();
+        assert!(
+            calibrated_err <= plain_err + 1e-9,
+            "calibration should not worsen the mean gap error: {calibrated_err} vs {plain_err}"
+        );
+        assert!(
+            calibrated_err < 1e-3,
+            "mean gap error on the calibration batch should be near zero: {calibrated_err}"
+        );
+    }
+
+    #[test]
+    fn single_row_calibration_is_well_defined() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let net = Mlp::new(&MlpConfig::small(5, 2), &mut rng);
+        let calib = batch(1, 5, 3);
+        let qnet = QuantizedNetwork::from_mlp_calibrated(&net, &calib);
+        let x = batch(4, 5, 6);
+        let mut scratch = QuantScratch::new();
+        for &v in qnet.forward_batch_into(&x, &mut scratch) {
+            assert!(v.is_finite(), "degenerate calibration produced {v}");
+        }
+    }
+
+    #[test]
+    fn calibrated_rows_are_bit_identical_across_batch_sizes() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let calib = batch(48, 6, 8);
+        for qnet in [
+            QuantizedNetwork::from_mlp_calibrated(
+                &Mlp::new(&MlpConfig::small(6, 2), &mut rng),
+                &calib,
+            ),
+            QuantizedNetwork::from_dueling_calibrated(
+                &DuelingQNetwork::new(&MlpConfig::small(6, 2), 2, &mut rng),
+                &calib,
+            ),
+        ] {
+            let x = batch(7, 6, 12);
+            let n = qnet.output_dim();
+            let mut scratch = QuantScratch::new();
+            let batched: Vec<u32> = qnet
+                .forward_batch_into(&x, &mut scratch)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            for i in 0..7 {
+                let single_input = Matrix::row_from_slice(x.row(i));
+                let single: Vec<u32> = qnet
+                    .forward_batch_into(&single_input, &mut scratch)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(
+                    &batched[i * n..(i + 1) * n],
+                    &single[..],
+                    "row {i} diverged between batch-of-7 and batch-of-1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_networks_is_sound() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let a = QuantizedNetwork::from_mlp(&Mlp::new(&MlpConfig::small(5, 2), &mut rng));
+        let b = QuantizedNetwork::from_dueling(&DuelingQNetwork::new(
+            &MlpConfig::small(5, 3),
+            3,
+            &mut rng,
+        ));
+        let x = batch(3, 5, 1);
+        let mut shared = QuantScratch::new();
+        let mut fresh = QuantScratch::new();
+        let first: Vec<u32> = a
+            .forward_batch_into(&x, &mut shared)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let _ = b.forward_batch_into(&x, &mut shared);
+        let again: Vec<u32> = a
+            .forward_batch_into(&x, &mut shared)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let clean: Vec<u32> = a
+            .forward_batch_into(&x, &mut fresh)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(first, again, "interleaving another network leaked state");
+        assert_eq!(first, clean, "a warm scratch diverged from a fresh one");
+    }
+}

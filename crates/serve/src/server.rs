@@ -27,6 +27,7 @@ use std::collections::BTreeMap;
 use uerl_core::config::MitigationConfig;
 use uerl_core::env::UeRecord;
 use uerl_core::event_stream::TimelineSet;
+use uerl_core::policies::{QuantMode, RlPolicy};
 use uerl_core::policy::MitigationPolicy;
 use uerl_core::state::StateFeatures;
 use uerl_jobs::schedule::NodeJobSampler;
@@ -61,6 +62,10 @@ pub struct ServeConfig {
     pub batch_size: usize,
     /// Number of node shards the per-node state is partitioned into.
     pub shards: usize,
+    /// Numeric path of RL inference ([`ServeConfig::new`] seeds it from `UERL_QUANT`).
+    /// The server itself is policy-agnostic; callers apply this to an RL policy via
+    /// [`ServeConfig::apply_quant`] before constructing the server.
+    pub quant: QuantMode,
 }
 
 impl ServeConfig {
@@ -82,6 +87,7 @@ impl ServeConfig {
             seed,
             batch_size: 64,
             shards: 8,
+            quant: QuantMode::from_env(),
         }
     }
 
@@ -137,6 +143,18 @@ impl ServeConfig {
         assert!(shards > 0, "shard count must be positive");
         self.shards = shards;
         self
+    }
+
+    /// Select the RL inference path explicitly (overriding the `UERL_QUANT` default
+    /// [`ServeConfig::new`] picked up).
+    pub fn with_quant(mut self, quant: QuantMode) -> Self {
+        self.quant = quant;
+        self
+    }
+
+    /// Apply this configuration's quantization mode to an RL serving policy.
+    pub fn apply_quant(&self, policy: RlPolicy) -> RlPolicy {
+        policy.with_quantization(self.quant)
     }
 }
 
