@@ -11,9 +11,13 @@
 //! serving-vs-offline parity verdict in the fingerprint) and a `quant_parity` stage
 //! (the same serving stream replayed decision-for-decision under the full-precision
 //! and the symmetric-i8 inference paths, reporting the decision-match rate and total
-//! cost delta — the quantization metric the paper never reports) at the selected
-//! `UERL_SCALE` (default `small`) twice — once pinned to a single thread and once with
-//! the ambient thread count — and writes `BENCH_PR6.json` with per-stage wall times,
+//! cost delta — the quantization metric the paper never reports) and a
+//! `session_memory` stage (a totals-only serving fleet measured at half-stream and at
+//! the end: bytes/node, feature-history extremes and the O(window) verdict — the
+//! longest ring buffer must not exceed the densest 1-hour event window plus its
+//! sentinel) at the selected `UERL_SCALE` (default `small`) twice — once pinned to a
+//! single thread and once with the ambient thread count — and writes `BENCH_PR7.json`
+//! with per-stage wall times,
 //! the thread count, the speedup, whether the stage output was byte-identical across
 //! thread counts (it must be: every parallel fan-out in the engine merges in
 //! deterministic order), the halving-vs-exhaustive training-step totals (halving must
@@ -43,6 +47,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use uerl_bench::Scale;
 use uerl_core::event_stream::TimelineSet;
+use uerl_core::policies::AlwaysMitigate;
 use uerl_core::policies::{QuantMode, RlPolicy};
 use uerl_core::rf_dataset::build_rf_dataset_1day;
 use uerl_core::state::STATE_DIM;
@@ -57,7 +62,7 @@ use uerl_forest::{RandomForest, RandomForestConfig};
 use uerl_jobs::{JobLogConfig, JobTraceGenerator, NodeJobSampler};
 use uerl_nn::Matrix;
 use uerl_rl::HyperSearch;
-use uerl_serve::{merged_fleet_stream, FleetServer, ServeConfig, ServeReport};
+use uerl_serve::{merged_fleet_stream, FleetServer, RecordRetention, ServeConfig, ServeReport};
 use uerl_trace::generator::{SyntheticLogConfig, TraceGenerator};
 use uerl_trace::reduction::preprocess;
 
@@ -269,8 +274,10 @@ fn main() {
             agent.compact_for_inference();
             // The configured quantization mode (UERL_QUANT) selects the serving
             // inference path; the default full-precision run is the one gated on
-            // bit-parity below.
-            let config = ServeConfig::for_timelines(&timelines, mitigation, seed);
+            // bit-parity below. Full retention: the parity oracle compares the
+            // per-node decision logs entry for entry.
+            let config = ServeConfig::for_timelines(&timelines, mitigation, seed)
+                .with_retention(RecordRetention::Full);
             let policy = config.apply_quant(RlPolicy::new(agent));
 
             let stream = merged_fleet_stream(&timelines);
@@ -321,6 +328,94 @@ fn main() {
                 report.ue_count,
                 report.mitigation_cost.to_bits(),
                 report.ue_cost.to_bits(),
+            )
+        }
+    };
+
+    // Session-memory audit: a totals-only serving fleet (the production retention)
+    // driven to half-stream ("warm") and then to the end, measuring per-node session
+    // footprint and feature-history length at both points. The fingerprint covers the
+    // byte totals, the history extremes and the **bounded verdict**: the longest
+    // history ring buffer must not exceed the densest 1-hour event window any node
+    // ever produced, plus the one sentinel entry — the O(window) claim as a gate, on
+    // real fleet data rather than a synthetic unit fixture. The last run's numbers
+    // land in `session_stats` for the JSON summary.
+    type SessionStats = (u64, u64, usize, u64, usize, usize, bool);
+    let session_stats: Arc<Mutex<Option<SessionStats>>> = Arc::new(Mutex::new(None));
+    let session_memory_stage = {
+        let stats = Arc::clone(&session_stats);
+        move |scale: Scale, seed: u64| -> String {
+            let (nodes, days) = match scale {
+                Scale::Small => (300, 365),
+                Scale::Laptop => (600, 730),
+                Scale::Paper => (3056, 730),
+            };
+            let log = TraceGenerator::new(SyntheticLogConfig::small(nodes, days, seed)).generate();
+            let timelines = TimelineSet::from_log(&preprocess(&log));
+            let jobs = JobTraceGenerator::new(JobLogConfig::small(512, 180, seed)).generate();
+            let sampler = NodeJobSampler::from_log(&jobs);
+            let config =
+                ServeConfig::for_timelines(&timelines, MitigationConfig::paper_default(), seed)
+                    .with_retention(RecordRetention::TotalsOnly);
+            let mut server = FleetServer::new(config, AlwaysMitigate, sampler);
+
+            let stream = merged_fleet_stream(&timelines);
+            let half = stream.len() / 2;
+            let mut out = Vec::new();
+            let measure = |server: &FleetServer<AlwaysMitigate>| {
+                let mut sessions = 0u64;
+                let mut bytes = 0u64;
+                let mut max_history = 0usize;
+                for session in server.sessions() {
+                    sessions += 1;
+                    bytes += session.approx_bytes() as u64;
+                    max_history = max_history.max(session.history_len());
+                }
+                (sessions, bytes, max_history)
+            };
+            for event in &stream[..half] {
+                server
+                    .ingest(event.clone(), &mut out)
+                    .expect("time-ordered");
+            }
+            server.flush(&mut out);
+            let (_, warm_bytes, warm_max_history) = measure(&server);
+            for event in &stream[half..] {
+                server
+                    .ingest(event.clone(), &mut out)
+                    .expect("time-ordered");
+            }
+            server.flush(&mut out);
+            let (sessions, end_bytes, end_max_history) = measure(&server);
+
+            // The oracle for the O(window) verdict: the densest 1-hour event window
+            // any node ever produced (two-pointer sweep per timeline). The ring
+            // buffer may hold at most that many entries plus the sentinel.
+            let mut window_bound = 0usize;
+            for timeline in timelines.timelines() {
+                let times: Vec<i64> = timeline.events().iter().map(|e| e.time.0).collect();
+                let mut lo = 0usize;
+                for hi in 0..times.len() {
+                    while times[lo] <= times[hi] - uerl_core::features::HISTORY_WINDOW_SECS {
+                        lo += 1;
+                    }
+                    window_bound = window_bound.max(hi - lo + 1);
+                }
+            }
+            let bounded = end_max_history <= window_bound + 1;
+            *stats.lock().expect("session stats poisoned") = Some((
+                sessions,
+                warm_bytes,
+                warm_max_history,
+                end_bytes,
+                end_max_history,
+                window_bound,
+                bounded,
+            ));
+            format!(
+                "sessions={sessions} warm_bytes={warm_bytes} warm_max_history={warm_max_history} \
+                 end_bytes={end_bytes} end_max_history={end_max_history} \
+                 window_bound={window_bound} bounded={bounded}"
             )
         }
     };
@@ -518,6 +613,10 @@ fn main() {
             "serve_throughput",
             Box::new(move || serve_stage(scale, 2024 ^ 0x5E17)),
         ),
+        (
+            "session_memory",
+            Box::new(move || session_memory_stage(scale, 2024 ^ 0x3E55)),
+        ),
         ("quant_parity", Box::new(move || quant_stage(2024 ^ 0x0108))),
         ("fig3_total_cost", {
             let ctx = ctx.clone();
@@ -614,10 +713,11 @@ fn main() {
     let serving = *serve_stats.lock().expect("serve stats poisoned");
     let kernels = *kernel_stats.lock().expect("kernel stats poisoned");
     let quant = *quant_stats.lock().expect("quant stats poisoned");
+    let session_memory = *session_stats.lock().expect("session stats poisoned");
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"pr\": 6,\n");
+    json.push_str("  \"pr\": 7,\n");
     json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!(
@@ -643,6 +743,16 @@ fn main() {
             "  \"quant_parity\": {{\"decisions\": {decisions}, \"matches\": {matches}, \"match_rate\": {rate:.6}, \"f64_total_cost\": {full_cost:.6}, \"i8_total_cost\": {i8_cost:.6}, \"cost_delta_pct\": {delta_pct:.4}}},\n"
         ));
     }
+    if let Some((sessions, warm_bytes, warm_max_hist, end_bytes, end_max_hist, bound, bounded)) =
+        session_memory
+    {
+        let per_node = |bytes: u64| bytes as f64 / (sessions.max(1)) as f64;
+        json.push_str(&format!(
+            "  \"session_memory\": {{\"sessions\": {sessions}, \"warm_bytes_per_node\": {:.1}, \"warm_max_history\": {warm_max_hist}, \"end_bytes_per_node\": {:.1}, \"end_max_history\": {end_max_hist}, \"densest_1h_window_events\": {bound}, \"history_bounded_by_window\": {bounded}}},\n",
+            per_node(warm_bytes),
+            per_node(end_bytes),
+        ));
+    }
     json.push_str(&format!("  \"total_serial_secs\": {total_serial:.6},\n"));
     json.push_str(&format!(
         "  \"total_parallel_secs\": {total_parallel:.6},\n"
@@ -662,7 +772,7 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    let path = std::env::var("UERL_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
     std::fs::write(&path, &json).expect("write benchmark report");
     if let Some((halving_steps, exhaustive_steps, _)) = halving {
         eprintln!(
@@ -683,6 +793,13 @@ fn main() {
             "[perf_report] quant parity: {matches}/{decisions} decisions match \
              ({:.2}%), total cost delta {delta_pct:+.2}%",
             rate * 100.0
+        );
+    }
+    if let Some((sessions, _, _, end_bytes, end_max_hist, bound, bounded)) = session_memory {
+        eprintln!(
+            "[perf_report] session memory: {sessions} sessions, {:.0} bytes/node, \
+             max history {end_max_hist} (densest 1h window {bound} events, bounded: {bounded})",
+            end_bytes as f64 / (sessions.max(1)) as f64
         );
     }
     eprintln!(
@@ -715,6 +832,13 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+    if let Some((_, _, _, _, _, _, false)) = session_memory {
+        eprintln!(
+            "[perf_report] ERROR: a session's feature history exceeded the densest \
+             1-hour event window (+1 sentinel) — sessions are no longer O(window)"
+        );
+        std::process::exit(1);
     }
 }
 

@@ -21,10 +21,12 @@ use crate::config::MitigationConfig;
 use crate::cost;
 use crate::event_stream::NodeTimeline;
 use crate::features::FeatureExtractor;
+use crate::session_core::{RecordRetention, SessionCore};
 use crate::state::StateFeatures;
-use serde::{Deserialize, Serialize};
 use uerl_jobs::schedule::JobSequence;
 use uerl_trace::types::SimTime;
+
+pub use crate::session_core::UeRecord;
 
 /// The result of one environment step.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,39 +45,26 @@ pub struct StepOutcome {
     pub done: bool,
 }
 
-/// A recorded fatal event: when it happened and how many node-hours it cost.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct UeRecord {
-    /// Timestamp of the fatal event.
-    pub time: SimTime,
-    /// Node-hours lost.
-    pub cost: f64,
-}
-
 /// The environment for one node's timeline.
 #[derive(Debug, Clone)]
 pub struct MitigationEnv {
     timeline: NodeTimeline,
-    jobs: JobSequence,
-    config: MitigationConfig,
     terminate_on_fatal: bool,
 
     extractor: FeatureExtractor,
     idx: usize,
-    last_mitigation: Option<SimTime>,
     started: bool,
     done: bool,
 
-    mitigation_count: u64,
-    total_mitigation_cost: f64,
-    ue_count: u64,
-    total_ue_cost: f64,
-    decisions: Vec<(SimTime, bool)>,
-    ue_records: Vec<UeRecord>,
+    /// The shared accounting state — the same type the push-mode serving session
+    /// wraps, so the parity-critical rules (cost reference point, fatal accounting,
+    /// decision bookkeeping) live in exactly one place.
+    core: SessionCore,
 }
 
 impl MitigationEnv {
-    /// Create an environment.
+    /// Create an environment with full record retention (the evaluator and the parity
+    /// suites read the decision / UE logs).
     ///
     /// `terminate_on_fatal` selects episodic training semantics (`true`: the episode ends
     /// at the first UE) or full-period evaluation semantics (`false`: accounting continues
@@ -86,29 +75,40 @@ impl MitigationEnv {
         config: MitigationConfig,
         terminate_on_fatal: bool,
     ) -> Self {
-        let extractor = FeatureExtractor::new(timeline.node(), timeline.window_start());
-        Self {
+        Self::with_retention(
             timeline,
             jobs,
             config,
             terminate_on_fatal,
+            RecordRetention::Full,
+        )
+    }
+
+    /// Create an environment with an explicit record-retention mode. Training loops
+    /// never read the logs and use [`RecordRetention::TotalsOnly`] so episode memory
+    /// stays O(window); rewards, costs and counters are unaffected by the mode.
+    pub fn with_retention(
+        timeline: NodeTimeline,
+        jobs: JobSequence,
+        config: MitigationConfig,
+        terminate_on_fatal: bool,
+        retention: RecordRetention,
+    ) -> Self {
+        let extractor = FeatureExtractor::new(timeline.node(), timeline.window_start());
+        Self {
+            timeline,
+            terminate_on_fatal,
             extractor,
             idx: 0,
-            last_mitigation: None,
             started: false,
             done: false,
-            mitigation_count: 0,
-            total_mitigation_cost: 0.0,
-            ue_count: 0,
-            total_ue_cost: 0.0,
-            decisions: Vec::new(),
-            ue_records: Vec::new(),
+            core: SessionCore::new(jobs, config, retention),
         }
     }
 
     /// The mitigation configuration.
     pub fn config(&self) -> &MitigationConfig {
-        &self.config
+        self.core.config()
     }
 
     /// Whether the episode has finished.
@@ -116,56 +116,52 @@ impl MitigationEnv {
         self.done
     }
 
+    /// Decisions made so far (mitigations plus "do nothing"s).
+    pub fn decision_count(&self) -> u64 {
+        self.core.decision_count()
+    }
+
     /// Number of mitigation actions taken.
     pub fn mitigation_count(&self) -> u64 {
-        self.mitigation_count
+        self.core.mitigation_count()
+    }
+
+    /// Number of "do nothing" decisions taken (kept as a counter, so it is available
+    /// under totals-only retention too).
+    pub fn non_mitigation_count(&self) -> u64 {
+        self.core.non_mitigation_count()
     }
 
     /// Node-hours spent on mitigation actions.
     pub fn total_mitigation_cost(&self) -> f64 {
-        self.total_mitigation_cost
+        self.core.total_mitigation_cost()
     }
 
     /// Number of fatal events accounted.
     pub fn ue_count(&self) -> u64 {
-        self.ue_count
+        self.core.ue_count()
     }
 
     /// Node-hours lost to fatal events.
     pub fn total_ue_cost(&self) -> f64 {
-        self.total_ue_cost
+        self.core.total_ue_cost()
     }
 
     /// Total cost: UE cost plus mitigation cost.
     pub fn total_cost(&self) -> f64 {
-        self.total_ue_cost + self.total_mitigation_cost
+        self.core.total_cost()
     }
 
-    /// Every decision made so far: `(event time, mitigated)`.
+    /// Every decision made so far: `(event time, mitigated)` (empty under
+    /// [`RecordRetention::TotalsOnly`]).
     pub fn decisions(&self) -> &[(SimTime, bool)] {
-        &self.decisions
+        self.core.decisions()
     }
 
-    /// Every fatal event accounted so far.
+    /// Every fatal event accounted so far (empty under
+    /// [`RecordRetention::TotalsOnly`]).
     pub fn ue_records(&self) -> &[UeRecord] {
-        &self.ue_records
-    }
-
-    /// Potential UE cost (Equation 3) and the running job's node count at instant `t`.
-    fn potential_cost_at(&self, t: SimTime) -> (f64, u32) {
-        cost::potential_cost_at(&self.jobs, self.last_mitigation, self.config.restartable, t)
-    }
-
-    /// Account one fatal event at time `t` and return its cost.
-    fn account_fatal(&mut self, t: SimTime) -> f64 {
-        let (ue_cost, _) = self.potential_cost_at(t);
-        self.ue_count += 1;
-        self.total_ue_cost += ue_cost;
-        self.ue_records.push(UeRecord {
-            time: t,
-            cost: ue_cost,
-        });
-        ue_cost
+        self.core.ue_records()
     }
 
     /// Start (or restart) the episode and return the first decision point's state, or
@@ -188,20 +184,20 @@ impl MitigationEnv {
             }
             let event = self.timeline.events()[self.idx].clone();
             if event.fatal {
-                self.account_fatal(event.time);
+                // Accounted-then-cleared: the node is pulled from production and
+                // returns later with fresh jobs, so the mitigation point no longer
+                // applies (the core clears it after paying the cost).
+                self.core.account_fatal(event.time);
                 if self.terminate_on_fatal {
                     self.done = true;
                     return None;
                 }
-                // The node is pulled from production and returns later with fresh jobs;
-                // any previous mitigation point no longer applies.
-                self.last_mitigation = None;
                 self.extractor.update(&event);
                 self.idx += 1;
                 continue;
             }
             self.extractor.update(&event);
-            let (potential, job_nodes) = self.potential_cost_at(event.time);
+            let (potential, job_nodes) = self.core.potential_cost_at(event.time);
             return Some(self.extractor.snapshot(potential, job_nodes));
         }
     }
@@ -214,26 +210,18 @@ impl MitigationEnv {
         assert!(self.started, "call reset() before step()");
         assert!(!self.done, "the episode is over");
         let now = self.timeline.events()[self.idx].time;
-        self.decisions.push((now, mitigate));
+        let mitigation_cost = self.core.apply_decision(now, mitigate);
 
-        let mut mitigation_cost = 0.0;
-        if mitigate {
-            mitigation_cost = self.config.mitigation_cost_node_hours();
-            self.mitigation_count += 1;
-            self.total_mitigation_cost += mitigation_cost;
-            self.last_mitigation = Some(now);
-        }
-
-        let ue_cost_before = self.total_ue_cost;
-        let ue_count_before = self.ue_count;
+        let ue_cost_before = self.core.total_ue_cost();
+        let ue_count_before = self.core.ue_count();
         self.idx += 1;
         let next_state = self.advance_to_decision_point();
-        let ue_cost = self.total_ue_cost - ue_cost_before;
-        let ue_occurred = self.ue_count > ue_count_before;
+        let ue_cost = self.core.total_ue_cost() - ue_cost_before;
+        let ue_occurred = self.core.ue_count() > ue_count_before;
 
         let reward = cost::reward(
             mitigate,
-            self.config.mitigation_cost_node_hours(),
+            self.core.config().mitigation_cost_node_hours(),
             ue_occurred,
             ue_cost,
         );

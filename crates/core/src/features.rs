@@ -1,9 +1,15 @@
 //! The per-node feature extractor: Table 1 features and the Equation 2 variation.
 
 use crate::state::StateFeatures;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use uerl_trace::log::MergedEvent;
 use uerl_trace::types::{DimmId, NodeId, SimTime};
+
+/// The longest lookback any Equation 2 variation reads: 1 hour. History snapshots
+/// strictly older than this (behind the newest event) can never be selected by
+/// [`FeatureExtractor::snapshot`] — except the single latest one at or before the
+/// cutoff, which the ring buffer keeps as a sentinel.
+pub const HISTORY_WINDOW_SECS: i64 = SimTime::HOUR;
 
 /// Incrementally extracts the Table 1 state features from a node's event stream.
 ///
@@ -27,10 +33,17 @@ pub struct FeatureExtractor {
     last_boot: Option<SimTime>,
     boots: u64,
     last_event_time: Option<SimTime>,
+    events_seen: usize,
 
-    /// History of `(time, ce_total, boots)` snapshots after each event, used to evaluate
-    /// the Equation 2 variation at `t − 1 min` and `t − 1 h`.
-    history: Vec<(SimTime, u64, u64)>,
+    /// Ring buffer of `(time, ce_total, boots)` snapshots after each event, used to
+    /// evaluate the Equation 2 variation at `t − 1 min` and `t − 1 h`.
+    ///
+    /// Bounded to O(window): entries older than [`HISTORY_WINDOW_SECS`] behind the
+    /// newest event are evicted from the front, except the latest such entry, which
+    /// stays as the **sentinel** — the exact snapshot the unbounded reverse scan
+    /// would select for any cutoff at or beyond the window edge. The lookup result is
+    /// therefore bit-identical to retaining the full lifetime history.
+    history: VecDeque<(SimTime, u64, u64)>,
 }
 
 impl FeatureExtractor {
@@ -51,7 +64,8 @@ impl FeatureExtractor {
             last_boot: None,
             boots: 0,
             last_event_time: None,
-            history: Vec::new(),
+            events_seen: 0,
+            history: VecDeque::new(),
         }
     }
 
@@ -65,9 +79,33 @@ impl FeatureExtractor {
         self.ce_total
     }
 
-    /// Number of events absorbed so far.
+    /// Number of events absorbed so far. Counted explicitly — history eviction never
+    /// changes this value.
     pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+
+    /// Entries currently held in the variation history ring buffer: the events of the
+    /// last [`HISTORY_WINDOW_SECS`] plus one sentinel at or before the window edge.
+    /// Bounded by the window's event count, never by the node's lifetime.
+    pub fn history_len(&self) -> usize {
         self.history.len()
+    }
+
+    /// Approximate heap footprint of the extractor in bytes: the history ring buffer
+    /// plus the distinct-location sets (estimated per entry, including hash-table
+    /// slack). A bench-grade estimate, not an allocator measurement.
+    pub fn approx_heap_bytes(&self) -> usize {
+        fn set_bytes<T>(set: &HashSet<T>) -> usize {
+            // Hashbrown keeps 1 control byte per slot and sizes tables at 8/7 load.
+            set.capacity() * (std::mem::size_of::<T>() + 1)
+        }
+        self.history.capacity() * std::mem::size_of::<(SimTime, u64, u64)>()
+            + set_bytes(&self.ranks)
+            + set_bytes(&self.banks)
+            + set_bytes(&self.rows)
+            + set_bytes(&self.columns)
+            + set_bytes(&self.dimms)
     }
 
     /// Fold one merged event into the counters.
@@ -96,7 +134,18 @@ impl FeatureExtractor {
             self.last_boot = Some(event.time);
         }
         self.last_event_time = Some(event.time);
-        self.history.push((event.time, self.ce_total, self.boots));
+        self.events_seen += 1;
+        self.history
+            .push_back((event.time, self.ce_total, self.boots));
+        // Evict entries that fell out of the lookback window, keeping the latest
+        // at-or-before-cutoff entry as the sentinel: `variation()`'s reverse scan
+        // selects exactly that entry for any cutoff at or beyond the window edge, so
+        // eviction is invisible to the features. Event times are non-decreasing, so
+        // one front sweep per event keeps the invariant.
+        let cutoff = event.time.plus_secs(-HISTORY_WINDOW_SECS);
+        while self.history.len() >= 2 && self.history[1].0 <= cutoff {
+            self.history.pop_front();
+        }
     }
 
     /// Equation 2: `value(now) / value(now − Δt)`, or 0 when the denominator is 0.
@@ -117,7 +166,7 @@ impl FeatureExtractor {
         if past == 0 {
             return 0.0;
         }
-        let current = self.history.last().map(&select).unwrap_or(0);
+        let current = self.history.back().map(&select).unwrap_or(0);
         current as f64 / past as f64
     }
 
@@ -286,6 +335,63 @@ mod tests {
         assert_eq!(s.job_nodes, 16);
         assert_eq!(s.node, NodeId(1));
         assert_eq!(s.time, SimTime::from_minutes(10));
+    }
+
+    #[test]
+    fn history_is_evicted_to_the_lookback_window() {
+        let mut fx = extractor();
+        // One event per minute for three hours: the buffer must hold only the last
+        // hour's events plus the sentinel at the window edge, however long the stream.
+        for minute in 0..=180 {
+            fx.update(&ce_event(1, minute, 1, 0, 0, 1, 1));
+        }
+        // Cutoff is t=120min: minutes 121..=180 stay in-window (60 entries) and the
+        // minute-120 entry survives as the sentinel.
+        assert_eq!(fx.history_len(), 61);
+        assert_eq!(
+            fx.events_seen(),
+            181,
+            "eviction must not change events_seen"
+        );
+        assert!(fx.approx_heap_bytes() > 0);
+    }
+
+    #[test]
+    fn eviction_preserves_equation_2_at_the_window_edge() {
+        // The sentinel entry is exactly what the unbounded scan would select when the
+        // 1-hour cutoff lands at or beyond the window edge.
+        let mut fx = extractor();
+        fx.update(&ce_event(1, 0, 10, 0, 0, 1, 1)); // 10 CEs total at t=0
+        fx.update(&ce_event(1, 30, 20, 0, 0, 1, 2)); // 30 at t=30min
+        fx.update(&ce_event(1, 65, 60, 0, 0, 1, 3)); // 90 at t=65min
+                                                     // t=0 fell out of the 1-hour window of t=65min but is the sentinel.
+        assert_eq!(fx.history_len(), 3);
+        let s = fx.snapshot(0.0, 1);
+        assert!(
+            (s.ce_var_1hour - 9.0).abs() < 1e-12,
+            "90 / 10 via the sentinel"
+        );
+
+        // A much later event evicts everything into a single sentinel (t=65min).
+        fx.update(&ce_event(1, 600, 10, 0, 0, 1, 4)); // 100 at t=600min
+        assert_eq!(fx.history_len(), 2);
+        let s = fx.snapshot(0.0, 1);
+        // One hour before t=600min is t=540min: latest snapshot ≤ that is t=65min.
+        assert!((s.ce_var_1hour - 100.0 / 90.0).abs() < 1e-12);
+        assert_eq!(fx.events_seen(), 4);
+    }
+
+    #[test]
+    fn equal_time_events_keep_the_last_snapshot_as_sentinel() {
+        // Two events at the same timestamp produce two history entries; the reverse
+        // scan selects the later one, so eviction must keep exactly it as sentinel.
+        let mut fx = extractor();
+        fx.update(&ce_event(1, 0, 10, 0, 0, 1, 1)); // 10 CEs total
+        fx.update(&ce_event(1, 0, 5, 0, 0, 1, 2)); // 15 CEs total, same time
+        fx.update(&ce_event(1, 65, 30, 0, 0, 1, 3)); // 45 total
+        assert_eq!(fx.history_len(), 2, "only the later t=0 entry survives");
+        let s = fx.snapshot(0.0, 1);
+        assert!((s.ce_var_1hour - 3.0).abs() < 1e-12, "45 / 15, not 45 / 10");
     }
 
     #[test]

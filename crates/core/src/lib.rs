@@ -13,6 +13,9 @@
 //!   variation over 1 minute and 1 hour.
 //! * [`event_stream`] — per-node timelines of per-minute merged events, the episode
 //!   substrate for training and evaluation.
+//! * [`session_core`] — the shared per-node accounting core (cost reference point,
+//!   mitigation/UE counters and logs, record-retention knob) that both the pull-mode
+//!   environment and the push-mode serving session wrap.
 //! * [`env`] — the environment: it walks a node's timeline, assigns jobs from the job
 //!   sampler, queries a policy at every event, applies mitigations and pays UE costs.
 //! * [`policy`] / [`policies`] — the mitigation-policy interface and the eight policies
@@ -30,6 +33,7 @@ pub mod features;
 pub mod policies;
 pub mod policy;
 pub mod rf_dataset;
+pub mod session_core;
 pub mod state;
 pub mod trainer;
 
@@ -41,5 +45,6 @@ pub use policies::{
     AlwaysMitigate, MyopicRfPolicy, NeverMitigate, OraclePolicy, RlPolicy, ThresholdRfPolicy,
 };
 pub use policy::MitigationPolicy;
+pub use session_core::{RecordRetention, SessionCore, UeRecord};
 pub use state::{StateFeatures, STATE_DIM};
 pub use trainer::{RlTrainer, TrainerConfig, TrainingOutcome};

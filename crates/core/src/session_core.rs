@@ -1,0 +1,309 @@
+//! The shared per-node session accounting core.
+//!
+//! Exactly one type owns every parity-critical accounting rule of a node session:
+//! the Equation 3 cost reference point (`last_mitigation`, reset by restartable
+//! mitigations, cleared when a fatal event pulls the node from production), the
+//! mitigation / UE counters and cost totals, and the decision / UE record logs.
+//!
+//! Both the pull-mode [`crate::env::MitigationEnv`] (offline training and evaluation)
+//! and the push-mode `NodeSession` of the serving crate wrap a [`SessionCore`] instead
+//! of mirroring these fields, so the two paths cannot drift: the serving-parity
+//! guarantee — served decisions and costs bit-identical to the offline rollout —
+//! reduces to "both wrappers call the same methods in the same event order".
+//!
+//! Record retention is a knob: [`RecordRetention::Full`] keeps the per-event
+//! `decisions` / `ue_records` logs (the evaluator needs them for the classical ML
+//! metrics, and the parity suites compare them entry for entry);
+//! [`RecordRetention::TotalsOnly`] keeps counters and cost totals only, so a
+//! long-lived serving session's accounting footprint is O(1) regardless of how many
+//! events the node ever produces. The retention mode never changes a counter, a cost
+//! bit, or a decision — only whether the logs are kept.
+
+use crate::config::MitigationConfig;
+use crate::cost;
+use serde::{Deserialize, Serialize};
+use uerl_jobs::schedule::JobSequence;
+use uerl_trace::types::SimTime;
+
+/// A recorded fatal event: when it happened and how many node-hours it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UeRecord {
+    /// Timestamp of the fatal event.
+    pub time: SimTime,
+    /// Node-hours lost.
+    pub cost: f64,
+}
+
+/// Whether a session keeps its per-event decision / UE logs or only running totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordRetention {
+    /// Keep every `(time, mitigated)` decision and every [`UeRecord`]. Required by
+    /// the evaluator (classical ML metrics read the logs) and by the bit-parity test
+    /// suites, which compare logs entry for entry.
+    #[default]
+    Full,
+    /// Keep counters and cost totals only; the logs stay empty. A session's
+    /// accounting is O(1) in the number of events — the mode for long-lived serving
+    /// fleets. Counters and cost bits are identical to [`RecordRetention::Full`].
+    TotalsOnly,
+}
+
+impl RecordRetention {
+    /// Parse a `UERL_RETENTION`-style value: `full` / `totals` (or empty for the
+    /// default, totals-only).
+    ///
+    /// # Panics
+    /// Panics on any other value — a silently misread knob would invalidate a
+    /// measurement run.
+    pub fn parse(value: &str) -> Self {
+        match value {
+            "" | "totals" => RecordRetention::TotalsOnly,
+            "full" => RecordRetention::Full,
+            other => panic!("UERL_RETENTION must be 'full' or 'totals', got {other:?}"),
+        }
+    }
+
+    /// The serving-side retention selected by the `UERL_RETENTION` environment
+    /// variable (default: totals-only — a fleet session should not grow with its
+    /// node's event count).
+    pub fn from_env() -> Self {
+        match std::env::var("UERL_RETENTION") {
+            Ok(value) => Self::parse(&value),
+            Err(_) => RecordRetention::TotalsOnly,
+        }
+    }
+}
+
+/// The accounting state of one node session, shared verbatim between the pull-mode
+/// environment and the push-mode serving session.
+#[derive(Debug, Clone)]
+pub struct SessionCore {
+    jobs: JobSequence,
+    config: MitigationConfig,
+    retention: RecordRetention,
+    last_mitigation: Option<SimTime>,
+
+    decision_count: u64,
+    mitigation_count: u64,
+    total_mitigation_cost: f64,
+    ue_count: u64,
+    total_ue_cost: f64,
+    decisions: Vec<(SimTime, bool)>,
+    ue_records: Vec<UeRecord>,
+}
+
+impl SessionCore {
+    /// A fresh session over a node's assigned job sequence.
+    pub fn new(jobs: JobSequence, config: MitigationConfig, retention: RecordRetention) -> Self {
+        Self {
+            jobs,
+            config,
+            retention,
+            last_mitigation: None,
+            decision_count: 0,
+            mitigation_count: 0,
+            total_mitigation_cost: 0.0,
+            ue_count: 0,
+            total_ue_cost: 0.0,
+            decisions: Vec::new(),
+            ue_records: Vec::new(),
+        }
+    }
+
+    /// The mitigation configuration.
+    pub fn config(&self) -> &MitigationConfig {
+        &self.config
+    }
+
+    /// The retention mode.
+    pub fn retention(&self) -> RecordRetention {
+        self.retention
+    }
+
+    /// The node's assigned job sequence.
+    pub fn jobs(&self) -> &JobSequence {
+        &self.jobs
+    }
+
+    /// Decisions applied so far (mitigations plus "do nothing"s).
+    pub fn decision_count(&self) -> u64 {
+        self.decision_count
+    }
+
+    /// Number of mitigation actions taken.
+    pub fn mitigation_count(&self) -> u64 {
+        self.mitigation_count
+    }
+
+    /// Number of "do nothing" decisions taken. Counted explicitly so totals-only
+    /// sessions report it without a decision log.
+    pub fn non_mitigation_count(&self) -> u64 {
+        self.decision_count - self.mitigation_count
+    }
+
+    /// Node-hours spent on mitigation actions.
+    pub fn total_mitigation_cost(&self) -> f64 {
+        self.total_mitigation_cost
+    }
+
+    /// Number of fatal events accounted.
+    pub fn ue_count(&self) -> u64 {
+        self.ue_count
+    }
+
+    /// Node-hours lost to fatal events.
+    pub fn total_ue_cost(&self) -> f64 {
+        self.total_ue_cost
+    }
+
+    /// Total cost: UE cost plus mitigation cost.
+    pub fn total_cost(&self) -> f64 {
+        self.total_ue_cost + self.total_mitigation_cost
+    }
+
+    /// Every decision so far: `(event time, mitigated)`, in event order (empty under
+    /// [`RecordRetention::TotalsOnly`]).
+    pub fn decisions(&self) -> &[(SimTime, bool)] {
+        &self.decisions
+    }
+
+    /// Every fatal event accounted so far, in event order (empty under
+    /// [`RecordRetention::TotalsOnly`]).
+    pub fn ue_records(&self) -> &[UeRecord] {
+        &self.ue_records
+    }
+
+    /// Potential UE cost (Equation 3) and the running job's node count at instant
+    /// `t`, measured from the job start or — when mitigations are restartable — the
+    /// last mitigation. The single shared home of the cost reference-point rule.
+    pub fn potential_cost_at(&self, t: SimTime) -> (f64, u32) {
+        cost::potential_cost_at(&self.jobs, self.last_mitigation, self.config.restartable, t)
+    }
+
+    /// Account one fatal event at time `t` and return its cost.
+    ///
+    /// The cost is the Equation 3 accrual since the last mitigation (or job start) —
+    /// accounted first — and the mitigation reference is then cleared, because the
+    /// node leaves production and returns with fresh jobs.
+    pub fn account_fatal(&mut self, t: SimTime) -> f64 {
+        let (ue_cost, _) = self.potential_cost_at(t);
+        self.ue_count += 1;
+        self.total_ue_cost += ue_cost;
+        if self.retention == RecordRetention::Full {
+            self.ue_records.push(UeRecord {
+                time: t,
+                cost: ue_cost,
+            });
+        }
+        self.last_mitigation = None;
+        ue_cost
+    }
+
+    /// Apply one resolved decision at time `t`: record it and, if it mitigates, pay
+    /// the mitigation cost and reset the Equation 3 reference point. Returns the
+    /// node-hours paid (0 for "do nothing").
+    pub fn apply_decision(&mut self, t: SimTime, mitigate: bool) -> f64 {
+        self.decision_count += 1;
+        if self.retention == RecordRetention::Full {
+            self.decisions.push((t, mitigate));
+        }
+        if mitigate {
+            let cost = self.config.mitigation_cost_node_hours();
+            self.mitigation_count += 1;
+            self.total_mitigation_cost += cost;
+            self.last_mitigation = Some(t);
+            cost
+        } else {
+            0.0
+        }
+    }
+
+    /// Approximate heap footprint of the accounting state in bytes (the logs; the
+    /// job sequence is excluded — it is sampled up front and never grows).
+    pub fn approx_log_bytes(&self) -> usize {
+        self.decisions.capacity() * std::mem::size_of::<(SimTime, bool)>()
+            + self.ue_records.capacity() * std::mem::size_of::<UeRecord>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uerl_jobs::schedule::ScheduledJob;
+
+    fn jobs() -> JobSequence {
+        JobSequence::from_jobs(vec![ScheduledJob {
+            job_id: 1,
+            start: SimTime::ZERO,
+            end: SimTime::from_hours(100),
+            nodes: 16,
+        }])
+    }
+
+    fn core(retention: RecordRetention) -> SessionCore {
+        SessionCore::new(jobs(), MitigationConfig::paper_default(), retention)
+    }
+
+    #[test]
+    fn totals_only_matches_full_on_every_counter_and_cost_bit() {
+        let mut full = core(RecordRetention::Full);
+        let mut totals = core(RecordRetention::TotalsOnly);
+        let script: [(i64, bool); 4] = [(60, false), (120, true), (180, false), (240, true)];
+        for (minute, mitigate) in script {
+            let t = SimTime::from_minutes(minute);
+            assert_eq!(
+                full.potential_cost_at(t),
+                totals.potential_cost_at(t),
+                "the cost reference must not depend on retention"
+            );
+            let a = full.apply_decision(t, mitigate);
+            let b = totals.apply_decision(t, mitigate);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let a = full.account_fatal(SimTime::from_minutes(600));
+        let b = totals.account_fatal(SimTime::from_minutes(600));
+        assert_eq!(a.to_bits(), b.to_bits());
+
+        assert_eq!(full.decision_count(), totals.decision_count());
+        assert_eq!(full.mitigation_count(), totals.mitigation_count());
+        assert_eq!(full.non_mitigation_count(), totals.non_mitigation_count());
+        assert_eq!(full.ue_count(), totals.ue_count());
+        assert_eq!(
+            full.total_mitigation_cost().to_bits(),
+            totals.total_mitigation_cost().to_bits()
+        );
+        assert_eq!(
+            full.total_ue_cost().to_bits(),
+            totals.total_ue_cost().to_bits()
+        );
+        assert_eq!(full.decisions().len(), 4);
+        assert_eq!(full.ue_records().len(), 1);
+        assert!(totals.decisions().is_empty(), "totals-only keeps no logs");
+        assert!(totals.ue_records().is_empty());
+        assert_eq!(totals.approx_log_bytes(), 0);
+    }
+
+    #[test]
+    fn fatal_accounting_is_accounted_then_cleared() {
+        let mut core = core(RecordRetention::Full);
+        core.apply_decision(SimTime::from_minutes(60), true);
+        // The fatal at t=10h is measured from the t=1h mitigation: 9 h × 16 nodes.
+        let cost = core.account_fatal(SimTime::from_hours(10));
+        assert!((cost - 144.0).abs() < 1e-9);
+        // The reference was cleared, so a later fatal measures from the job start.
+        let cost = core.account_fatal(SimTime::from_hours(20));
+        assert!((cost - 320.0).abs() < 1e-9);
+        assert_eq!(core.ue_count(), 2);
+    }
+
+    #[test]
+    fn retention_parses_like_the_other_knobs() {
+        assert_eq!(RecordRetention::parse("full"), RecordRetention::Full);
+        assert_eq!(
+            RecordRetention::parse("totals"),
+            RecordRetention::TotalsOnly
+        );
+        assert_eq!(RecordRetention::parse(""), RecordRetention::TotalsOnly);
+        assert!(std::panic::catch_unwind(|| RecordRetention::parse("nope")).is_err());
+    }
+}

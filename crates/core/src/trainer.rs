@@ -10,6 +10,7 @@ use crate::config::MitigationConfig;
 use crate::env::MitigationEnv;
 use crate::event_stream::TimelineSet;
 use crate::policies::RlPolicy;
+use crate::session_core::RecordRetention;
 use crate::state::STATE_DIM;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -217,8 +218,16 @@ impl TrainingSession {
                 timeline.window_end(),
                 &mut self.rng,
             );
-            let mut env =
-                MitigationEnv::new(timeline.clone(), sequence, self.config.mitigation, true);
+            // Training never reads the decision / UE logs, so episodes run with
+            // totals-only retention: rewards and counters are identical, and episode
+            // memory stays O(window) however long the node's timeline is.
+            let mut env = MitigationEnv::with_retention(
+                timeline.clone(),
+                sequence,
+                self.config.mitigation,
+                true,
+                RecordRetention::TotalsOnly,
+            );
             self.episodes_run += 1;
             let Some(first) = env.reset() else {
                 continue;

@@ -1,0 +1,253 @@
+//! Property tests pinning the ring-buffer feature history **bit-identical** to an
+//! unbounded reference extractor.
+//!
+//! The production [`FeatureExtractor`] bounds its Equation 2 variation history to the
+//! 1-hour lookback window (plus one sentinel at or before the window edge); the
+//! reference below keeps the full lifetime history in a plain `Vec` and answers every
+//! variation query with the original unbounded reverse scan. For random event streams
+//! — ragged timestamp gaps including equal-time events, CE bursts, boots, firmware
+//! warnings — every snapshot taken after every event must agree field for field, with
+//! the floating-point variation features compared at the bit level. Any future change
+//! to the eviction rule that shifts a single lookup result fails here.
+
+use proptest::prelude::*;
+use uerl_core::features::{FeatureExtractor, HISTORY_WINDOW_SECS};
+use uerl_core::state::StateFeatures;
+use uerl_trace::events::{CeDetail, Detector};
+use uerl_trace::log::MergedEvent;
+use uerl_trace::types::{CellLocation, DimmId, NodeId, SimTime};
+
+const NODE: NodeId = NodeId(7);
+
+/// The original unbounded extractor semantics: every `(time, ce_total, boots)`
+/// snapshot is retained forever, and Equation 2 scans the whole history backwards.
+/// Only the variation machinery is duplicated — the counter features are taken from
+/// the production extractor's own snapshot, which the test compares against this
+/// reference's variations.
+struct UnboundedHistory {
+    history: Vec<(SimTime, u64, u64)>,
+    ce_total: u64,
+    boots: u64,
+}
+
+impl UnboundedHistory {
+    fn new() -> Self {
+        Self {
+            history: Vec::new(),
+            ce_total: 0,
+            boots: 0,
+        }
+    }
+
+    fn update(&mut self, event: &MergedEvent) {
+        self.ce_total += u64::from(event.ce_count);
+        self.boots += u64::from(event.boots);
+        self.history.push((event.time, self.ce_total, self.boots));
+    }
+
+    fn variation(&self, delta_secs: i64, select: impl Fn(&(SimTime, u64, u64)) -> u64) -> f64 {
+        let now = self.history.last().expect("updated at least once").0;
+        let cutoff = now.plus_secs(-delta_secs);
+        let past = self
+            .history
+            .iter()
+            .rev()
+            .find(|(t, _, _)| *t <= cutoff)
+            .map(&select)
+            .unwrap_or(0);
+        if past == 0 {
+            return 0.0;
+        }
+        let current = self.history.last().map(&select).unwrap_or(0);
+        current as f64 / past as f64
+    }
+
+    /// Events whose time is within the lookback window behind `now` (the bound the
+    /// ring buffer must respect, up to one extra sentinel entry).
+    fn events_in_window(&self) -> usize {
+        let now = self.history.last().expect("updated at least once").0;
+        let cutoff = now.plus_secs(-HISTORY_WINDOW_SECS);
+        self.history.iter().filter(|(t, _, _)| *t > cutoff).count()
+    }
+}
+
+/// One generated event: a timestamp gap (0 keeps equal-time events in play) and the
+/// minute's observation counts. CE locations cycle over a small pool so the distinct
+/// location sets see collisions.
+#[derive(Debug, Clone)]
+struct GenEvent {
+    gap_secs: i64,
+    ce_count: u32,
+    details: usize,
+    boots: u32,
+    ue_warnings: u32,
+}
+
+fn gen_event() -> impl Strategy<Value = GenEvent> {
+    // The vendored proptest has no `prop_oneof!`; a selector drawn alongside the raw
+    // gap mixes the regimes — dense in-window traffic (4/8), gaps straddling the
+    // 1-hour edge (2/8), equal-time events (1/8) and window-flushing jumps (1/8).
+    (
+        (0u8..8, 0i64..180, 180i64..4200, 4200i64..20_000),
+        0u32..25,
+        0usize..4,
+        0u32..2,
+        0u32..3,
+    )
+        .prop_map(
+            |((kind, dense, straddle, flush), ce_count, details, boots, ue_warnings)| GenEvent {
+                gap_secs: match kind {
+                    0..=3 => dense,
+                    4..=5 => straddle,
+                    6 => 0,
+                    _ => flush,
+                },
+                ce_count,
+                details,
+                boots,
+                ue_warnings,
+            },
+        )
+}
+
+fn materialize(stream: &[GenEvent]) -> Vec<MergedEvent> {
+    let mut t = 0i64;
+    let mut k = 0u32;
+    stream
+        .iter()
+        .map(|g| {
+            t += g.gap_secs;
+            k = k.wrapping_add(1);
+            let details = (0..g.details)
+                .map(|i| {
+                    let cell = (k as usize + i) % 16;
+                    CeDetail {
+                        dimm: DimmId::new(NODE, (cell % 4) as u8),
+                        location: CellLocation::new(
+                            (cell % 2) as u8,
+                            (cell % 4) as u8,
+                            (cell / 4) as u32,
+                            (cell % 8) as u32,
+                        ),
+                        detector: Detector::DemandRead,
+                    }
+                })
+                .collect();
+            MergedEvent {
+                time: SimTime(t),
+                node: NODE,
+                ce_count: g.ce_count,
+                ce_details: details,
+                ue_warnings: g.ue_warnings,
+                boots: g.boots,
+                retired_slots: Vec::new(),
+                fatal: false,
+                ue_detector: None,
+            }
+        })
+        .collect()
+}
+
+fn assert_bit_equal(actual: &StateFeatures, reference: &UnboundedHistory) {
+    let pairs = [
+        (
+            "ce_var_1min",
+            actual.ce_var_1min,
+            reference.variation(SimTime::MINUTE, |h| h.1),
+        ),
+        (
+            "ce_var_1hour",
+            actual.ce_var_1hour,
+            reference.variation(SimTime::HOUR, |h| h.1),
+        ),
+        (
+            "boots_var_1min",
+            actual.boots_var_1min,
+            reference.variation(SimTime::MINUTE, |h| h.2),
+        ),
+        (
+            "boots_var_1hour",
+            actual.boots_var_1hour,
+            reference.variation(SimTime::HOUR, |h| h.2),
+        ),
+    ];
+    for (name, got, want) in pairs {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{name} diverged from the unbounded reference: ring {got} vs full {want}"
+        );
+    }
+    assert_eq!(actual.ce_since_start, reference.ce_total);
+    assert_eq!(actual.node_boots, reference.boots);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_buffer_extractor_matches_the_unbounded_reference_bitwise(
+        stream in proptest::collection::vec(gen_event(), 1..120),
+    ) {
+        let events = materialize(&stream);
+        let mut ring = FeatureExtractor::new(NODE, SimTime::ZERO);
+        let mut full = UnboundedHistory::new();
+        for (i, event) in events.iter().enumerate() {
+            ring.update(event);
+            full.update(event);
+            let snapshot = ring.snapshot(0.0, 1);
+            assert_bit_equal(&snapshot, &full);
+            prop_assert_eq!(ring.events_seen(), i + 1, "eviction must not change events_seen");
+            prop_assert!(
+                ring.history_len() <= full.events_in_window() + 1,
+                "history holds {} entries but only {} events are in-window (+1 sentinel)",
+                ring.history_len(),
+                full.events_in_window()
+            );
+        }
+    }
+
+    #[test]
+    fn equal_time_bursts_keep_the_scan_result_identical(
+        burst in proptest::collection::vec((0u32..25, 0u32..2), 2..20),
+        later_gap in (HISTORY_WINDOW_SECS - 120)..(HISTORY_WINDOW_SECS + 7200),
+    ) {
+        // Pathological shape for the sentinel rule: many snapshots share one
+        // timestamp, then a later event puts the cutoff at or beyond that timestamp.
+        // The unbounded reverse scan picks the *last* equal-time snapshot; the ring
+        // buffer must keep exactly it.
+        let stream: Vec<GenEvent> = burst
+            .iter()
+            .map(|&(ce_count, boots)| GenEvent {
+                gap_secs: 0,
+                ce_count,
+                details: 0,
+                boots,
+                ue_warnings: 0,
+            })
+            .chain(std::iter::once(GenEvent {
+                gap_secs: later_gap,
+                ce_count: 3,
+                details: 0,
+                boots: 0,
+                ue_warnings: 0,
+            }))
+            .collect();
+        let events = materialize(&stream);
+        let mut ring = FeatureExtractor::new(NODE, SimTime::ZERO);
+        let mut full = UnboundedHistory::new();
+        for event in &events {
+            ring.update(event);
+            full.update(event);
+            assert_bit_equal(&ring.snapshot(0.0, 1), &full);
+        }
+        if later_gap >= HISTORY_WINDOW_SECS {
+            // The cutoff reached (or passed) the burst timestamp: everything must
+            // collapse to one sentinel plus the new event.
+            prop_assert!(ring.history_len() <= 2, "the burst must collapse to one sentinel");
+        } else {
+            // Gap short of the window: the burst is still in-window and must survive.
+            prop_assert_eq!(ring.history_len(), events.len());
+        }
+    }
+}

@@ -135,7 +135,7 @@ pub fn run_policy<P: MitigationPolicy + Sync + ?Sized>(
                 state = outcome.next_state;
             }
             partial.mitigations = env.mitigation_count();
-            partial.non_mitigations = env.decisions().iter().filter(|(_, m)| !m).count() as u64;
+            partial.non_mitigations = env.non_mitigation_count();
             partial.mitigation_cost = env.total_mitigation_cost();
             partial.ue_count = env.ue_count();
             partial.ue_cost = env.total_ue_cost();

@@ -17,9 +17,13 @@
 //!
 //! The subsystem carries the repository's determinism contract: served decisions and
 //! accumulated mitigation/UE cost are **bit-identical** to the offline evaluator's
-//! `run_policy` rollout of the same timelines — at any micro-batch size, shard count
-//! and thread count. The serving-parity test suite and the `serve_throughput` stage of
-//! `perf_report` pin this.
+//! `run_policy` rollout of the same timelines — at any micro-batch size, shard count,
+//! thread count and record-retention mode. The serving-parity test suite and the
+//! `serve_throughput` stage of `perf_report` pin this.
+//!
+//! Sessions are bounded: the feature history is an O(window) ring buffer and, under
+//! the default [`RecordRetention::TotalsOnly`], the accounting keeps totals instead
+//! of per-event logs — a node session does not grow with its event stream.
 
 pub mod server;
 pub mod session;
@@ -29,3 +33,4 @@ pub use server::{
     ServedDecision,
 };
 pub use session::NodeSession;
+pub use uerl_core::session_core::RecordRetention;

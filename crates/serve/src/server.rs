@@ -29,6 +29,7 @@ use uerl_core::env::UeRecord;
 use uerl_core::event_stream::TimelineSet;
 use uerl_core::policies::{QuantMode, RlPolicy};
 use uerl_core::policy::MitigationPolicy;
+use uerl_core::session_core::RecordRetention;
 use uerl_core::state::StateFeatures;
 use uerl_jobs::schedule::NodeJobSampler;
 use uerl_trace::log::MergedEvent;
@@ -66,6 +67,11 @@ pub struct ServeConfig {
     /// The server itself is policy-agnostic; callers apply this to an RL policy via
     /// [`ServeConfig::apply_quant`] before constructing the server.
     pub quant: QuantMode,
+    /// Record retention of the node sessions ([`ServeConfig::new`] seeds it from
+    /// `UERL_RETENTION`, defaulting to totals-only: a fleet session keeps counters
+    /// and cost totals, not per-event logs, so its footprint is O(1) in the node's
+    /// event count). Counters, costs and decisions are bit-identical either way.
+    pub retention: RecordRetention,
 }
 
 impl ServeConfig {
@@ -88,6 +94,7 @@ impl ServeConfig {
             batch_size: 64,
             shards: 8,
             quant: QuantMode::from_env(),
+            retention: RecordRetention::from_env(),
         }
     }
 
@@ -152,6 +159,15 @@ impl ServeConfig {
         self
     }
 
+    /// Select the session record retention explicitly (overriding the
+    /// `UERL_RETENTION` default [`ServeConfig::new`] picked up). Full retention is
+    /// what the parity suites use to compare logs entry for entry; totals-only is
+    /// the production default.
+    pub fn with_retention(mut self, retention: RecordRetention) -> Self {
+        self.retention = retention;
+        self
+    }
+
     /// Apply this configuration's quantization mode to an RL serving policy.
     pub fn apply_quant(&self, policy: RlPolicy) -> RlPolicy {
         policy.with_quantization(self.quant)
@@ -209,9 +225,10 @@ pub struct NodeServeReport {
     pub ue_count: u64,
     /// Node-hours lost to this node's fatal events.
     pub ue_cost: f64,
-    /// Every decision served, in event order.
+    /// Every decision served, in event order (empty under totals-only retention).
     pub decisions: Vec<(SimTime, bool)>,
-    /// Every fatal event accounted, in event order.
+    /// Every fatal event accounted, in event order (empty under totals-only
+    /// retention).
     pub ue_records: Vec<UeRecord>,
 }
 
@@ -234,6 +251,9 @@ pub struct ServeReport {
     pub ue_cost: f64,
     /// Events ingested (decision requests + fatals).
     pub events: u64,
+    /// Record retention the sessions ran under (totals and counters are identical
+    /// in both modes; the per-node logs are populated only under full retention).
+    pub retention: RecordRetention,
     /// Per-node breakdowns, in node-id order.
     pub per_node: Vec<NodeServeReport>,
 }
@@ -438,6 +458,7 @@ impl<P: MitigationPolicy> FleetServer<P> {
                         config.mitigation,
                         config.seed,
                         sampler,
+                        config.retention,
                     )
                 });
                 if let Some(state) = session.observe(&event) {
@@ -473,6 +494,7 @@ impl<P: MitigationPolicy> FleetServer<P> {
                 config.mitigation,
                 config.seed,
                 sampler,
+                config.retention,
             )
         })
     }
@@ -480,6 +502,13 @@ impl<P: MitigationPolicy> FleetServer<P> {
     /// The session of a node, if it has received events.
     pub fn session(&self, node: NodeId) -> Option<&NodeSession> {
         self.shards[shard_index(node, self.shards.len())].get(&node)
+    }
+
+    /// Every live session, in node-id order within each shard (shards iterate in
+    /// shard order; use this for fleet-wide introspection such as memory accounting,
+    /// where per-session order does not matter).
+    pub fn sessions(&self) -> impl Iterator<Item = &NodeSession> {
+        self.shards.iter().flat_map(|shard| shard.values())
     }
 
     /// Fleet-wide report, accumulated in node-id order so every floating-point total
@@ -505,14 +534,11 @@ impl<P: MitigationPolicy> FleetServer<P> {
             ue_count: 0,
             ue_cost: 0.0,
             events: self.events_ingested,
+            retention: self.config.retention,
             per_node: Vec::with_capacity(sessions.len()),
         };
         for session in sessions {
-            let non_mitigations = session
-                .decisions()
-                .iter()
-                .filter(|(_, mitigated)| !mitigated)
-                .count() as u64;
+            let non_mitigations = session.non_mitigation_count();
             report.mitigations += session.mitigation_count();
             report.non_mitigations += non_mitigations;
             report.mitigation_cost += session.total_mitigation_cost();
@@ -631,7 +657,12 @@ mod tests {
 
     #[test]
     fn fatal_events_produce_no_decision_but_are_accounted() {
-        let mut server = FleetServer::new(config(), NeverMitigate, sampler());
+        // Full retention: the test inspects the per-node UE record log.
+        let mut server = FleetServer::new(
+            config().with_retention(RecordRetention::Full),
+            NeverMitigate,
+            sampler(),
+        );
         let mut out = Vec::new();
         server
             .ingest_all([event(1, 10, false), event(1, 600, true)], &mut out)
@@ -651,7 +682,11 @@ mod tests {
         // Two same-minute events of one node: the second decision must see the state
         // after the first decision was applied (the offline replay's order), which the
         // round mechanism guarantees even though both share a tick.
-        let mut server = FleetServer::new(config(), AlwaysMitigate, sampler());
+        let mut server = FleetServer::new(
+            config().with_retention(RecordRetention::Full),
+            AlwaysMitigate,
+            sampler(),
+        );
         let mut out = Vec::new();
         server
             .ingest_all([event(3, 10, false), event(3, 10, false)], &mut out)

@@ -4,19 +4,27 @@
 //! The offline environment *pulls* events from a complete timeline; a serving session
 //! is *pushed* one event at a time as the fleet produces them, keeping exactly the
 //! state the environment would hold at the same point: the incremental
-//! [`FeatureExtractor`], the node's assigned job sequence, the mitigation reference
-//! point and the running cost accounting. The event-for-event equivalence — same
-//! extractor updates, same Equation 3 cost reference, same fatal accounting, in the
-//! same order — is what makes served decisions and accumulated costs **bit-identical**
-//! to an offline [`run_policy`-style] rollout of the same timeline, and it is pinned by
-//! the serving-parity test suite.
+//! [`FeatureExtractor`], and the same [`SessionCore`] accounting type the environment
+//! itself wraps — the node's assigned job sequence, the mitigation reference point and
+//! the running cost accounting all live in that one shared type, so push mode and pull
+//! mode *cannot* drift apart. The event-for-event equivalence — same extractor
+//! updates, same Equation 3 cost reference, same fatal accounting, in the same order —
+//! is what makes served decisions and accumulated costs **bit-identical** to an
+//! offline [`run_policy`-style] rollout of the same timeline, and it is pinned by the
+//! serving-parity test suite.
+//!
+//! A session is O(window) + O(1): the extractor's feature history is a ring buffer
+//! bounded by the 1-hour lookback, and with [`RecordRetention::TotalsOnly`] (the
+//! server's default) the accounting keeps counters and cost totals instead of
+//! per-event logs — so a node session's footprint does not grow with the length of
+//! the node's event stream.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uerl_core::config::MitigationConfig;
-use uerl_core::cost;
 use uerl_core::env::UeRecord;
 use uerl_core::features::FeatureExtractor;
+use uerl_core::session_core::{RecordRetention, SessionCore};
 use uerl_core::state::StateFeatures;
 use uerl_jobs::schedule::{node_workload_seed, JobSequence, NodeJobSampler};
 use uerl_trace::log::MergedEvent;
@@ -31,16 +39,7 @@ use uerl_trace::types::{NodeId, SimTime};
 pub struct NodeSession {
     node: NodeId,
     extractor: FeatureExtractor,
-    jobs: JobSequence,
-    config: MitigationConfig,
-    last_mitigation: Option<SimTime>,
-
-    mitigation_count: u64,
-    total_mitigation_cost: f64,
-    ue_count: u64,
-    total_ue_cost: f64,
-    decisions: Vec<(SimTime, bool)>,
-    ue_records: Vec<UeRecord>,
+    core: SessionCore,
 }
 
 impl NodeSession {
@@ -53,21 +52,14 @@ impl NodeSession {
         config: MitigationConfig,
         seed: u64,
         sampler: &NodeJobSampler,
+        retention: RecordRetention,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(node_workload_seed(seed, node));
-        let jobs = sampler.sample_sequence(window_start, window_end, &mut rng);
+        let jobs: JobSequence = sampler.sample_sequence(window_start, window_end, &mut rng);
         Self {
             node,
             extractor: FeatureExtractor::new(node, window_start),
-            jobs,
-            config,
-            last_mitigation: None,
-            mitigation_count: 0,
-            total_mitigation_cost: 0.0,
-            ue_count: 0,
-            total_ue_cost: 0.0,
-            decisions: Vec::new(),
-            ue_records: Vec::new(),
+            core: SessionCore::new(jobs, config, retention),
         }
     }
 
@@ -76,68 +68,88 @@ impl NodeSession {
         self.node
     }
 
+    /// The record-retention mode of this session.
+    pub fn retention(&self) -> RecordRetention {
+        self.core.retention()
+    }
+
+    /// Decisions applied so far (mitigations plus "do nothing"s).
+    pub fn decision_count(&self) -> u64 {
+        self.core.decision_count()
+    }
+
     /// Number of mitigation actions taken.
     pub fn mitigation_count(&self) -> u64 {
-        self.mitigation_count
+        self.core.mitigation_count()
+    }
+
+    /// Number of "do nothing" decisions taken (a counter, so it is exact under
+    /// totals-only retention too).
+    pub fn non_mitigation_count(&self) -> u64 {
+        self.core.non_mitigation_count()
     }
 
     /// Node-hours spent on mitigation actions.
     pub fn total_mitigation_cost(&self) -> f64 {
-        self.total_mitigation_cost
+        self.core.total_mitigation_cost()
     }
 
     /// Number of fatal events accounted.
     pub fn ue_count(&self) -> u64 {
-        self.ue_count
+        self.core.ue_count()
     }
 
     /// Node-hours lost to fatal events.
     pub fn total_ue_cost(&self) -> f64 {
-        self.total_ue_cost
+        self.core.total_ue_cost()
     }
 
-    /// Every decision served so far: `(event time, mitigated)`, in event order.
+    /// Every decision served so far: `(event time, mitigated)`, in event order (empty
+    /// under [`RecordRetention::TotalsOnly`]).
     pub fn decisions(&self) -> &[(SimTime, bool)] {
-        &self.decisions
+        self.core.decisions()
     }
 
-    /// Every fatal event accounted so far, in event order.
+    /// Every fatal event accounted so far, in event order (empty under
+    /// [`RecordRetention::TotalsOnly`]).
     pub fn ue_records(&self) -> &[UeRecord] {
-        &self.ue_records
+        self.core.ue_records()
     }
 
-    /// Potential UE cost (Equation 3) and the running job's node count at instant `t`,
-    /// through the shared `uerl_core::cost` reference-point rule — the same function
-    /// the offline environment evaluates, so the two paths cannot drift apart.
-    fn potential_cost_at(&self, t: SimTime) -> (f64, u32) {
-        cost::potential_cost_at(&self.jobs, self.last_mitigation, self.config.restartable, t)
+    /// Entries currently held in the extractor's feature-history ring buffer
+    /// (bounded by the 1-hour lookback window, never by the stream length).
+    pub fn history_len(&self) -> usize {
+        self.extractor.history_len()
+    }
+
+    /// Approximate per-session heap footprint in bytes: the struct itself, the
+    /// extractor's ring buffer and location sets, the retained logs (zero under
+    /// totals-only retention) and the sampled job sequence. A bench-grade estimate.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.extractor.approx_heap_bytes()
+            + self.core.approx_log_bytes()
+            + self.core.jobs().len() * std::mem::size_of::<uerl_jobs::schedule::ScheduledJob>()
     }
 
     /// Absorb one event of this node (events must arrive in time order — the server
     /// enforces it on the merged stream).
     ///
-    /// A fatal event is accounted immediately — its cost, the Equation 3 accrual since
-    /// the last mitigation (or job start), is paid, and the mitigation reference is
-    /// cleared because the node leaves production and returns with fresh jobs — and
-    /// produces no decision. A non-fatal event updates the feature state and returns
-    /// the [`StateFeatures`] snapshot of the new decision request, which the server
-    /// resolves through the (micro-batched) policy and then applies via
-    /// [`NodeSession::apply_decision`].
+    /// A fatal event is accounted immediately through the shared session core — its
+    /// cost, the Equation 3 accrual since the last mitigation (or job start), is
+    /// paid, and the mitigation reference is cleared because the node leaves
+    /// production and returns with fresh jobs — and produces no decision. A non-fatal
+    /// event updates the feature state and returns the [`StateFeatures`] snapshot of
+    /// the new decision request, which the server resolves through the
+    /// (micro-batched) policy and then applies via [`NodeSession::apply_decision`].
     pub fn observe(&mut self, event: &MergedEvent) -> Option<StateFeatures> {
         if event.fatal {
-            let (ue_cost, _) = self.potential_cost_at(event.time);
-            self.ue_count += 1;
-            self.total_ue_cost += ue_cost;
-            self.ue_records.push(UeRecord {
-                time: event.time,
-                cost: ue_cost,
-            });
-            self.last_mitigation = None;
+            self.core.account_fatal(event.time);
             self.extractor.update(event);
             None
         } else {
             self.extractor.update(event);
-            let (potential, job_nodes) = self.potential_cost_at(event.time);
+            let (potential, job_nodes) = self.core.potential_cost_at(event.time);
             Some(self.extractor.snapshot(potential, job_nodes))
         }
     }
@@ -145,12 +157,7 @@ impl NodeSession {
     /// Apply a resolved decision for the request produced at `time`: record it and, if
     /// it mitigates, pay the mitigation cost and reset the cost reference point.
     pub fn apply_decision(&mut self, time: SimTime, mitigate: bool) {
-        self.decisions.push((time, mitigate));
-        if mitigate {
-            self.mitigation_count += 1;
-            self.total_mitigation_cost += self.config.mitigation_cost_node_hours();
-            self.last_mitigation = Some(time);
-        }
+        self.core.apply_decision(time, mitigate);
     }
 }
 
@@ -164,7 +171,8 @@ mod tests {
     use uerl_trace::reduction::preprocess;
 
     /// Pushing a timeline through a session must reproduce the evaluation-mode
-    /// environment bit-for-bit under any fixed decision rule.
+    /// environment bit-for-bit under any fixed decision rule — under full retention
+    /// (log-for-log) and totals-only retention (every counter and cost bit).
     #[test]
     fn pushed_session_matches_the_pull_mode_environment_bit_for_bit() {
         let log = TraceGenerator::new(SyntheticLogConfig::small(20, 60, 5)).generate();
@@ -178,36 +186,56 @@ mod tests {
 
         for timeline in timelines.timelines() {
             let offline = replay_offline(timeline, &sampler, config, seed, rule);
-            let mut session = NodeSession::new(
-                timeline.node(),
-                timeline.window_start(),
-                timeline.window_end(),
-                config,
-                seed,
-                &sampler,
-            );
-            for event in timeline.events() {
-                if let Some(state) = session.observe(event) {
-                    let mitigate = rule(&state);
-                    session.apply_decision(state.time, mitigate);
+            let replay = |retention: RecordRetention| {
+                let mut session = NodeSession::new(
+                    timeline.node(),
+                    timeline.window_start(),
+                    timeline.window_end(),
+                    config,
+                    seed,
+                    &sampler,
+                    retention,
+                );
+                for event in timeline.events() {
+                    if let Some(state) = session.observe(event) {
+                        let mitigate = rule(&state);
+                        session.apply_decision(state.time, mitigate);
+                    }
+                }
+                session
+            };
+
+            for retention in [RecordRetention::Full, RecordRetention::TotalsOnly] {
+                let session = replay(retention);
+                assert_eq!(session.mitigation_count(), offline.mitigation_count());
+                assert_eq!(
+                    session.non_mitigation_count(),
+                    offline.non_mitigation_count()
+                );
+                assert_eq!(session.ue_count(), offline.ue_count());
+                assert_eq!(
+                    session.total_mitigation_cost().to_bits(),
+                    offline.total_mitigation_cost().to_bits(),
+                    "mitigation cost diverged on node {:?}",
+                    timeline.node()
+                );
+                assert_eq!(
+                    session.total_ue_cost().to_bits(),
+                    offline.total_ue_cost().to_bits(),
+                    "UE cost diverged on node {:?}",
+                    timeline.node()
+                );
+                match retention {
+                    RecordRetention::Full => {
+                        assert_eq!(session.decisions(), offline.decisions());
+                        assert_eq!(session.ue_records(), offline.ue_records());
+                    }
+                    RecordRetention::TotalsOnly => {
+                        assert!(session.decisions().is_empty());
+                        assert!(session.ue_records().is_empty());
+                    }
                 }
             }
-            assert_eq!(session.mitigation_count(), offline.mitigation_count());
-            assert_eq!(session.ue_count(), offline.ue_count());
-            assert_eq!(
-                session.total_mitigation_cost().to_bits(),
-                offline.total_mitigation_cost().to_bits(),
-                "mitigation cost diverged on node {:?}",
-                timeline.node()
-            );
-            assert_eq!(
-                session.total_ue_cost().to_bits(),
-                offline.total_ue_cost().to_bits(),
-                "UE cost diverged on node {:?}",
-                timeline.node()
-            );
-            assert_eq!(session.decisions(), offline.decisions());
-            assert_eq!(session.ue_records(), offline.ue_records());
         }
     }
 

@@ -1,11 +1,18 @@
 //! Serving parity: the online fleet server must reproduce the offline evaluator's
 //! `run_policy` rollout **bit-for-bit** — decisions, per-node costs and fleet totals —
-//! at every micro-batch size, shard count and thread count.
+//! at every micro-batch size, shard count, thread count and record-retention mode.
 //!
 //! This is the determinism contract of the serving subsystem: micro-batching a tick's
-//! decision requests into one forward pass, sharding the per-node state and fanning
-//! ticks out over the work-stealing pool are pure execution-strategy choices that must
-//! never change a single decision.
+//! decision requests into one forward pass, sharding the per-node state, fanning
+//! ticks out over the work-stealing pool and dropping per-event logs (totals-only
+//! retention) are pure execution-strategy choices that must never change a single
+//! decision or cost bit.
+//!
+//! The suite honors `UERL_RETENTION` (CI runs it under both `full` and `totals`):
+//! totals and counters are bit-compared in every mode, the per-node logs are compared
+//! entry for entry under full retention and asserted empty under totals-only. Two
+//! tests additionally pin each retention mode explicitly, independent of the
+//! environment.
 
 use uerl::core::event_stream::TimelineSet;
 use uerl::core::policies::{AlwaysMitigate, MyopicRfPolicy, QuantMode, RlPolicy};
@@ -18,7 +25,7 @@ use uerl::eval::run::{run_policy, PolicyRun};
 use uerl::forest::{RandomForest, RandomForestConfig};
 use uerl::jobs::schedule::NodeJobSampler;
 use uerl::jobs::{JobLogConfig, JobTraceGenerator};
-use uerl::serve::{merged_fleet_stream, FleetServer, ServeConfig, ServeReport};
+use uerl::serve::{merged_fleet_stream, FleetServer, RecordRetention, ServeConfig, ServeReport};
 use uerl::trace::generator::{SyntheticLogConfig, TraceGenerator};
 use uerl::trace::reduction::preprocess;
 
@@ -53,9 +60,20 @@ fn serve<P: MitigationPolicy + Clone>(
     batch_size: usize,
     shards: usize,
 ) -> ServeReport {
+    // Retention follows `UERL_RETENTION` (the ServeConfig::new default), so CI's
+    // two-mode matrix drives this whole suite through both retention modes.
     let config = ServeConfig::for_timelines(timelines, MitigationConfig::paper_default(), SEED)
         .with_batch_size(batch_size)
         .with_shards(shards);
+    serve_with(config, policy, timelines, sampler)
+}
+
+fn serve_with<P: MitigationPolicy + Clone>(
+    config: ServeConfig,
+    policy: &P,
+    timelines: &TimelineSet,
+    sampler: &NodeJobSampler,
+) -> ServeReport {
     let mut server = FleetServer::new(config, policy.clone(), sampler.clone());
     let mut decisions = Vec::new();
     server
@@ -88,44 +106,56 @@ fn assert_parity(report: &ServeReport, offline: &PolicyRun) {
         report.ue_cost,
         offline.ue_cost
     );
-    // Per-node decision and UE logs, flattened in node-id order, must match the
-    // offline run's logs exactly (run_policy merges per-timeline partials in node-id
-    // order, each in event order).
-    let served_decisions: Vec<(u32, i64, bool)> = report
-        .per_node
-        .iter()
-        .flat_map(|n| {
-            n.decisions
+    match report.retention {
+        RecordRetention::Full => {
+            // Per-node decision and UE logs, flattened in node-id order, must match
+            // the offline run's logs exactly (run_policy merges per-timeline partials
+            // in node-id order, each in event order).
+            let served_decisions: Vec<(u32, i64, bool)> = report
+                .per_node
                 .iter()
-                .map(|&(t, m)| (n.node.0, t.0, m))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    let offline_decisions: Vec<(u32, i64, bool)> = offline
-        .decisions
-        .iter()
-        .map(|d| (d.node.0, d.time.0, d.mitigated))
-        .collect();
-    assert_eq!(
-        served_decisions, offline_decisions,
-        "decision logs diverged"
-    );
-    let served_ues: Vec<(u32, i64, u64)> = report
-        .per_node
-        .iter()
-        .flat_map(|n| {
-            n.ue_records
+                .flat_map(|n| {
+                    n.decisions
+                        .iter()
+                        .map(|&(t, m)| (n.node.0, t.0, m))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let offline_decisions: Vec<(u32, i64, bool)> = offline
+                .decisions
                 .iter()
-                .map(|r| (n.node.0, r.time.0, r.cost.to_bits()))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    let offline_ues: Vec<(u32, i64, u64)> = offline
-        .ue_events
-        .iter()
-        .map(|u| (u.node.0, u.time.0, u.cost.to_bits()))
-        .collect();
-    assert_eq!(served_ues, offline_ues, "UE logs diverged");
+                .map(|d| (d.node.0, d.time.0, d.mitigated))
+                .collect();
+            assert_eq!(
+                served_decisions, offline_decisions,
+                "decision logs diverged"
+            );
+            let served_ues: Vec<(u32, i64, u64)> = report
+                .per_node
+                .iter()
+                .flat_map(|n| {
+                    n.ue_records
+                        .iter()
+                        .map(|r| (n.node.0, r.time.0, r.cost.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let offline_ues: Vec<(u32, i64, u64)> = offline
+                .ue_events
+                .iter()
+                .map(|u| (u.node.0, u.time.0, u.cost.to_bits()))
+                .collect();
+            assert_eq!(served_ues, offline_ues, "UE logs diverged");
+        }
+        RecordRetention::TotalsOnly => {
+            // Totals-only sessions must keep no logs — that is the whole point —
+            // while every total above already matched bit-for-bit.
+            for node in &report.per_node {
+                assert!(node.decisions.is_empty(), "totals-only kept a decision log");
+                assert!(node.ue_records.is_empty(), "totals-only kept a UE log");
+            }
+        }
+    }
 }
 
 #[test]
@@ -255,6 +285,74 @@ fn non_rl_policies_also_serve_with_exact_parity() {
             &serve(&myopic, &timelines, &sampler, batch_size, 4),
             &offline_myopic,
         );
+    }
+}
+
+#[test]
+fn full_retention_serving_matches_offline_logs_regardless_of_environment() {
+    // Explicit full-retention coverage, independent of UERL_RETENTION: the per-node
+    // decision and UE logs must always be available to (and match) the offline
+    // evaluator when a caller opts in.
+    let (timelines, sampler) = fixture();
+    let offline = run_policy(
+        &AlwaysMitigate,
+        &timelines,
+        &sampler,
+        MitigationConfig::paper_default(),
+        SEED,
+    );
+    let config = ServeConfig::for_timelines(&timelines, MitigationConfig::paper_default(), SEED)
+        .with_batch_size(16)
+        .with_shards(4)
+        .with_retention(RecordRetention::Full);
+    let report = serve_with(config, &AlwaysMitigate, &timelines, &sampler);
+    assert_eq!(report.retention, RecordRetention::Full);
+    assert!(
+        report.per_node.iter().any(|n| !n.decisions.is_empty()),
+        "full retention must keep the decision logs"
+    );
+    assert_parity(&report, &offline);
+}
+
+#[test]
+fn totals_only_retention_matches_full_on_every_total_and_keeps_no_logs() {
+    // Explicit totals-only coverage, independent of UERL_RETENTION: dropping the
+    // per-event logs must not move a single counter or cost bit relative to a full-
+    // retention run of the same stream — and the logs must actually be gone.
+    let (timelines, sampler) = fixture();
+    let base = ServeConfig::for_timelines(&timelines, MitigationConfig::paper_default(), SEED)
+        .with_batch_size(16)
+        .with_shards(4);
+    let full = serve_with(
+        base.with_retention(RecordRetention::Full),
+        &AlwaysMitigate,
+        &timelines,
+        &sampler,
+    );
+    let totals = serve_with(
+        base.with_retention(RecordRetention::TotalsOnly),
+        &AlwaysMitigate,
+        &timelines,
+        &sampler,
+    );
+    assert_eq!(totals.retention, RecordRetention::TotalsOnly);
+    assert_eq!(totals.mitigations, full.mitigations);
+    assert_eq!(totals.non_mitigations, full.non_mitigations);
+    assert_eq!(totals.ue_count, full.ue_count);
+    assert_eq!(
+        totals.mitigation_cost.to_bits(),
+        full.mitigation_cost.to_bits()
+    );
+    assert_eq!(totals.ue_cost.to_bits(), full.ue_cost.to_bits());
+    assert_eq!(totals.per_node.len(), full.per_node.len());
+    for (t, f) in totals.per_node.iter().zip(&full.per_node) {
+        assert_eq!(t.node, f.node);
+        assert_eq!(t.mitigations, f.mitigations);
+        assert_eq!(t.non_mitigations, f.non_mitigations);
+        assert_eq!(t.ue_count, f.ue_count);
+        assert_eq!(t.mitigation_cost.to_bits(), f.mitigation_cost.to_bits());
+        assert_eq!(t.ue_cost.to_bits(), f.ue_cost.to_bits());
+        assert!(t.decisions.is_empty() && t.ue_records.is_empty());
     }
 }
 
