@@ -28,17 +28,20 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Read the scale from the `UERL_SCALE` environment variable.
+    /// Read the scale from the `UERL_SCALE` environment variable. Like every `UERL_*`
+    /// knob this is strict: an unrecognised value panics instead of silently running
+    /// the small scale under a label the operator never asked for.
     pub fn from_env() -> Self {
-        match std::env::var("UERL_SCALE")
-            .unwrap_or_default()
-            .to_lowercase()
-            .as_str()
-        {
-            "paper" => Scale::Paper,
-            "laptop" => Scale::Laptop,
-            _ => Scale::Small,
-        }
+        uerl_core::knobs::env_choice(
+            "UERL_SCALE",
+            &[
+                ("", Scale::Small),
+                ("small", Scale::Small),
+                ("laptop", Scale::Laptop),
+                ("paper", Scale::Paper),
+            ],
+            Scale::Small,
+        )
     }
 
     /// Human-readable label.

@@ -44,19 +44,28 @@ impl QuantMode {
     /// Panics on any other value — a silently misread knob would invalidate a
     /// measurement run.
     pub fn parse(value: &str) -> Self {
-        match value {
-            "" | "off" => QuantMode::Off,
-            "i8" => QuantMode::I8,
-            other => panic!("UERL_QUANT must be 'off' or 'i8', got {other:?}"),
-        }
+        crate::knobs::choice(
+            "UERL_QUANT",
+            value,
+            &[
+                ("", QuantMode::Off),
+                ("off", QuantMode::Off),
+                ("i8", QuantMode::I8),
+            ],
+        )
     }
 
     /// The mode selected by the `UERL_QUANT` environment variable (default: off).
     pub fn from_env() -> Self {
-        match std::env::var("UERL_QUANT") {
-            Ok(value) => Self::parse(&value),
-            Err(_) => QuantMode::Off,
-        }
+        crate::knobs::env_choice(
+            "UERL_QUANT",
+            &[
+                ("", QuantMode::Off),
+                ("off", QuantMode::Off),
+                ("i8", QuantMode::I8),
+            ],
+            QuantMode::Off,
+        )
     }
 }
 

@@ -1,9 +1,12 @@
 //! The shared per-node session accounting core.
 //!
-//! Exactly one type owns every parity-critical accounting rule of a node session:
-//! the Equation 3 cost reference point (`last_mitigation`, reset by restartable
-//! mitigations, cleared when a fatal event pulls the node from production), the
-//! mitigation / UE counters and cost totals, and the decision / UE record logs.
+//! Exactly one type owns every parity-critical accounting rule of a cost lane:
+//! [`CostAccount`] holds the Equation 3 cost reference point (`last_mitigation`, reset
+//! by restartable mitigations, cleared when a fatal event pulls the node from
+//! production), the mitigation / UE counters and cost totals, and the decision / UE
+//! record logs — borrowing the job sequence at each call. [`SessionCore`] binds one
+//! account to a node's owned jobs and configuration; the serving crate's shadow-policy
+//! scoring runs extra accounts against the same shared jobs.
 //!
 //! Both the pull-mode [`crate::env::MitigationEnv`] (offline training and evaluation)
 //! and the push-mode `NodeSession` of the serving crate wrap a [`SessionCore`] instead
@@ -56,33 +59,46 @@ impl RecordRetention {
     /// Panics on any other value — a silently misread knob would invalidate a
     /// measurement run.
     pub fn parse(value: &str) -> Self {
-        match value {
-            "" | "totals" => RecordRetention::TotalsOnly,
-            "full" => RecordRetention::Full,
-            other => panic!("UERL_RETENTION must be 'full' or 'totals', got {other:?}"),
-        }
+        crate::knobs::choice(
+            "UERL_RETENTION",
+            value,
+            &[
+                ("", RecordRetention::TotalsOnly),
+                ("totals", RecordRetention::TotalsOnly),
+                ("full", RecordRetention::Full),
+            ],
+        )
     }
 
     /// The serving-side retention selected by the `UERL_RETENTION` environment
     /// variable (default: totals-only — a fleet session should not grow with its
     /// node's event count).
     pub fn from_env() -> Self {
-        match std::env::var("UERL_RETENTION") {
-            Ok(value) => Self::parse(&value),
-            Err(_) => RecordRetention::TotalsOnly,
-        }
+        crate::knobs::env_choice(
+            "UERL_RETENTION",
+            &[
+                ("", RecordRetention::TotalsOnly),
+                ("totals", RecordRetention::TotalsOnly),
+                ("full", RecordRetention::Full),
+            ],
+            RecordRetention::TotalsOnly,
+        )
     }
 }
 
-/// The accounting state of one node session, shared verbatim between the pull-mode
-/// environment and the push-mode serving session.
-#[derive(Debug, Clone)]
-pub struct SessionCore {
-    jobs: JobSequence,
-    config: MitigationConfig,
-    retention: RecordRetention,
+/// The accounting state of one *cost lane*: the Equation 3 reference point, the
+/// mitigation / UE counters and cost totals, and the (retention-gated) logs — all the
+/// parity-critical bookkeeping, with the job sequence and configuration **borrowed at
+/// each call** rather than owned.
+///
+/// [`SessionCore`] wraps exactly one of these for the policy actually being served.
+/// The serving crate's shadow-policy scoring holds one additional `CostAccount` per
+/// shadow policy on each node, all sharing that node's single job sequence — which is
+/// what keeps counterfactual scoring O(1) per lane and, because every lane runs these
+/// same methods, bit-identical to an offline rollout of the same policy.
+#[derive(Debug, Clone, Default)]
+pub struct CostAccount {
     last_mitigation: Option<SimTime>,
-
     decision_count: u64,
     mitigation_count: u64,
     total_mitigation_cost: f64,
@@ -92,6 +108,130 @@ pub struct SessionCore {
     ue_records: Vec<UeRecord>,
 }
 
+impl CostAccount {
+    /// A fresh, zeroed account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Potential UE cost (Equation 3) and the running job's node count at instant
+    /// `t`, measured from the job start or — when mitigations are restartable — this
+    /// lane's last mitigation.
+    pub fn potential_cost_at(
+        &self,
+        jobs: &JobSequence,
+        restartable: bool,
+        t: SimTime,
+    ) -> (f64, u32) {
+        cost::potential_cost_at(jobs, self.last_mitigation, restartable, t)
+    }
+
+    /// Account one fatal event at time `t` and return its cost: the Equation 3
+    /// accrual since this lane's last mitigation (or job start), after which the
+    /// mitigation reference is cleared (the node leaves production).
+    pub fn account_fatal(
+        &mut self,
+        jobs: &JobSequence,
+        restartable: bool,
+        retention: RecordRetention,
+        t: SimTime,
+    ) -> f64 {
+        let (ue_cost, _) = self.potential_cost_at(jobs, restartable, t);
+        self.ue_count += 1;
+        self.total_ue_cost += ue_cost;
+        if retention == RecordRetention::Full {
+            self.ue_records.push(UeRecord {
+                time: t,
+                cost: ue_cost,
+            });
+        }
+        self.last_mitigation = None;
+        ue_cost
+    }
+
+    /// Apply one resolved decision at time `t`: record it and, if it mitigates, pay
+    /// `mitigation_cost_node_hours` and reset the Equation 3 reference point. Returns
+    /// the node-hours paid (0 for "do nothing").
+    pub fn apply_decision(
+        &mut self,
+        t: SimTime,
+        mitigate: bool,
+        mitigation_cost_node_hours: f64,
+        retention: RecordRetention,
+    ) -> f64 {
+        self.decision_count += 1;
+        if retention == RecordRetention::Full {
+            self.decisions.push((t, mitigate));
+        }
+        if mitigate {
+            self.mitigation_count += 1;
+            self.total_mitigation_cost += mitigation_cost_node_hours;
+            self.last_mitigation = Some(t);
+            mitigation_cost_node_hours
+        } else {
+            0.0
+        }
+    }
+
+    /// Decisions applied so far (mitigations plus "do nothing"s).
+    pub fn decision_count(&self) -> u64 {
+        self.decision_count
+    }
+
+    /// Number of mitigation actions taken.
+    pub fn mitigation_count(&self) -> u64 {
+        self.mitigation_count
+    }
+
+    /// Number of "do nothing" decisions taken.
+    pub fn non_mitigation_count(&self) -> u64 {
+        self.decision_count - self.mitigation_count
+    }
+
+    /// Node-hours spent on mitigation actions.
+    pub fn total_mitigation_cost(&self) -> f64 {
+        self.total_mitigation_cost
+    }
+
+    /// Number of fatal events accounted.
+    pub fn ue_count(&self) -> u64 {
+        self.ue_count
+    }
+
+    /// Node-hours lost to fatal events.
+    pub fn total_ue_cost(&self) -> f64 {
+        self.total_ue_cost
+    }
+
+    /// Every decision so far, in event order (empty under totals-only retention).
+    pub fn decisions(&self) -> &[(SimTime, bool)] {
+        &self.decisions
+    }
+
+    /// Every fatal event accounted so far, in event order (empty under totals-only
+    /// retention).
+    pub fn ue_records(&self) -> &[UeRecord] {
+        &self.ue_records
+    }
+
+    /// Approximate heap footprint of the logs in bytes.
+    pub fn approx_log_bytes(&self) -> usize {
+        self.decisions.capacity() * std::mem::size_of::<(SimTime, bool)>()
+            + self.ue_records.capacity() * std::mem::size_of::<UeRecord>()
+    }
+}
+
+/// The accounting state of one node session, shared verbatim between the pull-mode
+/// environment and the push-mode serving session: a [`CostAccount`] bound to the
+/// node's owned job sequence, configuration and retention mode.
+#[derive(Debug, Clone)]
+pub struct SessionCore {
+    jobs: JobSequence,
+    config: MitigationConfig,
+    retention: RecordRetention,
+    account: CostAccount,
+}
+
 impl SessionCore {
     /// A fresh session over a node's assigned job sequence.
     pub fn new(jobs: JobSequence, config: MitigationConfig, retention: RecordRetention) -> Self {
@@ -99,14 +239,7 @@ impl SessionCore {
             jobs,
             config,
             retention,
-            last_mitigation: None,
-            decision_count: 0,
-            mitigation_count: 0,
-            total_mitigation_cost: 0.0,
-            ue_count: 0,
-            total_ue_cost: 0.0,
-            decisions: Vec::new(),
-            ue_records: Vec::new(),
+            account: CostAccount::new(),
         }
     }
 
@@ -127,57 +260,58 @@ impl SessionCore {
 
     /// Decisions applied so far (mitigations plus "do nothing"s).
     pub fn decision_count(&self) -> u64 {
-        self.decision_count
+        self.account.decision_count()
     }
 
     /// Number of mitigation actions taken.
     pub fn mitigation_count(&self) -> u64 {
-        self.mitigation_count
+        self.account.mitigation_count()
     }
 
     /// Number of "do nothing" decisions taken. Counted explicitly so totals-only
     /// sessions report it without a decision log.
     pub fn non_mitigation_count(&self) -> u64 {
-        self.decision_count - self.mitigation_count
+        self.account.non_mitigation_count()
     }
 
     /// Node-hours spent on mitigation actions.
     pub fn total_mitigation_cost(&self) -> f64 {
-        self.total_mitigation_cost
+        self.account.total_mitigation_cost()
     }
 
     /// Number of fatal events accounted.
     pub fn ue_count(&self) -> u64 {
-        self.ue_count
+        self.account.ue_count()
     }
 
     /// Node-hours lost to fatal events.
     pub fn total_ue_cost(&self) -> f64 {
-        self.total_ue_cost
+        self.account.total_ue_cost()
     }
 
     /// Total cost: UE cost plus mitigation cost.
     pub fn total_cost(&self) -> f64 {
-        self.total_ue_cost + self.total_mitigation_cost
+        self.account.total_ue_cost() + self.account.total_mitigation_cost()
     }
 
     /// Every decision so far: `(event time, mitigated)`, in event order (empty under
     /// [`RecordRetention::TotalsOnly`]).
     pub fn decisions(&self) -> &[(SimTime, bool)] {
-        &self.decisions
+        self.account.decisions()
     }
 
     /// Every fatal event accounted so far, in event order (empty under
     /// [`RecordRetention::TotalsOnly`]).
     pub fn ue_records(&self) -> &[UeRecord] {
-        &self.ue_records
+        self.account.ue_records()
     }
 
     /// Potential UE cost (Equation 3) and the running job's node count at instant
     /// `t`, measured from the job start or — when mitigations are restartable — the
     /// last mitigation. The single shared home of the cost reference-point rule.
     pub fn potential_cost_at(&self, t: SimTime) -> (f64, u32) {
-        cost::potential_cost_at(&self.jobs, self.last_mitigation, self.config.restartable, t)
+        self.account
+            .potential_cost_at(&self.jobs, self.config.restartable, t)
     }
 
     /// Account one fatal event at time `t` and return its cost.
@@ -186,43 +320,26 @@ impl SessionCore {
     /// accounted first — and the mitigation reference is then cleared, because the
     /// node leaves production and returns with fresh jobs.
     pub fn account_fatal(&mut self, t: SimTime) -> f64 {
-        let (ue_cost, _) = self.potential_cost_at(t);
-        self.ue_count += 1;
-        self.total_ue_cost += ue_cost;
-        if self.retention == RecordRetention::Full {
-            self.ue_records.push(UeRecord {
-                time: t,
-                cost: ue_cost,
-            });
-        }
-        self.last_mitigation = None;
-        ue_cost
+        self.account
+            .account_fatal(&self.jobs, self.config.restartable, self.retention, t)
     }
 
     /// Apply one resolved decision at time `t`: record it and, if it mitigates, pay
     /// the mitigation cost and reset the Equation 3 reference point. Returns the
     /// node-hours paid (0 for "do nothing").
     pub fn apply_decision(&mut self, t: SimTime, mitigate: bool) -> f64 {
-        self.decision_count += 1;
-        if self.retention == RecordRetention::Full {
-            self.decisions.push((t, mitigate));
-        }
-        if mitigate {
-            let cost = self.config.mitigation_cost_node_hours();
-            self.mitigation_count += 1;
-            self.total_mitigation_cost += cost;
-            self.last_mitigation = Some(t);
-            cost
-        } else {
-            0.0
-        }
+        self.account.apply_decision(
+            t,
+            mitigate,
+            self.config.mitigation_cost_node_hours(),
+            self.retention,
+        )
     }
 
     /// Approximate heap footprint of the accounting state in bytes (the logs; the
     /// job sequence is excluded — it is sampled up front and never grows).
     pub fn approx_log_bytes(&self) -> usize {
-        self.decisions.capacity() * std::mem::size_of::<(SimTime, bool)>()
-            + self.ue_records.capacity() * std::mem::size_of::<UeRecord>()
+        self.account.approx_log_bytes()
     }
 }
 

@@ -15,9 +15,46 @@ use crate::state::STATE_DIM;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use uerl_jobs::schedule::NodeJobSampler;
+use uerl_obs::{registry, Counter, Histogram, MetricClass};
 use uerl_rl::{AgentConfig, DqnAgent, Transition};
+
+/// Training-chunk instruments. Steps and episodes are event-time (deterministic for a
+/// seeded session); the chunk duration is wall-clock and excluded from fingerprints.
+struct TrainerMetrics {
+    steps: Arc<Counter>,
+    episodes: Arc<Counter>,
+    chunk_duration_nanos: Arc<Histogram>,
+}
+
+fn trainer_metrics() -> &'static TrainerMetrics {
+    static METRICS: OnceLock<TrainerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = registry();
+        TrainerMetrics {
+            steps: r.counter(
+                "uerl_train_steps_total",
+                "Environment steps trained across all sessions",
+                &[],
+                MetricClass::EventTime,
+            ),
+            episodes: r.counter(
+                "uerl_train_episodes_total",
+                "Training episodes completed across all sessions",
+                &[],
+                MetricClass::EventTime,
+            ),
+            chunk_duration_nanos: r.histogram(
+                "uerl_train_chunk_duration_nanos",
+                "Wall-clock duration of each train_until_steps chunk",
+                &[],
+                MetricClass::WallClock,
+            ),
+        }
+    })
+}
 
 /// Configuration of the training loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -209,6 +246,8 @@ impl TrainingSession {
     ) -> u64 {
         let start = Instant::now();
         let before = self.total_steps;
+        let episodes_before = self.episodes_run;
+        let _chunk_span = trainer_metrics().chunk_duration_nanos.span();
         while self.episodes_run < self.config.episodes && self.total_steps < target_steps {
             let Some(timeline) = timelines.random_timeline(&mut self.rng) else {
                 break;
@@ -260,6 +299,9 @@ impl TrainingSession {
             self.total_return += episode_return;
         }
         self.wall_secs += start.elapsed().as_secs_f64();
+        let m = trainer_metrics();
+        m.steps.add(self.total_steps - before);
+        m.episodes.add((self.episodes_run - episodes_before) as u64);
         self.total_steps - before
     }
 

@@ -403,13 +403,17 @@ fn train_rl_agent(
 pub fn halving_enabled(budget: &EvalBudget) -> bool {
     static OVERRIDE: OnceLock<Option<bool>> = OnceLock::new();
     OVERRIDE
-        .get_or_init(
-            || match std::env::var("UERL_HYPER_SEARCH").ok().as_deref() {
-                Some("halving") => Some(true),
-                Some("exhaustive") => Some(false),
-                _ => None,
-            },
-        )
+        .get_or_init(|| {
+            uerl_core::knobs::env_choice(
+                "UERL_HYPER_SEARCH",
+                &[
+                    ("", None),
+                    ("halving", Some(true)),
+                    ("exhaustive", Some(false)),
+                ],
+                None,
+            )
+        })
         .unwrap_or(budget.hyper_halving)
 }
 

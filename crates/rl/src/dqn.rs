@@ -562,6 +562,7 @@ impl DqnAgent {
     /// Force a target-network synchronisation.
     pub fn sync_target(&mut self) {
         self.target.sync_from(&self.online);
+        crate::metrics::metrics().target_syncs.inc();
     }
 
     /// Run one gradient update on a replayed mini-batch. Returns the batch loss, or
@@ -668,6 +669,14 @@ impl DqnAgent {
         // Refresh priorities and the target network.
         if let ReplayMemory::Prioritized(per) = &mut self.replay {
             per.update_priorities(&indices, &td_errors);
+        }
+        if uerl_obs::enabled() {
+            let m = crate::metrics::metrics();
+            m.updates.inc();
+            m.replay_len.set(self.replay.len() as f64);
+            for &e in &td_errors {
+                m.td_error_micros.record_micros(e);
+            }
         }
         self.updates += 1;
         if self

@@ -21,6 +21,7 @@
 
 pub mod dqn;
 pub mod hyper;
+pub mod metrics;
 pub mod per;
 pub mod replay;
 pub mod schedule;

@@ -1,0 +1,59 @@
+//! Training-loop metrics: instruments registered once in the global
+//! [`uerl_obs::registry`] and shared by every agent in the process.
+//!
+//! Everything here is **event-time** (deterministic given the seeded training
+//! sequence): gradient updates, target-network syncs, replay occupancy and the TD-error
+//! distribution do not depend on wall clocks or scheduling, so they participate in the
+//! snapshot fingerprint. The instruments are always registered; recording is gated
+//! inside `uerl-obs` by `UERL_METRICS`, so with the gate closed each hook is one
+//! relaxed atomic load.
+
+use std::sync::{Arc, OnceLock};
+use uerl_obs::{registry, Counter, Gauge, Histogram, MetricClass};
+
+/// Handles to the training-side instruments.
+pub struct RlMetrics {
+    /// Gradient updates performed (`train_step` calls that sampled a batch).
+    pub updates: Arc<Counter>,
+    /// Target-network synchronisations.
+    pub target_syncs: Arc<Counter>,
+    /// Current replay-memory occupancy (transitions).
+    pub replay_len: Arc<Gauge>,
+    /// Distribution of |TD error| per replayed sample, recorded in micro-units
+    /// (|error| × 1e6, rounded) so the log2 buckets resolve sub-1.0 errors.
+    pub td_error_micros: Arc<Histogram>,
+}
+
+/// The process-wide training instruments (registered on first use).
+pub fn metrics() -> &'static RlMetrics {
+    static METRICS: OnceLock<RlMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = registry();
+        RlMetrics {
+            updates: r.counter(
+                "uerl_rl_train_updates_total",
+                "Gradient updates performed across all agents",
+                &[],
+                MetricClass::EventTime,
+            ),
+            target_syncs: r.counter(
+                "uerl_rl_target_syncs_total",
+                "Target-network synchronisations across all agents",
+                &[],
+                MetricClass::EventTime,
+            ),
+            replay_len: r.gauge(
+                "uerl_rl_replay_len",
+                "Replay-memory occupancy after the most recent update",
+                &[],
+                MetricClass::EventTime,
+            ),
+            td_error_micros: r.histogram(
+                "uerl_rl_td_error_micros",
+                "Absolute TD error per replayed sample, in micro-units (|e| * 1e6)",
+                &[],
+                MetricClass::EventTime,
+            ),
+        }
+    })
+}

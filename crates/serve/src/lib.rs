@@ -14,6 +14,11 @@
 //!   stacked into one batched forward pass through
 //!   [`uerl_core::policy::MitigationPolicy::decide_batch`]), and the out-of-order
 //!   ingestion guard.
+//! * [`metrics`] — the serving instruments (tick tracing, decision counters,
+//!   accumulated Equation 3 costs, work-stealing pool gauges) fed into the
+//!   process-wide [`uerl_obs`] registry, plus **shadow-policy scoring**: baseline
+//!   policies scored counterfactually on the identical served stream, with a live
+//!   cost-regret gauge ([`FleetServer::with_shadow_policies`]).
 //!
 //! The subsystem carries the repository's determinism contract: served decisions and
 //! accumulated mitigation/UE cost are **bit-identical** to the offline evaluator's
@@ -25,12 +30,14 @@
 //! the default [`RecordRetention::TotalsOnly`], the accounting keeps totals instead
 //! of per-event logs — a node session does not grow with its event stream.
 
+pub mod metrics;
 pub mod server;
 pub mod session;
 
+pub use metrics::{serve_metrics, ServeMetrics};
 pub use server::{
     merged_fleet_stream, FleetServer, NodeServeReport, OutOfOrderEvent, ServeConfig, ServeReport,
-    ServedDecision,
+    ServedDecision, ShadowPolicy, ShadowScore,
 };
-pub use session::NodeSession;
+pub use session::{NodeSession, Observed};
 pub use uerl_core::session_core::RecordRetention;

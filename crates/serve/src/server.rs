@@ -22,8 +22,10 @@
 //! the offline evaluator's `run_policy` rollout** of the same timelines — at any batch
 //! size, shard count and thread count. The serving-parity suite pins this.
 
-use crate::session::NodeSession;
+use crate::metrics::{serve_metrics, shadow_cost_gauge};
+use crate::session::{NodeSession, Observed};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use uerl_core::config::MitigationConfig;
 use uerl_core::env::UeRecord;
 use uerl_core::event_stream::TimelineSet;
@@ -32,8 +34,12 @@ use uerl_core::policy::MitigationPolicy;
 use uerl_core::session_core::RecordRetention;
 use uerl_core::state::StateFeatures;
 use uerl_jobs::schedule::NodeJobSampler;
+use uerl_obs::Gauge;
 use uerl_trace::log::MergedEvent;
 use uerl_trace::types::{NodeId, SimTime};
+
+/// A policy scored counterfactually alongside the served one.
+pub type ShadowPolicy = Arc<dyn MitigationPolicy + Send + Sync>;
 
 /// One node shard: the sessions of every node routed to it, keyed (and iterated) in
 /// node-id order.
@@ -45,6 +51,19 @@ type Shard = BTreeMap<NodeId, NodeSession>;
 /// they produce identical state either way (the per-node work is the same; only the
 /// request-assembly order differs, and both end in node-id order).
 const PARALLEL_TICK_THRESHOLD: usize = 64;
+
+/// Sample rate of the wall-clock tick-duration span: one tick in this many reads the
+/// clock. Most ticks of a per-minute merged stream hold a single event, so timing
+/// every tick would make the two `Instant::now` calls a measurable fraction of the
+/// tick itself; sampling keeps the histogram representative (it is wall-clock class,
+/// excluded from fingerprints) at ~1/8 of the cost.
+const TICK_SPAN_SAMPLE: u64 = 8;
+
+/// The internal per-tick flush republishes the cost/regret/pool gauges one tick in
+/// this many (an explicit [`FleetServer::flush`] always republishes). The gauge
+/// *values* stay event-time deterministic — the cadence is a tick count, never wall
+/// clock — and the final state after a stream's closing flush is exact.
+const GAUGE_UPDATE_TICKS: u64 = 64;
 
 /// Configuration of a [`FleetServer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -265,6 +284,51 @@ impl ServeReport {
     }
 }
 
+/// The costs one fatal event charged: the served lane's and each shadow lane's.
+#[derive(Debug, Clone)]
+struct FatalCost {
+    node: NodeId,
+    ue_cost: f64,
+    shadow_ue_costs: Vec<f64>,
+}
+
+/// Cumulative cost totals accumulated in served event order (deterministic at any
+/// thread, shard and batch configuration — the accumulation order is node-id order
+/// within each round).
+#[derive(Debug, Clone, Copy, Default)]
+struct RunningCost {
+    mitigation_cost: f64,
+    ue_cost: f64,
+}
+
+/// Fleet-wide counterfactual totals of one shadow policy, accumulated in node-id
+/// order (bit-comparable to the offline evaluator's `PolicyRun` of the same policy
+/// over the same timelines).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowScore {
+    /// Name of the shadow policy.
+    pub policy: String,
+    /// Mitigations the shadow policy would have ordered.
+    pub mitigations: u64,
+    /// "Do nothing" decisions the shadow policy would have taken.
+    pub non_mitigations: u64,
+    /// Counterfactual mitigation node-hours plus the policy's training cost (charged
+    /// once, exactly as the offline cost-benefit accounting does).
+    pub mitigation_cost: f64,
+    /// Fatal events (identical for every lane — fatals are decision-independent in
+    /// this counterfactual model; only their *cost* depends on the lane's reference).
+    pub ue_count: u64,
+    /// Counterfactual node-hours lost to fatal events.
+    pub ue_cost: f64,
+}
+
+impl ShadowScore {
+    /// Total counterfactual cost: UE cost plus mitigation (and training) cost.
+    pub fn total_cost(&self) -> f64 {
+        self.ue_cost + self.mitigation_cost
+    }
+}
+
 /// The online mitigation service for a fleet of nodes.
 pub struct FleetServer<P: MitigationPolicy> {
     config: ServeConfig,
@@ -274,7 +338,12 @@ pub struct FleetServer<P: MitigationPolicy> {
     tick_time: Option<SimTime>,
     tick_events: Vec<MergedEvent>,
     events_ingested: u64,
+    ticks_flushed: u64,
     decision_buf: Vec<bool>,
+    shadow_policies: Vec<ShadowPolicy>,
+    shadow_gauges: Vec<Arc<Gauge>>,
+    served_running: RunningCost,
+    shadow_running: Vec<RunningCost>,
 }
 
 impl<P: MitigationPolicy> FleetServer<P> {
@@ -290,8 +359,51 @@ impl<P: MitigationPolicy> FleetServer<P> {
             tick_time: None,
             tick_events: Vec::new(),
             events_ingested: 0,
+            ticks_flushed: 0,
             decision_buf: Vec::new(),
+            shadow_policies: Vec::new(),
+            shadow_gauges: Vec::new(),
+            served_running: RunningCost::default(),
+            shadow_running: Vec::new(),
         }
+    }
+
+    /// Attach shadow policies: each is scored counterfactually on the identical
+    /// served stream — same events, same feature states, its own Equation 3 cost
+    /// reference per node — without influencing any served decision. Their fleet
+    /// totals come back through [`FleetServer::shadow_report`] and feed the live
+    /// cost-regret gauge.
+    ///
+    /// # Panics
+    /// Panics after the first event was ingested (sessions allocate their lanes at
+    /// creation), or if two shadow policies share a name (their metric labels — and
+    /// report rows — would collide).
+    pub fn with_shadow_policies(mut self, policies: Vec<ShadowPolicy>) -> Self {
+        assert!(
+            self.events_ingested == 0 && self.live_nodes() == 0,
+            "shadow policies must be attached before the first event is ingested"
+        );
+        for (i, a) in policies.iter().enumerate() {
+            for b in policies.iter().skip(i + 1) {
+                assert!(
+                    a.name() != b.name(),
+                    "duplicate shadow policy name {:?}",
+                    a.name()
+                );
+            }
+        }
+        self.shadow_gauges = policies
+            .iter()
+            .map(|p| shadow_cost_gauge(p.name()))
+            .collect();
+        self.shadow_running = vec![RunningCost::default(); policies.len()];
+        self.shadow_policies = policies;
+        self
+    }
+
+    /// The attached shadow policies, lane order.
+    pub fn shadow_policies(&self) -> &[ShadowPolicy] {
+        &self.shadow_policies
     }
 
     /// The configuration.
@@ -329,6 +441,7 @@ impl<P: MitigationPolicy> FleetServer<P> {
     ) -> Result<(), OutOfOrderEvent> {
         if let Some(tick) = self.tick_time {
             if event.time < tick {
+                serve_metrics().out_of_order.inc();
                 return Err(OutOfOrderEvent {
                     node: event.node,
                     time: event.time,
@@ -336,7 +449,7 @@ impl<P: MitigationPolicy> FleetServer<P> {
                 });
             }
             if event.time > tick {
-                self.flush(out);
+                self.flush_tick(out);
             }
         }
         self.tick_time = Some(event.time);
@@ -365,11 +478,33 @@ impl<P: MitigationPolicy> FleetServer<P> {
     /// Flush the open tick: absorb its events shard-parallel, answer its decision
     /// requests in node-id-ordered micro-batches, apply and emit the decisions.
     /// Called automatically when a later tick starts; call it after the last event of
-    /// a stream (or use [`FleetServer::ingest_all`], which does).
+    /// a stream (or use [`FleetServer::ingest_all`], which does). An explicit flush
+    /// also republishes the cost/regret gauges, which the internal per-tick flush
+    /// refreshes only every [`GAUGE_UPDATE_TICKS`] ticks to stay off the hot path.
     pub fn flush(&mut self, out: &mut Vec<ServedDecision>) {
+        self.flush_tick(out);
+        self.update_gauges();
+    }
+
+    /// The per-tick flush body (the path `ingest` takes when a newer timestamp rolls
+    /// the tick over). Wall-clock tick spans are sampled one tick in
+    /// [`TICK_SPAN_SAMPLE`] and the gauges are republished one tick in
+    /// [`GAUGE_UPDATE_TICKS`]; every event-time counter and histogram still records
+    /// every tick.
+    // The `%`-spelled cadence checks stay: swapping them for `is_multiple_of` measured
+    // several percent slower on the single-core obs_overhead gate (the zero-divisor
+    // branch does not fold away here), and this is the per-tick hot path.
+    #[allow(clippy::manual_is_multiple_of)]
+    fn flush_tick(&mut self, out: &mut Vec<ServedDecision>) {
         if self.tick_events.is_empty() {
             return;
         }
+        let metrics = serve_metrics();
+        let _tick_span = (self.ticks_flushed % TICK_SPAN_SAMPLE == 0)
+            .then(|| metrics.tick_duration_nanos.span());
+        self.ticks_flushed += 1;
+        metrics.tick_events.record(self.tick_events.len() as u64);
+        metrics.events.add(self.tick_events.len() as u64);
         // Group the tick's events per node, preserving per-node arrival order. A node
         // normally contributes one merged event per tick (the stream is per-minute
         // merged), but duplicates are legal: they are served in *rounds* — one event
@@ -380,6 +515,7 @@ impl<P: MitigationPolicy> FleetServer<P> {
             per_node.entry(event.node).or_default().push(event);
         }
         let mut round: Vec<(NodeId, MergedEvent)> = Vec::with_capacity(per_node.len());
+        let mut rounds = 0u64;
         while !per_node.is_empty() {
             round.clear();
             for (node, events) in per_node.iter_mut() {
@@ -387,26 +523,88 @@ impl<P: MitigationPolicy> FleetServer<P> {
             }
             per_node.retain(|_, events| !events.is_empty());
             self.serve_round(&mut round, out);
+            rounds += 1;
+        }
+        if rounds > 1 {
+            metrics.duplicate_rounds.add(rounds - 1);
+        }
+        if self.ticks_flushed % GAUGE_UPDATE_TICKS == 0 {
+            self.update_gauges();
         }
     }
 
+    /// Refresh the cost / regret gauges and poll the work-stealing pool counters.
+    /// Gauge *values* are event-time deterministic (they mirror the running totals);
+    /// the pool statistics are wall-clock scheduler state.
+    fn update_gauges(&self) {
+        if !uerl_obs::enabled() {
+            return;
+        }
+        let metrics = serve_metrics();
+        let served_mitigation =
+            self.served_running.mitigation_cost + self.policy.training_cost_node_hours();
+        metrics.served_mitigation_cost.set(served_mitigation);
+        metrics.served_ue_cost.set(self.served_running.ue_cost);
+        let served_total = served_mitigation + self.served_running.ue_cost;
+        let mut best_shadow: Option<f64> = None;
+        for (lane, gauge) in self.shadow_gauges.iter().enumerate() {
+            let total = self.shadow_running[lane].mitigation_cost
+                + self.shadow_policies[lane].training_cost_node_hours()
+                + self.shadow_running[lane].ue_cost;
+            gauge.set(total);
+            best_shadow = Some(best_shadow.map_or(total, |b: f64| b.min(total)));
+        }
+        if let Some(best) = best_shadow {
+            metrics.shadow_regret.set(served_total - best);
+        }
+        let pool = rayon::pool_stats();
+        metrics.pool_jobs_executed.set(pool.jobs_executed as f64);
+        metrics.pool_steals.set(pool.steals as f64);
+        metrics
+            .pool_injector_depth_hwm
+            .set(pool.injector_depth_hwm as f64);
+        metrics
+            .pool_deque_depth_hwm
+            .set(pool.deque_depth_hwm as f64);
+    }
+
     /// Serve one round (at most one event per node, node-id order): absorb the events,
-    /// micro-batch the resulting decision requests, apply and emit the decisions.
+    /// micro-batch the resulting decision requests, apply and emit the decisions,
+    /// then replay the same requests through every shadow lane.
     fn serve_round(
         &mut self,
         round: &mut Vec<(NodeId, MergedEvent)>,
         out: &mut Vec<ServedDecision>,
     ) {
-        let (nodes, states) = self.observe_round(round);
+        let (nodes, states, fatals) = self.observe_round(round);
+        // Fold the round's fatal costs into the running totals in node-id order
+        // (observe_round returns them sorted), keeping the f64 accumulation order —
+        // and therefore every gauge bit — independent of shard and thread count.
+        for fatal in &fatals {
+            self.served_running.ue_cost += fatal.ue_cost;
+            for (lane, &cost) in fatal.shadow_ue_costs.iter().enumerate() {
+                self.shadow_running[lane].ue_cost += cost;
+            }
+        }
+        let metrics = serve_metrics();
         let batch = self.config.batch_size;
+        let mut mitigated = 0u64;
+        let mut not_mitigated = 0u64;
         for (node_chunk, state_chunk) in nodes.chunks(batch).zip(states.chunks(batch)) {
+            metrics.batch_size.record(state_chunk.len() as u64);
             self.decision_buf.clear();
             self.policy
                 .decide_batch(state_chunk, &mut self.decision_buf);
             debug_assert_eq!(self.decision_buf.len(), state_chunk.len());
             for (i, (node, state)) in node_chunk.iter().zip(state_chunk).enumerate() {
                 let mitigate = self.decision_buf[i];
-                self.session_mut(*node).apply_decision(state.time, mitigate);
+                let paid = self.session_mut(*node).apply_decision(state.time, mitigate);
+                self.served_running.mitigation_cost += paid;
+                if mitigate {
+                    mitigated += 1;
+                } else {
+                    not_mitigated += 1;
+                }
                 out.push(ServedDecision {
                     node: *node,
                     time: state.time,
@@ -414,25 +612,71 @@ impl<P: MitigationPolicy> FleetServer<P> {
                 });
             }
         }
+        if mitigated > 0 {
+            metrics.decisions_mitigate.add(mitigated);
+        }
+        if not_mitigated > 0 {
+            metrics.decisions_none.add(not_mitigated);
+        }
+        // Shadow lanes: decide the identical requests counterfactually. The lane's
+        // decision state re-derives only the Equation 3 fields from the lane's own
+        // reference; every other feature is event-derived and shared. Lanes run after
+        // the served decisions but read none of their effects.
+        for lane in 0..self.shadow_policies.len() {
+            let policy = Arc::clone(&self.shadow_policies[lane]);
+            let shadow_states: Vec<StateFeatures> = nodes
+                .iter()
+                .zip(&states)
+                .map(|(&node, served)| {
+                    self.session(node)
+                        .expect("request node has a live session")
+                        .shadow_state(lane, served)
+                })
+                .collect();
+            for (node_chunk, state_chunk) in nodes.chunks(batch).zip(shadow_states.chunks(batch)) {
+                self.decision_buf.clear();
+                policy.decide_batch(state_chunk, &mut self.decision_buf);
+                debug_assert_eq!(self.decision_buf.len(), state_chunk.len());
+                for (i, (node, state)) in node_chunk.iter().zip(state_chunk).enumerate() {
+                    let mitigate = self.decision_buf[i];
+                    let paid = self
+                        .session_mut(*node)
+                        .apply_shadow_decision(lane, state.time, mitigate);
+                    self.shadow_running[lane].mitigation_cost += paid;
+                }
+            }
+        }
     }
 
     /// Absorb one round of events into the node sessions and return the decision
-    /// requests in node-id order. Large rounds fan the shards out over the
-    /// work-stealing pool; the result is identical either way.
+    /// requests — and the fatal costs paid — in node-id order. Large rounds fan the
+    /// shards out over the work-stealing pool; the result is identical either way.
+    #[allow(clippy::type_complexity)]
     fn observe_round(
         &mut self,
         round: &mut Vec<(NodeId, MergedEvent)>,
-    ) -> (Vec<NodeId>, Vec<StateFeatures>) {
+    ) -> (Vec<NodeId>, Vec<StateFeatures>, Vec<FatalCost>) {
         if round.len() < PARALLEL_TICK_THRESHOLD || self.config.shards == 1 {
             let mut nodes = Vec::new();
             let mut states = Vec::new();
+            let mut fatals = Vec::new();
             for (node, event) in round.drain(..) {
-                if let Some(state) = self.session_mut(node).observe(&event) {
-                    nodes.push(node);
-                    states.push(state);
+                match self.session_mut(node).observe(&event) {
+                    Observed::Request(state) => {
+                        nodes.push(node);
+                        states.push(state);
+                    }
+                    Observed::Fatal {
+                        ue_cost,
+                        shadow_ue_costs,
+                    } => fatals.push(FatalCost {
+                        node,
+                        ue_cost,
+                        shadow_ue_costs,
+                    }),
                 }
             }
-            return (nodes, states);
+            return (nodes, states, fatals);
         }
 
         // Partition the round by shard, fan the shards out (each owns a disjoint set
@@ -445,10 +689,12 @@ impl<P: MitigationPolicy> FleetServer<P> {
         let shards = std::mem::take(&mut self.shards);
         let config = &self.config;
         let sampler = &self.sampler;
+        let shadow_lanes = self.shadow_policies.len();
         let work: Vec<(Shard, Vec<(NodeId, MergedEvent)>)> =
             shards.into_iter().zip(per_shard).collect();
         let done = rayon::execute_owned(work, |(mut shard, events)| {
             let mut requests = Vec::new();
+            let mut fatals = Vec::new();
             for (node, event) in events {
                 let session = shard.entry(node).or_insert_with(|| {
                     NodeSession::new(
@@ -459,33 +705,48 @@ impl<P: MitigationPolicy> FleetServer<P> {
                         config.seed,
                         sampler,
                         config.retention,
+                        shadow_lanes,
                     )
                 });
-                if let Some(state) = session.observe(&event) {
-                    requests.push((node, state));
+                match session.observe(&event) {
+                    Observed::Request(state) => requests.push((node, state)),
+                    Observed::Fatal {
+                        ue_cost,
+                        shadow_ue_costs,
+                    } => fatals.push(FatalCost {
+                        node,
+                        ue_cost,
+                        shadow_ue_costs,
+                    }),
                 }
             }
-            (shard, requests)
+            (shard, requests, fatals)
         });
         let mut requests = Vec::new();
+        let mut fatals = Vec::new();
         self.shards = done
             .into_iter()
-            .map(|(shard, shard_requests)| {
+            .map(|(shard, shard_requests, shard_fatals)| {
                 requests.extend(shard_requests);
+                fatals.extend(shard_fatals);
                 shard
             })
             .collect();
         // Shards interleave node ids (modulo routing), so restore global node order;
         // ids are unique within a round, making the order — and therefore the batch
-        // boundaries — independent of shard count and thread count.
+        // boundaries and the cost-accumulation order — independent of shard count and
+        // thread count.
         requests.sort_unstable_by_key(|(node, _)| node.0);
-        requests.into_iter().unzip()
+        fatals.sort_unstable_by_key(|fatal| fatal.node.0);
+        let (nodes, states) = requests.into_iter().unzip();
+        (nodes, states, fatals)
     }
 
     fn session_mut(&mut self, node: NodeId) -> &mut NodeSession {
         let shard = shard_index(node, self.shards.len());
         let config = &self.config;
         let sampler = &self.sampler;
+        let shadow_lanes = self.shadow_policies.len();
         self.shards[shard].entry(node).or_insert_with(|| {
             NodeSession::new(
                 node,
@@ -495,6 +756,7 @@ impl<P: MitigationPolicy> FleetServer<P> {
                 config.seed,
                 sampler,
                 config.retention,
+                shadow_lanes,
             )
         })
     }
@@ -556,6 +818,44 @@ impl<P: MitigationPolicy> FleetServer<P> {
             });
         }
         report
+    }
+
+    /// Counterfactual fleet totals of every shadow policy, lane order. Accumulated
+    /// per node in node-id order after charging each policy's training cost once —
+    /// the exact merge order of the offline evaluator's `run_policy` — so every float
+    /// is bit-comparable to an offline rollout of that policy over the same
+    /// timelines. Only flushed ticks are included.
+    pub fn shadow_report(&self) -> Vec<ShadowScore> {
+        let mut sessions: Vec<&NodeSession> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.values())
+            .collect();
+        sessions.sort_unstable_by_key(|s| s.node().0);
+
+        self.shadow_policies
+            .iter()
+            .enumerate()
+            .map(|(lane, policy)| {
+                let mut score = ShadowScore {
+                    policy: policy.name().to_string(),
+                    mitigations: 0,
+                    non_mitigations: 0,
+                    mitigation_cost: policy.training_cost_node_hours(),
+                    ue_count: 0,
+                    ue_cost: 0.0,
+                };
+                for session in &sessions {
+                    let account = session.shadow_account(lane);
+                    score.mitigations += account.mitigation_count();
+                    score.non_mitigations += account.non_mitigation_count();
+                    score.mitigation_cost += account.total_mitigation_cost();
+                    score.ue_count += account.ue_count();
+                    score.ue_cost += account.total_ue_cost();
+                }
+                score
+            })
+            .collect()
     }
 }
 
@@ -833,5 +1133,74 @@ mod tests {
             first_tick.len() as u64,
             2 * PARALLEL_TICK_THRESHOLD as u64 - fatal_nodes
         );
+    }
+
+    #[test]
+    fn shadow_lanes_score_baselines_on_the_served_stream() {
+        // Serve NeverMitigate with Always/Never shadows. The "never" lane sees the
+        // exact stream the served policy sees, so its score must equal the served
+        // report; the "always" lane must pay one mitigation per decision. The scores
+        // must be identical on the serial and shard-parallel paths.
+        let run = |shards: usize| {
+            let mut server =
+                FleetServer::new(config().with_shards(shards), NeverMitigate, sampler())
+                    .with_shadow_policies(vec![
+                        Arc::new(AlwaysMitigate) as ShadowPolicy,
+                        Arc::new(NeverMitigate) as ShadowPolicy,
+                    ]);
+            let mut out = Vec::new();
+            let events: Vec<MergedEvent> = (10..20)
+                .flat_map(|minute| {
+                    (0..(2 * PARALLEL_TICK_THRESHOLD as u32))
+                        .map(move |node| event(node, minute * 60, node % 13 == 0 && minute == 15))
+                })
+                .collect();
+            server.ingest_all(events, &mut out).unwrap();
+            server.flush(&mut out);
+            (server.report(), server.shadow_report())
+        };
+        let (report, shadows) = run(1);
+        let (_, shadows_parallel) = run(8);
+        assert_eq!(shadows, shadows_parallel);
+
+        assert_eq!(shadows.len(), 2);
+        let always = &shadows[0];
+        let never = &shadows[1];
+        assert_eq!(always.policy, "Always-mitigate");
+        assert_eq!(never.policy, "Never-mitigate");
+
+        // The "never" lane replays the served policy exactly.
+        assert_eq!(never.mitigations, report.mitigations);
+        assert_eq!(never.non_mitigations, report.non_mitigations);
+        assert_eq!(never.ue_count, report.ue_count);
+        assert_eq!(never.ue_cost.to_bits(), report.ue_cost.to_bits());
+        assert_eq!(
+            never.mitigation_cost.to_bits(),
+            report.mitigation_cost.to_bits()
+        );
+
+        // The "always" lane mitigated every decision and paid for each one.
+        assert_eq!(always.non_mitigations, 0);
+        assert_eq!(
+            always.mitigations,
+            report.mitigations + report.non_mitigations
+        );
+        assert!(always.mitigation_cost > 0.0);
+        assert_eq!(always.ue_count, report.ue_count);
+        // Mitigation resets the UE reference point, so the always lane cannot lose
+        // more node-hours to the fatals than the never lane.
+        assert!(always.ue_cost <= never.ue_cost);
+    }
+
+    #[test]
+    fn shadow_policies_must_have_distinct_names() {
+        let server = FleetServer::new(config(), NeverMitigate, sampler());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            server.with_shadow_policies(vec![
+                Arc::new(NeverMitigate) as ShadowPolicy,
+                Arc::new(NeverMitigate) as ShadowPolicy,
+            ])
+        }));
+        assert!(result.is_err(), "duplicate shadow names must be rejected");
     }
 }

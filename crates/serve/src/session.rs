@@ -24,11 +24,27 @@ use rand::SeedableRng;
 use uerl_core::config::MitigationConfig;
 use uerl_core::env::UeRecord;
 use uerl_core::features::FeatureExtractor;
-use uerl_core::session_core::{RecordRetention, SessionCore};
+use uerl_core::session_core::{CostAccount, RecordRetention, SessionCore};
 use uerl_core::state::StateFeatures;
 use uerl_jobs::schedule::{node_workload_seed, JobSequence, NodeJobSampler};
 use uerl_trace::log::MergedEvent;
 use uerl_trace::types::{NodeId, SimTime};
+
+/// The outcome of absorbing one event into a [`NodeSession`].
+#[derive(Debug, Clone)]
+pub enum Observed {
+    /// A non-fatal event: the decision request to resolve through the serving policy.
+    Request(StateFeatures),
+    /// A fatal event, accounted immediately: the served lane's UE cost and each
+    /// shadow lane's counterfactual UE cost (lane order), so the server can fold them
+    /// into its running totals in a deterministic order.
+    Fatal {
+        /// Equation 3 accrual paid by the served lane.
+        ue_cost: f64,
+        /// Equation 3 accrual each shadow lane paid against its own reference point.
+        shadow_ue_costs: Vec<f64>,
+    },
+}
 
 /// The live state of one node in the serving fleet.
 ///
@@ -40,11 +56,17 @@ pub struct NodeSession {
     node: NodeId,
     extractor: FeatureExtractor,
     core: SessionCore,
+    /// One counterfactual cost lane per shadow policy, all sharing the node's job
+    /// sequence (shadow scoring is O(1) per lane, never a second session). Lanes run
+    /// the same [`CostAccount`] rules as the served lane, always totals-only.
+    shadows: Vec<CostAccount>,
 }
 
 impl NodeSession {
     /// Create the session for a node: feature extractor anchored at the serving
-    /// window's start, job sequence sampled from the node's workload seed.
+    /// window's start, job sequence sampled from the node's workload seed, plus
+    /// `shadow_lanes` zeroed counterfactual cost lanes.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         node: NodeId,
         window_start: SimTime,
@@ -53,6 +75,7 @@ impl NodeSession {
         seed: u64,
         sampler: &NodeJobSampler,
         retention: RecordRetention,
+        shadow_lanes: usize,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(node_workload_seed(seed, node));
         let jobs: JobSequence = sampler.sample_sequence(window_start, window_end, &mut rng);
@@ -60,6 +83,7 @@ impl NodeSession {
             node,
             extractor: FeatureExtractor::new(node, window_start),
             core: SessionCore::new(jobs, config, retention),
+            shadows: vec![CostAccount::new(); shadow_lanes],
         }
     }
 
@@ -130,34 +154,85 @@ impl NodeSession {
             + self.extractor.approx_heap_bytes()
             + self.core.approx_log_bytes()
             + self.core.jobs().len() * std::mem::size_of::<uerl_jobs::schedule::ScheduledJob>()
+            + self.shadows.capacity() * std::mem::size_of::<CostAccount>()
     }
 
     /// Absorb one event of this node (events must arrive in time order — the server
     /// enforces it on the merged stream).
     ///
-    /// A fatal event is accounted immediately through the shared session core — its
-    /// cost, the Equation 3 accrual since the last mitigation (or job start), is
-    /// paid, and the mitigation reference is cleared because the node leaves
-    /// production and returns with fresh jobs — and produces no decision. A non-fatal
-    /// event updates the feature state and returns the [`StateFeatures`] snapshot of
-    /// the new decision request, which the server resolves through the
+    /// A fatal event is accounted immediately — on the served lane through the shared
+    /// session core and on every shadow lane against its own Equation 3 reference —
+    /// and produces no decision; the paid costs are returned so the server can fold
+    /// them into its running totals deterministically. A non-fatal event updates the
+    /// (decision-independent) feature state and returns the [`StateFeatures`]
+    /// snapshot of the new decision request, which the server resolves through the
     /// (micro-batched) policy and then applies via [`NodeSession::apply_decision`].
-    pub fn observe(&mut self, event: &MergedEvent) -> Option<StateFeatures> {
+    pub fn observe(&mut self, event: &MergedEvent) -> Observed {
         if event.fatal {
-            self.core.account_fatal(event.time);
+            let core = &self.core;
+            let shadow_ue_costs = self
+                .shadows
+                .iter_mut()
+                .map(|lane| {
+                    lane.account_fatal(
+                        core.jobs(),
+                        core.config().restartable,
+                        RecordRetention::TotalsOnly,
+                        event.time,
+                    )
+                })
+                .collect();
+            let ue_cost = self.core.account_fatal(event.time);
             self.extractor.update(event);
-            None
+            Observed::Fatal {
+                ue_cost,
+                shadow_ue_costs,
+            }
         } else {
             self.extractor.update(event);
             let (potential, job_nodes) = self.core.potential_cost_at(event.time);
-            Some(self.extractor.snapshot(potential, job_nodes))
+            Observed::Request(self.extractor.snapshot(potential, job_nodes))
         }
     }
 
     /// Apply a resolved decision for the request produced at `time`: record it and, if
     /// it mitigates, pay the mitigation cost and reset the cost reference point.
-    pub fn apply_decision(&mut self, time: SimTime, mitigate: bool) {
-        self.core.apply_decision(time, mitigate);
+    /// Returns the node-hours paid (0 for "do nothing").
+    pub fn apply_decision(&mut self, time: SimTime, mitigate: bool) -> f64 {
+        self.core.apply_decision(time, mitigate)
+    }
+
+    /// The counterfactual decision state of shadow lane `lane` for a served request:
+    /// the served snapshot with `potential_ue_cost` / `job_nodes` re-derived from the
+    /// lane's *own* mitigation reference. Every other feature is decision-independent
+    /// (the extractor sees only events), so this state is bit-identical to what an
+    /// offline rollout of the shadow policy would have seen at the same event.
+    pub fn shadow_state(&self, lane: usize, served: &StateFeatures) -> StateFeatures {
+        let (potential, job_nodes) = self.shadows[lane].potential_cost_at(
+            self.core.jobs(),
+            self.core.config().restartable,
+            served.time,
+        );
+        let mut state = served.clone();
+        state.potential_ue_cost = potential;
+        state.job_nodes = job_nodes;
+        state
+    }
+
+    /// Apply shadow lane `lane`'s own decision for the request produced at `time`.
+    /// Returns the node-hours the lane paid (0 for "do nothing").
+    pub fn apply_shadow_decision(&mut self, lane: usize, time: SimTime, mitigate: bool) -> f64 {
+        self.shadows[lane].apply_decision(
+            time,
+            mitigate,
+            self.core.config().mitigation_cost_node_hours(),
+            RecordRetention::TotalsOnly,
+        )
+    }
+
+    /// The counterfactual cost account of shadow lane `lane`.
+    pub fn shadow_account(&self, lane: usize) -> &CostAccount {
+        &self.shadows[lane]
     }
 }
 
@@ -195,9 +270,10 @@ mod tests {
                     seed,
                     &sampler,
                     retention,
+                    0,
                 );
                 for event in timeline.events() {
-                    if let Some(state) = session.observe(event) {
+                    if let Observed::Request(state) = session.observe(event) {
                         let mitigate = rule(&state);
                         session.apply_decision(state.time, mitigate);
                     }

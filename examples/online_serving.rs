@@ -13,21 +13,28 @@
 //! Because the serving path is bit-identical to the offline evaluator, the example
 //! closes by replaying the same period through `run_policy` and asserting that every
 //! decision and every accumulated cost matches exactly.
+//!
+//! The example also turns the observability layer on: baseline policies ride along as
+//! **shadow policies** (scored counterfactually on the identical stream, never
+//! touching a served decision), and the run ends with the metrics snapshot as JSON —
+//! what a scrape of a real deployment would return.
 
+use std::sync::Arc;
 use std::time::Instant;
 use uerl::core::event_stream::TimelineSet;
-use uerl::core::policies::RlPolicy;
+use uerl::core::policies::{AlwaysMitigate, NeverMitigate, RlPolicy};
 use uerl::core::trainer::{RlTrainer, TrainerConfig};
 use uerl::core::MitigationConfig;
 use uerl::eval::run::run_policy;
 use uerl::jobs::{JobLogConfig, JobTraceGenerator, NodeJobSampler};
-use uerl::serve::{merged_fleet_stream, FleetServer, ServeConfig};
+use uerl::serve::{merged_fleet_stream, FleetServer, ServeConfig, ShadowPolicy};
 use uerl::trace::generator::{SyntheticLogConfig, TraceGenerator};
 use uerl::trace::reduction::preprocess;
 
 fn main() {
     let seed = 42u64;
     let mitigation = MitigationConfig::paper_default();
+    uerl::obs::set_enabled(true); // observe this run regardless of UERL_METRICS
 
     // --- Offline: synthesize a fleet and train a small agent -------------------------
     let log = TraceGenerator::new(SyntheticLogConfig::small(60, 120, seed)).generate();
@@ -55,7 +62,11 @@ fn main() {
     let config = ServeConfig::for_timelines(&timelines, mitigation, seed)
         .with_batch_size(32)
         .with_shards(8);
-    let mut server = FleetServer::new(config, policy.clone(), sampler.clone());
+    let mut server = FleetServer::new(config, policy.clone(), sampler.clone())
+        .with_shadow_policies(vec![
+            Arc::new(AlwaysMitigate) as ShadowPolicy,
+            Arc::new(NeverMitigate) as ShadowPolicy,
+        ]);
 
     let stream = merged_fleet_stream(&timelines);
     let events = stream.len();
@@ -97,4 +108,34 @@ fn main() {
     );
     assert_eq!(report.ue_cost.to_bits(), offline.ue_cost.to_bits());
     println!("parity:  served decisions and costs are bit-identical to the offline evaluator");
+
+    // --- Observability: shadow scores and the metrics snapshot -----------------------
+    println!("\nshadow scoreboard (counterfactual, same stream):");
+    println!(
+        "        {:<18} {:>12} {:>10} {:>16}",
+        "policy", "mitigations", "UEs", "total node-hours"
+    );
+    println!(
+        "        {:<18} {:>12} {:>10} {:>16.2}   (served)",
+        report.policy,
+        report.mitigations,
+        report.ue_count,
+        report.total_cost()
+    );
+    for score in server.shadow_report() {
+        println!(
+            "        {:<18} {:>12} {:>10} {:>16.2}",
+            score.policy,
+            score.mitigations,
+            score.ue_count,
+            score.total_cost()
+        );
+    }
+
+    let snapshot = uerl::obs::registry().snapshot();
+    println!(
+        "\nmetrics snapshot (fingerprint {:#018x}):",
+        snapshot.fingerprint()
+    );
+    println!("{}", snapshot.to_json());
 }

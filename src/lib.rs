@@ -22,12 +22,16 @@
 //! * [`serve`] — online fleet-serving subsystem: a long-running mitigation service with
 //!   sharded per-node incremental state and micro-batched DQN inference, bit-identical
 //!   to the offline evaluator on the same timelines.
+//! * [`obs`] — observability substrate: the metrics registry, span timers and the
+//!   unified `UERL_*` knob parser, runtime-gated by `UERL_METRICS` and provably inert
+//!   with respect to decisions and costs.
 
 pub use uerl_core as core;
 pub use uerl_eval as eval;
 pub use uerl_forest as forest;
 pub use uerl_jobs as jobs;
 pub use uerl_nn as nn;
+pub use uerl_obs as obs;
 pub use uerl_rl as rl;
 pub use uerl_serve as serve;
 pub use uerl_stats as stats;

@@ -14,8 +14,12 @@
 //! tests additionally pin each retention mode explicitly, independent of the
 //! environment.
 
+use std::sync::Arc;
+
 use uerl::core::event_stream::TimelineSet;
-use uerl::core::policies::{AlwaysMitigate, MyopicRfPolicy, QuantMode, RlPolicy};
+use uerl::core::policies::{
+    AlwaysMitigate, MyopicRfPolicy, NeverMitigate, QuantMode, RlPolicy, ThresholdRfPolicy,
+};
 use uerl::core::policy::MitigationPolicy;
 use uerl::core::rf_dataset::build_rf_dataset_1day;
 use uerl::core::state::STATE_DIM;
@@ -25,7 +29,9 @@ use uerl::eval::run::{run_policy, PolicyRun};
 use uerl::forest::{RandomForest, RandomForestConfig};
 use uerl::jobs::schedule::NodeJobSampler;
 use uerl::jobs::{JobLogConfig, JobTraceGenerator};
-use uerl::serve::{merged_fleet_stream, FleetServer, RecordRetention, ServeConfig, ServeReport};
+use uerl::serve::{
+    merged_fleet_stream, FleetServer, RecordRetention, ServeConfig, ServeReport, ShadowPolicy,
+};
 use uerl::trace::generator::{SyntheticLogConfig, TraceGenerator};
 use uerl::trace::reduction::preprocess;
 
@@ -51,6 +57,21 @@ fn trained_rl_policy(timelines: &TimelineSet, sampler: &NodeJobSampler) -> RlPol
     let mut agent = outcome.agent;
     agent.compact_for_inference();
     RlPolicy::new(agent).with_quantization(QuantMode::from_env())
+}
+
+/// A small forest trained on the fixture's 1-day prediction dataset (the SC20
+/// feature pipeline), degenerate-dataset guards included.
+fn fitted_forest(timelines: &TimelineSet) -> RandomForest {
+    let (mut dataset, _) = build_rf_dataset_1day(timelines);
+    if dataset.is_empty() {
+        dataset.push(vec![0.0; STATE_DIM - 1], false);
+    }
+    let mut rf_config = RandomForestConfig::sc20(STATE_DIM - 1, 5);
+    rf_config.n_trees = 8;
+    if dataset.positives() == 0 {
+        rf_config.undersample_ratio = None;
+    }
+    RandomForest::fit(&dataset, &rf_config)
 }
 
 fn serve<P: MitigationPolicy + Clone>(
@@ -259,18 +280,8 @@ fn non_rl_policies_also_serve_with_exact_parity() {
         &offline_always,
     );
 
-    let (mut dataset, _) = build_rf_dataset_1day(&timelines);
-    if dataset.is_empty() {
-        dataset.push(vec![0.0; STATE_DIM - 1], false);
-    }
-    let mut rf_config = RandomForestConfig::sc20(STATE_DIM - 1, 5);
-    rf_config.n_trees = 8;
-    if dataset.positives() == 0 {
-        rf_config.undersample_ratio = None;
-    }
-    let forest = RandomForest::fit(&dataset, &rf_config);
     let myopic = MyopicRfPolicy::new(
-        forest,
+        fitted_forest(&timelines),
         MitigationConfig::paper_default().mitigation_cost_node_hours(),
     );
     let offline_myopic = run_policy(
@@ -378,4 +389,103 @@ fn streaming_in_prefix_chunks_matches_one_shot_ingestion() {
     }
     server.flush(&mut decisions);
     assert_eq!(server.report(), one_shot);
+}
+
+#[test]
+fn serving_with_metrics_enabled_keeps_bit_parity_with_offline() {
+    // The observability layer must be provably inert: force the gate OPEN for a
+    // serving run (regardless of UERL_METRICS) and demand the same bit-parity with
+    // the offline oracle that the gate-off runs uphold. CI additionally runs this
+    // whole binary under UERL_METRICS=on at one and four threads.
+    let (timelines, sampler) = fixture();
+    let policy = trained_rl_policy(&timelines, &sampler);
+    let offline = run_policy(
+        &policy,
+        &timelines,
+        &sampler,
+        MitigationConfig::paper_default(),
+        SEED,
+    );
+    let was_enabled = uerl::obs::enabled();
+    uerl::obs::set_enabled(true);
+    let reports: Vec<ServeReport> = [(1, 8), (16, 1), (64, 4)]
+        .iter()
+        .map(|&(batch_size, shards)| serve(&policy, &timelines, &sampler, batch_size, shards))
+        .collect();
+    uerl::obs::set_enabled(was_enabled);
+    for report in &reports {
+        assert_parity(report, &offline);
+    }
+}
+
+#[test]
+fn shadow_scores_are_bit_identical_to_offline_rollouts_of_each_shadow() {
+    // Shadow-policy scoring is counterfactual accounting over the identical served
+    // stream, so every lane's score must be bit-identical to what the offline
+    // evaluator computes when it replays that policy over the same timelines —
+    // counters, mitigation cost (training cost included) and UE cost, for trivial
+    // baselines, SC20-RF and the myopic cost-benefit policy alike.
+    let (timelines, sampler) = fixture();
+    let policy = trained_rl_policy(&timelines, &sampler);
+    let config = MitigationConfig::paper_default();
+    let shadows: Vec<ShadowPolicy> = vec![
+        Arc::new(AlwaysMitigate),
+        Arc::new(NeverMitigate),
+        Arc::new(
+            ThresholdRfPolicy::new(fitted_forest(&timelines), 0.5, "SC20-RF")
+                .with_training_cost(0.25),
+        ),
+        Arc::new(MyopicRfPolicy::new(
+            fitted_forest(&timelines),
+            config.mitigation_cost_node_hours(),
+        )),
+    ];
+
+    let serve_config = ServeConfig::for_timelines(&timelines, config, SEED)
+        .with_batch_size(16)
+        .with_shards(4);
+    let mut server = FleetServer::new(serve_config, policy, sampler.clone())
+        .with_shadow_policies(shadows.clone());
+    let mut decisions = Vec::new();
+    server
+        .ingest_all(merged_fleet_stream(&timelines), &mut decisions)
+        .expect("the merged stream is time-ordered");
+    let scores = server.shadow_report();
+    assert_eq!(scores.len(), shadows.len());
+
+    for (score, shadow) in scores.iter().zip(&shadows) {
+        let offline = run_policy(&**shadow, &timelines, &sampler, config, SEED);
+        assert_eq!(score.policy, shadow.name());
+        assert_eq!(
+            score.mitigations, offline.mitigations,
+            "{}: mitigation count diverged",
+            score.policy
+        );
+        assert_eq!(
+            score.non_mitigations, offline.non_mitigations,
+            "{}: non-mitigation count diverged",
+            score.policy
+        );
+        assert_eq!(
+            score.ue_count, offline.ue_count,
+            "{}: UE count diverged",
+            score.policy
+        );
+        assert_eq!(
+            score.mitigation_cost.to_bits(),
+            offline.mitigation_cost.to_bits(),
+            "{}: mitigation cost diverged: shadow {} vs offline {}",
+            score.policy,
+            score.mitigation_cost,
+            offline.mitigation_cost
+        );
+        assert_eq!(
+            score.ue_cost.to_bits(),
+            offline.ue_cost.to_bits(),
+            "{}: UE cost diverged: shadow {} vs offline {}",
+            score.policy,
+            score.ue_cost,
+            offline.ue_cost
+        );
+    }
 }

@@ -12,7 +12,7 @@ use uerl::core::state::StateFeatures;
 use uerl::core::{MitigationConfig, MitigationEnv};
 use uerl::jobs::schedule::{node_workload_seed, NodeJobSampler};
 use uerl::jobs::{JobLogConfig, JobTraceGenerator};
-use uerl::serve::{NodeSession, RecordRetention};
+use uerl::serve::{NodeSession, Observed, RecordRetention};
 use uerl::trace::events::{CeDetail, Detector};
 use uerl::trace::log::MergedEvent;
 use uerl::trace::types::{CellLocation, DimmId, NodeId, SimTime};
@@ -84,10 +84,11 @@ fn replay_session(events: &[MergedEvent], retention: RecordRetention) -> (NodeSe
         SEED,
         &sampler,
         retention,
+        0,
     );
     let mut max_history = 0usize;
     for event in events {
-        if let Some(state) = session.observe(event) {
+        if let Observed::Request(state) = session.observe(event) {
             let mitigate = rule(&state);
             session.apply_decision(state.time, mitigate);
         }
@@ -170,10 +171,11 @@ fn totals_only_soak_footprint_stops_growing_after_warmup() {
         SEED,
         &sampler,
         RecordRetention::TotalsOnly,
+        0,
     );
     let drive = |chunk: &[MergedEvent], session: &mut NodeSession| {
         for event in chunk {
-            if let Some(state) = session.observe(event) {
+            if let Observed::Request(state) = session.observe(event) {
                 let mitigate = rule(&state);
                 session.apply_decision(state.time, mitigate);
             }

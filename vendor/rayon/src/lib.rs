@@ -325,6 +325,62 @@ struct Registry {
 static REGISTRY: OnceLock<Registry> = OnceLock::new();
 static WORKERS_STARTED: Once = Once::new();
 
+// --------------------------------------------------------------------------------------
+// Pool statistics
+// --------------------------------------------------------------------------------------
+//
+// Scheduler-visible counters for the observability layer. This crate mirrors the
+// external `rayon` API and therefore cannot depend on workspace crates, so the stats
+// are plain module-level atomics behind a `pub` accessor; `uerl-serve` polls them into
+// wall-clock gauges at flush time. All updates are `Relaxed` single-word RMWs on the
+// already-locked queue paths — the snapshot is advisory (scheduling is inherently
+// racy), never part of any determinism contract.
+
+/// Jobs handed out by [`Registry::find_work`] (own deque, injector or steals). Jobs a
+/// `join` caller takes back and runs inline never enter this count.
+static STAT_JOBS_EXECUTED: AtomicUsize = AtomicUsize::new(0);
+/// Subset of [`STAT_JOBS_EXECUTED`] that came from *another* worker's deque.
+static STAT_STEALS: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of the injector queue depth, sampled after each external push.
+static STAT_INJECTOR_DEPTH_HWM: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of any single worker deque depth, sampled after each worker push.
+static STAT_DEQUE_DEPTH_HWM: AtomicUsize = AtomicUsize::new(0);
+
+/// A point-in-time snapshot of the pool's scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs dispensed by the queue machinery (excludes inline take-backs).
+    pub jobs_executed: usize,
+    /// Jobs stolen from another worker's deque.
+    pub steals: usize,
+    /// Deepest the shared injector queue has ever been.
+    pub injector_depth_hwm: usize,
+    /// Deepest any single worker deque has ever been.
+    pub deque_depth_hwm: usize,
+}
+
+/// Snapshot the scheduler counters (racy-but-monotonic; see the stats module notes).
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        jobs_executed: STAT_JOBS_EXECUTED.load(Ordering::Relaxed),
+        steals: STAT_STEALS.load(Ordering::Relaxed),
+        injector_depth_hwm: STAT_INJECTOR_DEPTH_HWM.load(Ordering::Relaxed),
+        deque_depth_hwm: STAT_DEQUE_DEPTH_HWM.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the scheduler counters (benchmark legs isolate their own windows with this).
+pub fn reset_pool_stats() {
+    STAT_JOBS_EXECUTED.store(0, Ordering::Relaxed);
+    STAT_STEALS.store(0, Ordering::Relaxed);
+    STAT_INJECTOR_DEPTH_HWM.store(0, Ordering::Relaxed);
+    STAT_DEQUE_DEPTH_HWM.store(0, Ordering::Relaxed);
+}
+
+fn stat_raise_hwm(hwm: &AtomicUsize, depth: usize) {
+    hwm.fetch_max(depth, Ordering::Relaxed);
+}
+
 /// The lazily-initialized global registry. The first call builds the queues and spawns
 /// the workers; every later call is a cheap read.
 fn global_registry() -> &'static Registry {
@@ -377,17 +433,15 @@ impl Registry {
     fn push(&self, job: JobRef) -> PushedTo {
         let pushed = match current_worker_index() {
             Some(i) if i < self.worker_queues.len() => {
-                self.worker_queues[i]
-                    .lock()
-                    .expect("worker queue poisoned")
-                    .push_back(job);
+                let mut q = self.worker_queues[i].lock().expect("worker queue poisoned");
+                q.push_back(job);
+                stat_raise_hwm(&STAT_DEQUE_DEPTH_HWM, q.len());
                 PushedTo::Worker(i)
             }
             _ => {
-                self.injector
-                    .lock()
-                    .expect("injector poisoned")
-                    .push_back(job);
+                let mut q = self.injector.lock().expect("injector poisoned");
+                q.push_back(job);
+                stat_raise_hwm(&STAT_INJECTOR_DEPTH_HWM, q.len());
                 PushedTo::Injector
             }
         };
@@ -422,10 +476,12 @@ impl Registry {
                 .expect("worker queue poisoned")
                 .pop_back()
             {
+                STAT_JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
         if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
+            STAT_JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         for (i, queue) in self.worker_queues.iter().enumerate() {
@@ -433,6 +489,8 @@ impl Registry {
                 continue;
             }
             if let Some(job) = queue.lock().expect("worker queue poisoned").pop_front() {
+                STAT_JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+                STAT_STEALS.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -1240,6 +1298,25 @@ mod tests {
         assert!(result.is_err());
         // Every non-panicking task still ran before the panic was re-thrown.
         assert_eq!(drained.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn pool_stats_are_consistent_after_fanout() {
+        // No reset here: other tests run concurrently in this binary, so the counters
+        // are shared. Assert only monotone/consistency properties of the snapshot.
+        let before = pool_stats();
+        let _: Vec<usize> = (0..256).into_par_iter().map(|i| i + 1).collect();
+        let after = pool_stats();
+        assert!(after.jobs_executed >= before.jobs_executed);
+        assert!(after.steals <= after.jobs_executed);
+        if pool_size() > 0 {
+            // With workers present a 256-item fan-out pushes at least one stealable
+            // job (even if the caller later took every one of them back inline).
+            assert!(
+                after.injector_depth_hwm > 0 || after.deque_depth_hwm > 0,
+                "fan-out on a populated pool must push through the queues"
+            );
+        }
     }
 
     #[test]
